@@ -1,0 +1,18 @@
+"""Ablation — index maintenance discipline (exact / periodic / bloom)."""
+
+from repro.experiments import ablation_index
+
+
+def test_ablation_index(once, emit):
+    result = once(ablation_index.run)
+    emit("ablation_index", result.render())
+    # Periodic updates barely dent the hit ratio...
+    assert result.exact.hit_ratio - result.periodic.hit_ratio < 0.02
+    # ...while sending an order of magnitude fewer messages.
+    assert (
+        result.periodic.overhead.index_update_messages
+        < result.exact.overhead.index_update_messages / 5
+    )
+    # Bloom summaries compress the index several-fold with a tiny FP rate.
+    assert result.bloom_footprint_bytes < result.exact_footprint_bytes
+    assert result.bloom_false_positive_rate < 0.01

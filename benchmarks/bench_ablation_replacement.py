@@ -1,0 +1,19 @@
+"""Ablation — replacement policy under BAPS (design-choice callout)."""
+
+from repro.experiments import ablation_replacement
+
+
+def test_ablation_replacement(once, emit):
+    result = once(ablation_replacement.run)
+    emit("ablation_replacement", result.render())
+    r = result.results
+    # LRU (the paper's choice) must beat FIFO on hit ratio.
+    assert r["lru"].hit_ratio >= r["fifo"].hit_ratio
+    # SIZE trades byte hit ratio for request hit ratio.
+    assert r["size"].hit_ratio > r["lru"].hit_ratio
+    assert r["size"].byte_hit_ratio < r["lru"].byte_hit_ratio + 0.02
+    # GDSF is the strongest request-hit-ratio policy of the era.
+    assert r["gdsf"].hit_ratio >= r["lru"].hit_ratio
+    # every policy still produces remote-browser hits under BAPS
+    for name, res in r.items():
+        assert res.by_location_remote_hits() > 0, name

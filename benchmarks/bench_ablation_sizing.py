@@ -1,0 +1,56 @@
+"""Ablation — sensitivity to the minimum-browser-cache divisor.
+
+DESIGN.md §3 documents our reading of the paper's garbled minimum
+browser cache formula as S_proxy / n (aggregate browser capacity equals
+the proxy cache).  This benchmark sweeps the divisor d in
+S_proxy / (d · n) and shows how the BAPS gain decays as browsers
+shrink — the evidence behind that reading.
+"""
+
+from repro.core import Organization, SimulationConfig, simulate
+from repro.core.config import minimum_browser_capacity
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+DIVISORS = (1.0, 2.0, 5.0, 10.0)
+
+
+def run_sweep(trace_name="NLANR-uc", proxy_frac=0.10):
+    trace = load_paper_trace(trace_name)
+    proxy_capacity = max(1, int(proxy_frac * trace.infinite_cache_bytes()))
+    rows = []
+    gains = []
+    for d in DIVISORS:
+        browser_capacity = minimum_browser_capacity(proxy_capacity, trace.n_clients, divisor=d)
+        config = SimulationConfig(
+            proxy_capacity=proxy_capacity, browser_capacity=browser_capacity
+        )
+        plb = simulate(trace, Organization.PROXY_AND_LOCAL_BROWSER, config)
+        baps = simulate(trace, Organization.BROWSERS_AWARE_PROXY, config)
+        gain = baps.hit_ratio - plb.hit_ratio
+        gains.append(gain)
+        rows.append(
+            [
+                f"S_p/({d:g}n)",
+                f"{browser_capacity / 1e3:.0f} KB",
+                f"{plb.hit_ratio * 100:.2f}%",
+                f"{baps.hit_ratio * 100:.2f}%",
+                f"+{gain * 100:.2f}",
+                f"{baps.breakdown().remote_browser * 100:.2f}%",
+            ]
+        )
+    table = ascii_table(
+        ["browser sizing", "per-browser", "HR(PLB)", "HR(BAPS)", "gain (pts)", "remote share"],
+        rows,
+        title=f"Ablation: minimum browser-cache divisor ({trace_name}, 10% cache)",
+    )
+    return table, gains
+
+
+def test_ablation_sizing(once, emit):
+    table, gains = once(run_sweep)
+    emit("ablation_sizing", table)
+    # The BAPS gain shrinks monotonically as browser caches shrink —
+    # aggregate browser capacity is the resource BAPS harvests.
+    assert gains == sorted(gains, reverse=True)
+    assert gains[0] > 2 * gains[-1]

@@ -1,0 +1,19 @@
+"""Extension — graceful degradation of BAPS under client churn."""
+
+from repro.experiments import availability
+
+
+def test_availability_degradation(once, emit):
+    result = once(availability.run)
+    emit("availability", result.render())
+    avails = sorted(result.by_availability, reverse=True)
+    gains = [result.gain(a) for a in avails]
+    # the gain shrinks as holders go offline...
+    assert gains == sorted(gains, reverse=True)
+    # ...but BAPS never falls below the conventional organization
+    assert all(g >= -1e-9 for g in gains)
+    # full availability reproduces the headline gain
+    assert gains[0] > 0.005
+    # offline-holder events were actually exercised
+    low = result.by_availability[avails[-1]]
+    assert low.holder_unavailable > 0

@@ -1,0 +1,30 @@
+"""Extension — stale deliveries vs validation traffic under real
+consistency policies."""
+
+from repro.experiments import consistency
+
+
+def test_consistency_tradeoff(once, emit):
+    result = once(consistency.run)
+    emit("consistency", result.render())
+    always = result.get("always-validate").consistency_stats
+    day = result.get("fixed TTL 1d").consistency_stats
+    adaptive = result.get("adaptive (Alex, 0.2)").consistency_stats
+
+    # strong consistency never leaks stale bytes but validates a lot
+    assert always.stale_deliveries == 0
+    assert always.validations > day.validations
+
+    # a one-day TTL trades the validations away for stale deliveries
+    assert day.stale_deliveries >= always.stale_deliveries
+    assert day.validations < always.validations / 5
+
+    # adaptive sits between the fixed extremes on validations
+    assert day.validations <= adaptive.validations <= always.validations
+
+    # and coherence never *increases* the true-fresh hit count beyond
+    # the perfect-coherence ceiling by more than the stale deliveries
+    perfect = result.get("perfect (paper's rule)")
+    for label, r in result.results.items():
+        cs = r.consistency_stats
+        assert r.hits - cs.stale_deliveries <= perfect.hits + 0.01 * r.n_requests, label

@@ -1,0 +1,33 @@
+"""Figure 2 — five caching policies on NLANR-uc (minimum browser cache)."""
+
+from repro.core.policies import Organization
+from repro.experiments import fig2
+
+
+def test_fig2(once, emit):
+    result = once(fig2.run)
+    emit("fig2", result.render())
+    sweep = result.sweep
+
+    # Headline: BAPS has the highest hit and byte hit ratios everywhere.
+    assert result.baps_dominates()
+
+    # Local-browser-cache-only is the weakest organization.
+    for frac in sweep.fractions:
+        local = sweep.get(Organization.LOCAL_BROWSER_ONLY, frac)
+        for org in sweep.organizations:
+            assert local.hit_ratio <= sweep.get(org, frac).hit_ratio + 1e-12
+
+    # "proxy-and-local-browser only slightly outperforms
+    # proxy-cache-only" — within a few points, and never behind.
+    for frac in sweep.fractions:
+        plb = sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, frac).hit_ratio
+        po = sweep.get(Organization.PROXY_ONLY, frac).hit_ratio
+        assert po - 0.001 <= plb <= po + 0.05
+
+    # The paper's effect size: at the smallest cache the BAPS hit ratio
+    # is ~11% higher than PLB in relative terms ("up to 10.94% higher").
+    f = sweep.fractions[0]
+    baps = sweep.get(Organization.BROWSERS_AWARE_PROXY, f).hit_ratio
+    plb = sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f).hit_ratio
+    assert (baps - plb) / plb > 0.05

@@ -1,0 +1,21 @@
+"""Figure 3 — BAPS hit-location breakdowns on NLANR-uc."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(once, emit):
+    result = once(fig3.run)
+    emit("fig3", result.render())
+
+    for frac in result.fractions:
+        bd = result.hit_breakdowns[frac]
+        # all three locations contribute at every size
+        assert bd.local_browser > 0
+        assert bd.proxy > 0
+        # "the hit ratio in remote browser caches should not be
+        # neglected even when the browser cache size is very small"
+        assert bd.remote_browser > 0.005, frac
+
+    # proxy share grows with the proxy cache
+    proxies = [result.hit_breakdowns[f].proxy for f in result.fractions]
+    assert proxies == sorted(proxies)

@@ -1,0 +1,12 @@
+"""Figure 4 — BAPS vs proxy-and-local-browser on NLANR-bo1."""
+
+from repro.experiments import fig4_6
+
+
+def test_fig4(once, emit):
+    result = once(lambda: fig4_6.run(4))
+    emit("fig4", result.render())
+    # "consistently and significantly increases both hit ratios and
+    # byte hit ratios"
+    assert result.baps_wins_everywhere()
+    assert result.mean_hit_gain() > 0.005  # > 0.5 points on average

@@ -1,0 +1,10 @@
+"""Figure 5 — BAPS vs proxy-and-local-browser on BU-95."""
+
+from repro.experiments import fig4_6
+
+
+def test_fig5(once, emit):
+    result = once(lambda: fig4_6.run(5))
+    emit("fig5", result.render())
+    assert result.baps_wins_everywhere()
+    assert result.mean_hit_gain() > 0.005

@@ -1,0 +1,10 @@
+"""Figure 6 — BAPS vs proxy-and-local-browser on BU-98."""
+
+from repro.experiments import fig4_6
+
+
+def test_fig6(once, emit):
+    result = once(lambda: fig4_6.run(6))
+    emit("fig6", result.render())
+    assert result.baps_wins_everywhere()
+    assert result.mean_hit_gain() > 0.005

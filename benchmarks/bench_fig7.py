@@ -1,0 +1,18 @@
+"""Figure 7 — the BAPS limit case on CA*netII (3 clients)."""
+
+from repro.core.policies import Organization
+from repro.experiments import fig7
+
+
+def test_fig7(once, emit):
+    result = once(fig7.run)
+    emit("fig7", result.render())
+    # "The increases of both average hit ratio and byte hit ratio of
+    # this trace ... are below 1%".
+    assert 0 <= result.mean_hit_gain() < 0.01
+    assert 0 <= result.mean_byte_gain() < 0.01
+    # BAPS must still never be worse.
+    for f in result.sweep.fractions:
+        baps = result.sweep.get(Organization.BROWSERS_AWARE_PROXY, f)
+        plb = result.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f)
+        assert baps.hit_ratio >= plb.hit_ratio - 1e-12

@@ -1,0 +1,16 @@
+"""Figure 8 — hit/byte-hit increments vs relative number of clients."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(once, emit):
+    result = once(fig8.run)
+    emit("fig8", result.render())
+    # "both hit ratio increment and byte hit ratio increment ...
+    # proportionally increase as the number of clients increases"
+    assert result.all_monotonic("hit_ratio", slack=0.01)
+    assert result.all_monotonic("byte_hit_ratio", slack=0.01)
+    for name, scaling in result.results.items():
+        incs = [v for _, v in scaling.increments("hit_ratio")]
+        assert incs[-1] > incs[0], name  # strictly better at full scale
+        assert incs[-1] > 0.02, name  # a few percent relative at 100%

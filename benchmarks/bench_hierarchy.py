@@ -1,0 +1,22 @@
+"""Extension — BAPS vs cooperative proxy caching at equal storage."""
+
+from repro.experiments import hierarchy
+
+
+def test_hierarchy_comparison(once, emit):
+    result = once(hierarchy.run)
+    emit("hierarchy", result.render())
+    r = result.results
+    # BAPS tops the table: browser sharing adds capacity, cooperation
+    # only redistributes it.
+    assert result.baps_tops_table()
+    # ICP siblings recover most of what splitting the storage loses.
+    assert (
+        r["4 sibling leaves (ICP)"].hit_ratio
+        > r["4 siblings, no cooperation"].hit_ratio + 0.02
+    )
+    # An inclusive two-level hierarchy wastes storage on duplication.
+    assert (
+        r["leaf + parent (two-level)"].hit_ratio
+        < r["single proxy + private browsers (PLB)"].hit_ratio
+    )

@@ -1,0 +1,16 @@
+"""§5 — browser index space requirement."""
+
+from repro.experiments import index_space
+
+
+def test_index_space(once, emit):
+    result = once(index_space.run)
+    emit("index_space", result.render())
+    rep = result.model.report()
+    # The paper's arithmetic: 100 browsers x 1K pages x 28 B/entry is a
+    # few MB; Bloom compression brings it well under 2 MB.
+    assert 1.0 < rep["exact_index_mb"] < 10.0
+    assert rep["bloom_index_mb"] < 2.0
+    # The measured peak from an actual run stays small as well.
+    assert result.measured_peak_bytes < 5_000_000
+    assert result.measured_peak_entries > 0

@@ -1,0 +1,23 @@
+"""§4.2 — memory byte hit ratios and hit latency."""
+
+from repro.experiments import memory_hit
+
+
+def test_memory_hit(once, emit):
+    result = once(memory_hit.run)
+    emit("memory_hit", result.render())
+
+    conservative, resident = result.variants
+
+    # The pairing is meaningful only if the byte hit ratios are close
+    # (the paper picked 5% vs 10% for exactly this reason).
+    for v in result.variants:
+        assert abs(v.baps.byte_hit_ratio - v.plb.byte_hit_ratio) < 0.03
+
+    # With memory-resident browser caches (the §1 technique), BAPS at
+    # half the storage serves documents with lower per-byte latency.
+    assert resident.normalized_latency_reduction > 0.0
+    assert resident.latency_reduction > 0.0
+    # And the conservative setting already shows the absolute latency
+    # advantage of the smaller BAPS configuration.
+    assert conservative.latency_reduction > 0.0

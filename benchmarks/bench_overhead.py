@@ -1,0 +1,20 @@
+"""§5 — remote-browser communication and contention overhead."""
+
+from repro.experiments import overhead
+
+
+def test_overhead(once, emit):
+    result = once(overhead.run)
+    emit("overhead", result.render())
+    # "the largest accumulated communication and network contention
+    # portion out of the total workload service time ... is less than
+    # 1.2%"
+    assert result.max_communication_fraction() < 0.012
+    # "the contention time only contributes up to 0.12% of the total
+    # communication time" — we allow a little headroom.
+    assert result.max_contention_fraction() < 0.005
+    # every trace actually exercised the remote path (except possibly
+    # the 3-client limit case, which is still allowed a tiny share)
+    assert any(
+        r.by_location_remote_hits() > 100 for r in result.results.values()
+    )

@@ -1,0 +1,24 @@
+"""Extension — PPM prefetching vs BAPS peer sharing."""
+
+from repro.experiments import prefetching
+
+
+def test_prefetch_vs_baps(once, emit):
+    result = once(prefetching.run)
+    emit("prefetch", result.render())
+
+    page = result.row("page-structured")
+    paper = result.row("NLANR-uc")
+
+    # On a hyperlink-structured workload prefetching wins big...
+    assert page.prefetch_stats.precision > 0.4
+    assert page.prefetch_hr > page.baps_hr
+    assert page.prefetch_hr > page.plb_hr + 0.05
+    # ...at a real WAN-traffic cost.
+    assert page.prefetch_stats.wan_bytes > 0
+
+    # On the paper-style workload (no sequential structure) the
+    # predictor has nothing to learn: precision collapses and BAPS's
+    # free capacity wins.
+    assert paper.prefetch_stats.precision < 0.2
+    assert paper.baps_hr > paper.prefetch_hr

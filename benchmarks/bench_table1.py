@@ -1,0 +1,16 @@
+"""Table 1 — characteristics of the five calibrated traces."""
+
+from repro.experiments import table1
+
+
+def test_table1(once, emit):
+    result = once(table1.run)
+    emit("table1", result.render())
+    # Every trace must land within two points of its Table 1 target.
+    for row in result.rows:
+        thr, tbhr = result.targets[row.name]
+        assert abs(row.max_hit_ratio - thr) < 0.02, row.name
+        assert abs(row.max_byte_hit_ratio - tbhr) < 0.02, row.name
+    # CA*netII is the 3-client limit case.
+    canet = next(r for r in result.rows if r.name == "CAnetII")
+    assert canet.n_clients == 3

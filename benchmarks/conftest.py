@@ -1,0 +1,38 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one table/figure of the paper, prints the
+rows (so ``pytest benchmarks/ --benchmark-only | tee`` captures them),
+saves them under ``benchmarks/results/``, and asserts the paper's
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print *text* to the real terminal and save it to results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def _once(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _once

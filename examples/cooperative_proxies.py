@@ -1,0 +1,95 @@
+"""Scenario: browser sharing vs proxy-level cooperation.
+
+An ISP has a fixed storage budget for caching and several ways to
+deploy it: one big proxy, several sibling proxies with ICP queries, a
+two-level leaf/parent hierarchy — or the paper's proposal, one proxy
+that additionally harvests the browser caches its clients already have.
+
+This example compares all of them at the same total proxy storage on
+the NLANR-bo1 workload and prints where each scheme's hits come from.
+
+Run:  python examples/cooperative_proxies.py
+"""
+
+from repro import Organization, SimulationConfig, load_paper_trace, simulate
+from repro.core.events import HitLocation
+from repro.hierarchy import HierarchyConfig, HierarchySimulator
+from repro.util.fmt import ascii_table
+
+
+def main() -> None:
+    trace = load_paper_trace("NLANR-bo1")
+    core = SimulationConfig.relative(trace, proxy_frac=0.10, browser_sizing="minimum")
+    total = core.proxy_capacity
+    browser = core.browser_capacity
+    print(
+        f"workload: {trace.name}, {len(trace):,} requests, {trace.n_clients} clients; "
+        f"budget: {total / 1e6:.0f} MB of proxy storage + the clients' own "
+        f"{browser / 1e3:.0f} KB browser caches\n"
+    )
+
+    rows = []
+
+    def add_row(label, result, extra=""):
+        rows.append(
+            [
+                label,
+                f"{result.hit_ratio * 100:.2f}%",
+                f"{result.byte_hit_ratio * 100:.2f}%",
+                extra,
+            ]
+        )
+
+    plb = simulate(trace, Organization.PROXY_AND_LOCAL_BROWSER, core)
+    add_row("one proxy, private browsers", plb)
+
+    baps = simulate(trace, Organization.BROWSERS_AWARE_PROXY, core)
+    add_row(
+        "one browsers-aware proxy (BAPS)",
+        baps,
+        f"{baps.by_location_remote_hits():,} remote-browser hits",
+    )
+
+    sib_cfg = HierarchyConfig(
+        n_leaves=4, leaf_capacity=total // 4, siblings=True, browser_capacity=browser
+    )
+    sib_sim = HierarchySimulator(trace, sib_cfg)
+    sib = sib_sim.run()
+    add_row(
+        "4 sibling proxies (ICP)",
+        sib,
+        f"{sib.by_location[HitLocation.SIBLING_PROXY].hits:,} sibling hits, "
+        f"{sib_sim.icp_stats.queries_sent:,} queries",
+    )
+
+    two = HierarchySimulator(
+        trace,
+        HierarchyConfig(
+            n_leaves=1,
+            leaf_capacity=total // 2,
+            parent_capacity=total - total // 2,
+            browser_capacity=browser,
+        ),
+    ).run()
+    add_row(
+        "leaf + parent hierarchy",
+        two,
+        f"{two.by_location[HitLocation.PARENT_PROXY].hits:,} parent hits",
+    )
+
+    print(ascii_table(
+        ["deployment", "hit ratio", "byte hit ratio", "notes"],
+        rows,
+        title="equal-storage comparison",
+    ))
+
+    print(
+        "\ntakeaway: sibling cooperation roughly recovers what splitting the\n"
+        "budget loses, an inclusive hierarchy duplicates content between\n"
+        "levels, and only the browsers-aware proxy *adds* capacity — the\n"
+        "browser caches were already paid for."
+    )
+
+
+if __name__ == "__main__":
+    main()

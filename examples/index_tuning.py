@@ -1,0 +1,90 @@
+"""Scenario: tuning the browser index for a resource-constrained proxy.
+
+The browser index file is the one new data structure BAPS adds to a
+proxy.  This example explores the two knobs the paper discusses:
+
+* **update discipline** — immediate invalidation messages vs batched
+  periodic updates at increasing delay thresholds (trading hit ratio
+  for update traffic),
+* **representation** — exact 28-byte entries vs per-client Bloom
+  filters at several bits/doc budgets (trading memory for false
+  positives).
+
+Run:  python examples/index_tuning.py
+"""
+
+from repro import Organization, PeriodicUpdatePolicy, SimulationConfig
+from repro.core.simulator import Simulator
+from repro.index.bloom import BloomIndex
+from repro.traces import SyntheticTraceConfig, generate_trace
+from repro.util.fmt import ascii_table
+from repro.util.rng import make_rng
+
+
+def main() -> None:
+    trace = generate_trace(
+        SyntheticTraceConfig(n_requests=40_000, n_clients=80, name="branch-office"),
+        seed=5,
+    )
+    base = SimulationConfig.relative(trace, proxy_frac=0.10, browser_sizing="average")
+
+    # -- update discipline --------------------------------------------------
+    rows = []
+    exact_sim = Simulator(trace, Organization.BROWSERS_AWARE_PROXY, base)
+    exact = exact_sim.run()
+    rows.append(
+        ["invalidation", f"{exact.hit_ratio:.2%}",
+         f"{exact.overhead.index_update_messages:,}", "0", "0"]
+    )
+    for threshold in (0.01, 0.05, 0.10, 0.25):
+        config = base.with_(index_update_policy=PeriodicUpdatePolicy(threshold=threshold))
+        r = Simulator(trace, Organization.BROWSERS_AWARE_PROXY, config).run()
+        rows.append(
+            [f"periodic {threshold:.0%}", f"{r.hit_ratio:.2%}",
+             f"{r.index_stats.flushes:,}",
+             str(r.index_stats.false_hits), str(r.index_stats.false_misses)]
+        )
+    print(ascii_table(
+        ["discipline", "hit ratio", "update msgs", "false hits", "false misses"],
+        rows,
+        title="index update discipline (BAPS, 10% cache)",
+    ))
+
+    # -- representation ------------------------------------------------------
+    browsers = exact_sim.browsers
+    cached = {(cid, d) for cid, cache in enumerate(browsers) for d in cache}
+    per_client = max(1, max(len(c) for c in browsers))
+    rng = make_rng(3)
+    probes = list(
+        zip(
+            rng.integers(0, len(browsers), size=20_000).tolist(),
+            rng.integers(0, trace.n_docs, size=20_000).tolist(),
+        )
+    )
+    rows = [[
+        "exact (28 B/doc)",
+        f"{exact.index_peak_footprint_bytes / 1e3:.0f} KB",
+        "0.000%",
+    ]]
+    for bits in (8.0, 12.0, 16.0, 24.0):
+        bloom = BloomIndex(len(browsers), per_client, bits_per_doc=bits)
+        for cid, cache in enumerate(browsers):
+            bloom.rebuild(cid, list(cache))
+        negatives = [(c, d) for c, d in probes if (c, d) not in cached]
+        fp = sum(1 for c, d in negatives if d in bloom._filters[c]) / len(negatives)
+        rows.append(
+            [f"bloom {bits:g} bits/doc", f"{bloom.footprint_bytes() / 1e3:.0f} KB",
+             f"{fp:.3%}"]
+        )
+    print()
+    print(ascii_table(
+        ["representation", "proxy memory", "false-positive rate"],
+        rows,
+        title="index representation (final cache contents)",
+    ))
+    print("\nrule of thumb: periodic 10% + bloom 16 bits/doc keeps the index")
+    print("an order of magnitude cheaper with a negligible hit-ratio cost.")
+
+
+if __name__ == "__main__":
+    main()

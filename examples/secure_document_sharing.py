@@ -1,0 +1,84 @@
+"""Scenario: reliable peer-to-peer document sharing (paper §6).
+
+Walks the full reliability story on a simulated LAN of three browsers:
+
+1. the proxy watermarks a document (MD5 digest signed with the proxy's
+   RSA private key) when it first serves it,
+2. a remote-browser hit is relayed through the anonymizing proxy —
+   the transcript shows neither peer learns the other's identity,
+3. the requester verifies the watermark; a tampered copy is rejected,
+4. the decentralised alternative: the same request routed through a
+   mix chain of peer browsers,
+5. the overhead of all this cryptography, priced against the 10 Mbps
+   transfer it protects.
+
+Run:  python examples/secure_document_sharing.py
+"""
+
+from repro.network import EthernetModel
+from repro.security import (
+    MixChain,
+    SecureTransferProtocol,
+    SecurityOverheadModel,
+    WatermarkError,
+)
+from repro.security.anonymity import PeerEndpoint
+
+DOCUMENT = (b"<html><head><title>CS 562 Lecture 7</title></head>"
+            b"<body>Peer-to-peer web caching, browser-aware proxies...</body></html>" * 24)
+
+
+def main() -> None:
+    protocol = SecureTransferProtocol(seed=2002)
+    alice = PeerEndpoint.create("alice", seed=1)
+    bob = PeerEndpoint.create("bob", seed=2)
+    carol = PeerEndpoint.create("carol", seed=3)
+
+    # 1. the proxy serves bob and watermarks the document.
+    mark = protocol.publish(bob, key=42, document=DOCUMENT)
+    print(f"published doc 42 to bob ({len(DOCUMENT)} B), "
+          f"watermark digest {mark.digest.hex()[:16]}…")
+
+    # 2-3. alice's request is a remote-browser hit on bob's cache.
+    doc, record = protocol.transfer(alice, bob, key=42)
+    assert doc == DOCUMENT
+    print(f"alice received and verified doc 42 "
+          f"(crypto cost {record.crypto_seconds * 1e3:.1f} ms at 2002-era rates)")
+
+    transcript = protocol.anonymizer.transcript
+    print("\nwire transcript (what an eavesdropper sees):")
+    for msg in transcript:
+        print(f"  {msg.sender:>9s} -> {msg.receiver:<9s} {msg.kind:<8s} {len(msg.payload)} B")
+    bob_saw = {m.sender for m in transcript if m.receiver == "bob"}
+    alice_saw = {m.sender for m in transcript if m.receiver == "alice"}
+    print(f"bob only ever talked to: {sorted(bob_saw)} (never learns 'alice')")
+    print(f"alice only ever talked to: {sorted(alice_saw)} (never learns 'bob')")
+
+    # 3b. tampering is detected.
+    bob.store[42] = DOCUMENT.replace(b"proxies", b"pwned!!")
+    try:
+        protocol.transfer(carol, bob, key=42)
+        raise SystemExit("BUG: tampered document accepted")
+    except WatermarkError as exc:
+        print(f"\ntampered copy rejected: {exc}")
+    bob.store[42] = DOCUMENT  # restore
+
+    # 4. decentralised variant: onion routing over peer hops.
+    chain = MixChain(seed=7)
+    delivered = chain.route([carol, alice, bob], b"GET doc 42")
+    print(f"\nmix chain delivered request through carol->alice->bob: {delivered!r}")
+    hops_seen_by_alice = {m.sender for m in chain.transcript if m.receiver == "alice"}
+    print(f"middle hop alice saw only its predecessor: {sorted(hops_seen_by_alice)}")
+
+    # 5. overhead against the LAN transfer it protects.
+    lan = EthernetModel()
+    model = SecurityOverheadModel()
+    n = len(DOCUMENT)
+    crypto = model.transfer_cost(n)
+    wire = lan.transfer_time(n)
+    print(f"\nper-transfer cost for {n} B: crypto {crypto * 1e3:.1f} ms vs "
+          f"LAN transfer {wire * 1e3:.1f} ms ({crypto / wire:.1%} overhead)")
+
+
+if __name__ == "__main__":
+    main()

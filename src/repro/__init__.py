@@ -1,0 +1,91 @@
+"""repro — Browsers-Aware Proxy Server (BAPS).
+
+A full reproduction of Xiao, Zhang & Xu, *"On Reliable and Scalable
+Peer-to-Peer Web Document Sharing"* (IPDPS 2002): the browsers-aware
+proxy caching architecture, the five caching organizations it is
+evaluated against, calibrated synthetic versions of the paper's five
+web traces, the LAN/storage timing models, and the §6 reliability
+protocols (MD5/RSA digital watermarks, anonymized transfers).
+
+Quickstart::
+
+    import repro
+
+    trace = repro.load_paper_trace("NLANR-uc")
+    config = repro.SimulationConfig.relative(trace, proxy_frac=0.10)
+    result = repro.simulate(trace, repro.Organization.BROWSERS_AWARE_PROXY, config)
+    print(f"hit ratio {result.hit_ratio:.2%}, byte hit ratio {result.byte_hit_ratio:.2%}")
+"""
+
+from repro.core import (
+    HitLocation,
+    Organization,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    simulate,
+    run_policy_sweep,
+    run_size_sweep,
+    run_scaling_experiment,
+    minimum_browser_capacity,
+    average_browser_capacity,
+)
+from repro.traces import (
+    Trace,
+    Request,
+    SyntheticTraceConfig,
+    generate_trace,
+    load_paper_trace,
+    get_profile,
+    PAPER_TRACES,
+    compute_stats,
+)
+from repro.cache import make_cache, LRUCache, TieredLRUCache
+from repro.index import BrowserIndex, BloomFilter, PeriodicUpdatePolicy
+from repro.network import EthernetModel, MemoryDiskModel, WANModel
+from repro.security import (
+    SecureTransferProtocol,
+    SecurityOverheadModel,
+    WatermarkAuthority,
+    generate_keypair,
+    md5_digest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HitLocation",
+    "Organization",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "run_policy_sweep",
+    "run_size_sweep",
+    "run_scaling_experiment",
+    "minimum_browser_capacity",
+    "average_browser_capacity",
+    "Trace",
+    "Request",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "load_paper_trace",
+    "get_profile",
+    "PAPER_TRACES",
+    "compute_stats",
+    "make_cache",
+    "LRUCache",
+    "TieredLRUCache",
+    "BrowserIndex",
+    "BloomFilter",
+    "PeriodicUpdatePolicy",
+    "EthernetModel",
+    "MemoryDiskModel",
+    "WANModel",
+    "SecureTransferProtocol",
+    "SecurityOverheadModel",
+    "WatermarkAuthority",
+    "generate_keypair",
+    "md5_digest",
+    "__version__",
+]

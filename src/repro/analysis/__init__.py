@@ -1,0 +1,39 @@
+"""Workload analysis: the statistical lenses the web-caching literature
+applies to traces.
+
+Used to validate that the calibrated synthetic traces behave like the
+real workloads they replace (Zipf-like popularity, heavy-tailed sizes,
+strong temporal locality, skewed client activity), and exposed to users
+via ``baps analyze``.
+"""
+
+from repro.analysis.popularity import (
+    PopularityFit,
+    popularity_counts,
+    fit_zipf,
+    concentration,
+)
+from repro.analysis.locality import (
+    stack_distances,
+    stack_distance_cdf,
+    temporal_locality_score,
+)
+from repro.analysis.sizes import SizeStats, size_stats
+from repro.analysis.clients import client_activity, gini_coefficient
+from repro.analysis.report import TraceAnalysis, analyze_trace
+
+__all__ = [
+    "PopularityFit",
+    "popularity_counts",
+    "fit_zipf",
+    "concentration",
+    "stack_distances",
+    "stack_distance_cdf",
+    "temporal_locality_score",
+    "SizeStats",
+    "size_stats",
+    "client_activity",
+    "gini_coefficient",
+    "TraceAnalysis",
+    "analyze_trace",
+]

@@ -1,0 +1,41 @@
+"""Client activity skew.
+
+Proxy populations are dominated by a few heavy clients; the Gini
+coefficient over per-client request counts summarises the skew (0 =
+perfectly even, 1 = one client does everything).  The skew matters for
+BAPS: near-idle clients' browsers retain documents far longer than the
+churning proxy, which is where remote-browser hits come from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+__all__ = ["client_activity", "gini_coefficient"]
+
+
+def client_activity(trace: Trace) -> np.ndarray:
+    """Requests per client, descending."""
+    if len(trace) == 0:
+        return np.zeros(0, dtype=np.int64)
+    counts = np.bincount(trace.clients)
+    counts = counts[counts > 0]
+    return np.sort(counts)[::-1]
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0:
+        return 0.0
+    if np.any(v < 0):
+        raise ValueError("gini_coefficient requires non-negative values")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = v.size
+    # mean absolute difference formulation via the sorted sample
+    index = np.arange(1, n + 1)
+    return float((2 * np.sum(index * v) - (n + 1) * total) / (n * total))

@@ -1,0 +1,79 @@
+"""Document popularity: Zipf fitting and concentration.
+
+Web document popularity famously follows a Zipf-like law
+``count(rank) ~ rank^-alpha`` with alpha near 0.6–1.0 for proxy traces
+(Breslau et al.).  We estimate alpha by least squares on the log-log
+rank/count curve — the standard technique of the era — and report the
+share of references absorbed by the most popular documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.record import Trace
+from repro.util.validation import check_fraction
+
+__all__ = ["PopularityFit", "popularity_counts", "fit_zipf", "concentration"]
+
+
+def popularity_counts(trace: Trace) -> np.ndarray:
+    """Reference counts per document, sorted descending (rank order)."""
+    if len(trace) == 0:
+        return np.zeros(0, dtype=np.int64)
+    counts = np.bincount(trace.docs)
+    counts = counts[counts > 0]
+    return np.sort(counts)[::-1]
+
+
+@dataclass(frozen=True)
+class PopularityFit:
+    """Zipf fit ``count ~ C * rank^-alpha``."""
+
+    alpha: float
+    log_c: float
+    r_squared: float
+    n_docs: int
+
+    def predicted_count(self, rank: int) -> float:
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        return float(np.exp(self.log_c) * rank ** (-self.alpha))
+
+
+def fit_zipf(trace: Trace, min_count: int = 2) -> PopularityFit:
+    """Least-squares Zipf fit on documents referenced >= *min_count*
+    times (singletons flatten the tail and are excluded, as is
+    conventional)."""
+    counts = popularity_counts(trace)
+    counts = counts[counts >= min_count]
+    if counts.size < 2:
+        return PopularityFit(alpha=0.0, log_c=0.0, r_squared=0.0, n_docs=int(counts.size))
+    ranks = np.arange(1, counts.size + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(counts.astype(np.float64))
+    slope, intercept = np.polyfit(x, y, 1)
+    y_hat = slope * x + intercept
+    ss_res = float(np.sum((y - y_hat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PopularityFit(
+        alpha=float(-slope),
+        log_c=float(intercept),
+        r_squared=r2,
+        n_docs=int(counts.size),
+    )
+
+
+def concentration(trace: Trace, top_fraction: float = 0.10) -> float:
+    """Share of all references going to the top *top_fraction* most
+    popular documents (the "10% of documents draw 70% of requests"
+    statistic)."""
+    check_fraction("top_fraction", top_fraction)
+    counts = popularity_counts(trace)
+    if counts.size == 0:
+        return 0.0
+    k = max(1, int(round(top_fraction * counts.size)))
+    return float(counts[:k].sum() / counts.sum())

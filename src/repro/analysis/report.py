@@ -1,0 +1,62 @@
+"""One-stop trace analysis report (``baps analyze``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.clients import client_activity, gini_coefficient
+from repro.analysis.locality import stack_distance_cdf
+from repro.analysis.popularity import PopularityFit, concentration, fit_zipf
+from repro.analysis.sizes import SizeStats, size_stats
+from repro.traces.record import Trace
+from repro.traces.stats import TraceStats, compute_stats
+from repro.util.fmt import ascii_table
+
+__all__ = ["TraceAnalysis", "analyze_trace"]
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything the literature usually reports about a trace."""
+
+    stats: TraceStats
+    zipf: PopularityFit
+    top10_share: float
+    stack_cdf: dict[int, float]
+    sizes: SizeStats
+    activity_gini: float
+
+    def render(self) -> str:
+        rows = [
+            ["requests", f"{self.stats.n_requests:,}"],
+            ["clients", self.stats.n_clients],
+            ["unique documents", f"{self.stats.n_docs:,}"],
+            ["total volume", f"{self.stats.total_gb:.3f} GB"],
+            ["infinite cache", f"{self.stats.infinite_cache_gb:.3f} GB"],
+            ["max hit ratio", f"{self.stats.max_hit_ratio:.2%}"],
+            ["max byte hit ratio", f"{self.stats.max_byte_hit_ratio:.2%}"],
+            ["Zipf alpha", f"{self.zipf.alpha:.3f} (R^2 {self.zipf.r_squared:.3f})"],
+            ["top-10% doc share", f"{self.top10_share:.2%}"],
+            ["size mean / median", f"{self.sizes.mean:,.0f} / {self.sizes.median:,.0f} B"],
+            ["size p99 / max", f"{self.sizes.p99:,.0f} / {self.sizes.max:,} B"],
+            ["size CV", f"{self.sizes.cv:.2f}"],
+            ["size-popularity corr", f"{self.sizes.size_popularity_correlation:+.3f}"],
+            ["client activity Gini", f"{self.activity_gini:.3f}"],
+        ]
+        for k, v in self.stack_cdf.items():
+            rows.append([f"re-refs within {k}-doc LRU", f"{v:.2%}"])
+        return ascii_table(
+            ["property", "value"], rows, title=f"trace analysis: {self.stats.name}"
+        )
+
+
+def analyze_trace(trace: Trace, stack_points: list[int] | None = None) -> TraceAnalysis:
+    """Run the full analysis battery over *trace*."""
+    return TraceAnalysis(
+        stats=compute_stats(trace),
+        zipf=fit_zipf(trace),
+        top10_share=concentration(trace, 0.10),
+        stack_cdf=stack_distance_cdf(trace, stack_points),
+        sizes=size_stats(trace),
+        activity_gini=gini_coefficient(client_activity(trace)),
+    )

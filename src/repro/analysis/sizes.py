@@ -1,0 +1,63 @@
+"""Response size distribution statistics.
+
+Web transfer sizes are heavy-tailed (lognormal body, Pareto tail —
+Barford & Crovella); these summaries characterise a trace's size mix
+and the size/popularity correlation that separates byte hit ratios from
+request hit ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+__all__ = ["SizeStats", "size_stats"]
+
+
+@dataclass(frozen=True)
+class SizeStats:
+    """Per-request size distribution summary."""
+
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    max: int
+    #: Pearson correlation between log(document size) and
+    #: log(reference count); negative = popular documents are smaller.
+    size_popularity_correlation: float
+    #: coefficient of variation (std/mean) — heavy tails push it > 1.
+    cv: float
+
+
+def size_stats(trace: Trace) -> SizeStats:
+    """Compute :class:`SizeStats` for *trace*."""
+    if len(trace) == 0:
+        return SizeStats(0.0, 0.0, 0.0, 0.0, 0, 0.0, 0.0)
+    sizes = trace.sizes.astype(np.float64)
+
+    counts = np.bincount(trace.docs)
+    # per-document: the first observed size of each doc
+    _, first_idx = np.unique(trace.docs, return_index=True)
+    doc_sizes = trace.sizes[first_idx].astype(np.float64)
+    doc_counts = counts[np.unique(trace.docs)].astype(np.float64)
+    if doc_sizes.size > 1 and np.ptp(doc_sizes) > 0 and np.ptp(doc_counts) > 0:
+        corr = float(
+            np.corrcoef(np.log(np.maximum(doc_sizes, 1)), np.log(doc_counts))[0, 1]
+        )
+    else:
+        corr = 0.0
+
+    mean = float(sizes.mean())
+    return SizeStats(
+        mean=mean,
+        median=float(np.median(sizes)),
+        p90=float(np.percentile(sizes, 90)),
+        p99=float(np.percentile(sizes, 99)),
+        max=int(sizes.max()),
+        size_popularity_correlation=corr,
+        cv=float(sizes.std() / mean) if mean else 0.0,
+    )

@@ -1,0 +1,187 @@
+"""Cache interface and shared bookkeeping.
+
+Concrete policies implement :meth:`Cache._touch` (metadata update on
+access), :meth:`Cache._on_insert`, and :meth:`Cache._pick_victim`.
+The base class owns capacity accounting, the entry table, admission
+control, and eviction callbacks, so policies stay small and obviously
+correct.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+__all__ = ["Cache", "CacheEntry"]
+
+
+class CacheEntry:
+    """A cached object: key (document id), size in bytes, version.
+
+    ``expires_at`` carries the expiration-based consistency deadline
+    (see :mod:`repro.consistency`); infinity means never revalidate,
+    which is the paper's implicit perfect-coherence assumption.
+    """
+
+    __slots__ = ("key", "size", "version", "expires_at")
+
+    def __init__(
+        self, key: int, size: int, version: int, expires_at: float = float("inf")
+    ) -> None:
+        self.key = key
+        self.size = size
+        self.version = version
+        self.expires_at = expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheEntry(key={self.key}, size={self.size}, version={self.version})"
+
+
+class Cache(ABC):
+    """Size-bounded object cache.
+
+    Subclasses provide the replacement decision; all state transitions
+    flow through :meth:`get`, :meth:`put`, and :meth:`invalidate`.
+    """
+
+    #: short policy name, e.g. ``"lru"``; set by subclasses.
+    policy: str = "abstract"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.used = 0
+        self._entries: dict[int, CacheEntry] = {}
+        #: called with the evicted/invalidated key; used by the browser
+        #: index to receive invalidation messages.
+        self.on_evict: Callable[[int], None] | None = None
+
+    # -- public API ----------------------------------------------------
+
+    def get(self, key: int) -> CacheEntry | None:
+        """Look up *key*, updating replacement metadata on a hit."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._touch(key)
+        return entry
+
+    def peek(self, key: int) -> CacheEntry | None:
+        """Look up *key* without updating replacement metadata."""
+        return self._entries.get(key)
+
+    def put(self, key: int, size: int, version: int = 0) -> list[int]:
+        """Insert or refresh an object; returns the evicted keys.
+
+        Objects larger than the whole cache are not admitted (and any
+        stale copy of the same key is dropped), matching how real
+        proxies refuse objects beyond their storage.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        evicted: list[int] = []
+        old = self._entries.get(key)
+        if old is not None:
+            # Refresh in place: account the size delta, keep identity.
+            self.used -= old.size
+            old.size = size
+            old.version = version
+            self.used += size
+            self._touch(key)
+        elif size > self.capacity:
+            return evicted
+        else:
+            self._entries[key] = CacheEntry(key, size, version)
+            self.used += size
+            self._on_insert(key)
+        while self.used > self.capacity:
+            victim = self._pick_victim(exclude=key)
+            if victim is None:
+                # Only the just-refreshed oversized entry remains.
+                self._drop(key)
+                evicted.append(key)
+                break
+            self._drop(victim)
+            evicted.append(victim)
+        if self.on_evict is not None:
+            for k in evicted:
+                self.on_evict(k)
+        return evicted
+
+    def invalidate(self, key: int) -> bool:
+        """Remove *key* if present.  Returns True when removed.
+
+        Fires ``on_evict`` — an invalidation is observable exactly like
+        an eviction from the index's point of view.
+        """
+        if key not in self._entries:
+            return False
+        self._drop(key)
+        if self.on_evict is not None:
+            self.on_evict(key)
+        return True
+
+    def clear(self) -> None:
+        """Empty the cache without firing eviction callbacks."""
+        self._entries.clear()
+        self.used = 0
+        self._on_clear()
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    @property
+    def free(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.capacity - self.used
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency (used by property-based tests)."""
+        total = sum(e.size for e in self._entries.values())
+        if total != self.used:
+            raise AssertionError(
+                f"occupancy drift: tracked {self.used}, actual {total}"
+            )
+        if self.used > self.capacity:
+            raise AssertionError(
+                f"over capacity: used {self.used} > capacity {self.capacity}"
+            )
+
+    # -- policy hooks ----------------------------------------------------
+
+    def _drop(self, key: int) -> None:
+        entry = self._entries.pop(key)
+        self.used -= entry.size
+        self._on_remove(key)
+
+    @abstractmethod
+    def _touch(self, key: int) -> None:
+        """Update metadata after an access to a resident *key*."""
+
+    @abstractmethod
+    def _on_insert(self, key: int) -> None:
+        """Register a newly inserted *key*."""
+
+    @abstractmethod
+    def _on_remove(self, key: int) -> None:
+        """Forget a removed *key*."""
+
+    @abstractmethod
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        """Choose the next eviction victim (never *exclude* unless it is
+        the only entry, in which case return ``None``)."""
+
+    def _on_clear(self) -> None:
+        """Reset policy metadata; default assumes none beyond dicts."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, used={self.used}, "
+            f"entries={len(self._entries)})"
+        )

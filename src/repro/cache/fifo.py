@@ -1,0 +1,38 @@
+"""First-In-First-Out cache (ablation baseline)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import Cache
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(Cache):
+    """Evict in insertion order; accesses do not refresh position."""
+
+    policy = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _touch(self, key: int) -> None:
+        # FIFO ignores accesses by design.
+        pass
+
+    def _on_insert(self, key: int) -> None:
+        self._order[key] = None
+
+    def _on_remove(self, key: int) -> None:
+        del self._order[key]
+
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        for key in self._order:
+            if key != exclude:
+                return key
+        return None
+
+    def _on_clear(self) -> None:
+        self._order.clear()

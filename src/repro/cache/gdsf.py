@@ -1,0 +1,77 @@
+"""GreedyDual-Size-Frequency cache (ablation baseline).
+
+Cherkasova's GDSF assigns each object the priority
+
+    H = clock + frequency * cost / size
+
+and evicts the lowest-priority object; the *clock* is set to the
+victim's priority on each eviction, which ages resident objects.  With
+``cost = 1`` GDSF optimises request hit ratio while staying size-aware.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cache.base import Cache
+
+__all__ = ["GDSFCache"]
+
+
+class GDSFCache(Cache):
+    """GreedyDual-Size-Frequency with unit cost."""
+
+    policy = "gdsf"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._clock = 0.0
+        self._freq: dict[int, int] = {}
+        self._priority: dict[int, float] = {}
+        self._heap: list[tuple[float, int, int]] = []
+        self._seq = itertools.count()
+
+    def _compute_priority(self, key: int) -> float:
+        entry = self._entries[key]
+        size = max(entry.size, 1)
+        return self._clock + self._freq[key] / size
+
+    def _push(self, key: int) -> None:
+        self._priority[key] = self._compute_priority(key)
+        heapq.heappush(self._heap, (self._priority[key], next(self._seq), key))
+
+    def _touch(self, key: int) -> None:
+        self._freq[key] += 1
+        self._push(key)
+
+    def _on_insert(self, key: int) -> None:
+        self._freq[key] = 1
+        self._push(key)
+
+    def _on_remove(self, key: int) -> None:
+        del self._freq[key]
+        del self._priority[key]
+
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        skipped: list[tuple[float, int, int]] = []
+        victim: int | None = None
+        while self._heap:
+            prio, seq, key = heapq.heappop(self._heap)
+            if self._priority.get(key) != prio:
+                continue  # stale record
+            if key == exclude:
+                skipped.append((prio, seq, key))
+                continue
+            victim = key
+            self._clock = prio  # age the cache
+            break
+        for item in skipped:
+            heapq.heappush(self._heap, item)
+        return victim
+
+    def _on_clear(self) -> None:
+        self._clock = 0.0
+        self._freq.clear()
+        self._priority.clear()
+        self._heap.clear()

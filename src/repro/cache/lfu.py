@@ -1,0 +1,65 @@
+"""Least-Frequently-Used cache (ablation baseline).
+
+Uses a lazy-deletion heap: each access pushes a fresh ``(freq, seq,
+key)`` record; stale records are discarded when popped.  Ties on
+frequency break toward the older access (LRU among equals).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cache.base import Cache
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(Cache):
+    """Evict the entry with the fewest accesses."""
+
+    policy = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq: dict[int, int] = {}
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = itertools.count()
+
+    def _push(self, key: int) -> None:
+        heapq.heappush(self._heap, (self._freq[key], next(self._seq), key))
+
+    def _touch(self, key: int) -> None:
+        self._freq[key] += 1
+        self._push(key)
+
+    def _on_insert(self, key: int) -> None:
+        self._freq[key] = 1
+        self._push(key)
+
+    def _on_remove(self, key: int) -> None:
+        del self._freq[key]
+
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        skipped: list[tuple[int, int, int]] = []
+        victim: int | None = None
+        while self._heap:
+            freq, seq, key = heapq.heappop(self._heap)
+            if self._freq.get(key) != freq:
+                continue  # stale record
+            if key == exclude:
+                skipped.append((freq, seq, key))
+                continue
+            victim = key
+            break
+        for item in skipped:
+            heapq.heappush(self._heap, item)
+        return victim
+
+    def _on_clear(self) -> None:
+        self._freq.clear()
+        self._heap.clear()
+
+    def frequency(self, key: int) -> int:
+        """Current access count for a resident key (0 if absent)."""
+        return self._freq.get(key, 0)

@@ -1,0 +1,41 @@
+"""Least-Recently-Used cache — the paper's replacement policy."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import Cache
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(Cache):
+    """Classic LRU: evict the entry untouched for the longest time."""
+
+    policy = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _touch(self, key: int) -> None:
+        self._order.move_to_end(key)
+
+    def _on_insert(self, key: int) -> None:
+        self._order[key] = None
+
+    def _on_remove(self, key: int) -> None:
+        del self._order[key]
+
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        for key in self._order:
+            if key != exclude:
+                return key
+        return None
+
+    def _on_clear(self) -> None:
+        self._order.clear()
+
+    def keys_by_recency(self) -> list[int]:
+        """Keys from least- to most-recently used (for inspection/tests)."""
+        return list(self._order)

@@ -1,0 +1,61 @@
+"""SIZE replacement policy (ablation baseline).
+
+Evicts the largest object first — the classic web-cache heuristic that
+maximises the request hit ratio at the expense of the byte hit ratio
+(many small objects survive, few large ones do).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cache.base import Cache
+
+__all__ = ["SizeCache"]
+
+
+class SizeCache(Cache):
+    """Evict the biggest entry; ties break toward the older one."""
+
+    policy = "size"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        # Max-heap on size via negation; lazy deletion on size changes.
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = itertools.count()
+
+    def _push(self, key: int) -> None:
+        entry = self._entries[key]
+        heapq.heappush(self._heap, (-entry.size, next(self._seq), key))
+
+    def _touch(self, key: int) -> None:
+        # A refresh may have changed the size; repush so the heap sees it.
+        self._push(key)
+
+    def _on_insert(self, key: int) -> None:
+        self._push(key)
+
+    def _on_remove(self, key: int) -> None:
+        pass  # lazy deletion
+
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        skipped: list[tuple[int, int, int]] = []
+        victim: int | None = None
+        while self._heap:
+            neg_size, seq, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.size != -neg_size:
+                continue  # stale record
+            if key == exclude:
+                skipped.append((neg_size, seq, key))
+                continue
+            victim = key
+            break
+        for item in skipped:
+            heapq.heappush(self._heap, item)
+        return victim
+
+    def _on_clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,97 @@
+"""Segmented LRU (ablation baseline).
+
+SLRU divides the cache into a *probationary* and a *protected* segment
+(Karedla et al.).  New objects enter probation; a hit promotes an
+object to the protected segment, whose overflow demotes back to the
+MRU end of probation.  Eviction always takes the probationary LRU
+first, so one-touch objects (the long tail of web traffic) cannot flush
+out proven-popular ones — the scan-resistance classic LRU lacks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import Cache
+
+__all__ = ["SLRUCache"]
+
+
+class SLRUCache(Cache):
+    """Two-segment LRU; the protected segment holds at most
+    ``protected_fraction`` of the capacity."""
+
+    policy = "slru"
+
+    def __init__(self, capacity: int, protected_fraction: float = 0.8) -> None:
+        super().__init__(capacity)
+        if not (0.0 <= protected_fraction <= 1.0):
+            raise ValueError(
+                f"protected_fraction must be in [0, 1], got {protected_fraction}"
+            )
+        self.protected_capacity = int(capacity * protected_fraction)
+        # both ordered least- to most-recently used; values are the
+        # byte size accounted to the protected segment.
+        self._probation: OrderedDict[int, None] = OrderedDict()
+        self._protected: OrderedDict[int, int] = OrderedDict()
+        self._protected_used = 0
+
+    # -- policy hooks ---------------------------------------------------
+
+    def _touch(self, key: int) -> None:
+        size = self._entries[key].size
+        if key in self._protected:
+            self._protected_used += size - self._protected[key]
+            self._protected[key] = size
+            self._protected.move_to_end(key)
+        else:
+            del self._probation[key]
+            self._protected[key] = size
+            self._protected_used += size
+        self._shrink_protected(keep=key)
+
+    def _shrink_protected(self, keep: int) -> None:
+        while self._protected_used > self.protected_capacity and len(self._protected) > 1:
+            victim, size = next(iter(self._protected.items()))
+            if victim == keep:
+                # rotate the kept key to MRU and try the next
+                self._protected.move_to_end(victim)
+                victim, size = next(iter(self._protected.items()))
+                if victim == keep:
+                    break
+            del self._protected[victim]
+            self._protected_used -= size
+            self._probation[victim] = None  # demoted to probation MRU
+
+    def _on_insert(self, key: int) -> None:
+        self._probation[key] = None
+
+    def _on_remove(self, key: int) -> None:
+        if key in self._probation:
+            del self._probation[key]
+        else:
+            self._protected_used -= self._protected.pop(key)
+
+    def _pick_victim(self, exclude: int | None = None) -> int | None:
+        for key in self._probation:
+            if key != exclude:
+                return key
+        for key in self._protected:
+            if key != exclude:
+                return key
+        return None
+
+    def _on_clear(self) -> None:
+        self._probation.clear()
+        self._protected.clear()
+        self._protected_used = 0
+
+    # -- introspection ------------------------------------------------------
+
+    def segment_of(self, key: int) -> str | None:
+        """``"probation"``, ``"protected"``, or ``None``."""
+        if key in self._probation:
+            return "probation"
+        if key in self._protected:
+            return "protected"
+        return None

@@ -1,0 +1,69 @@
+"""Hit/miss counters shared by caches and the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Request and byte counters for one cache or one hit location."""
+
+    hits: int = 0
+    misses: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    evictions: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    memory_hit_bytes: int = 0
+    disk_hit_bytes: int = 0
+
+    def record_hit(self, size: int) -> None:
+        self.hits += 1
+        self.hit_bytes += size
+
+    def record_miss(self, size: int) -> None:
+        self.misses += 1
+        self.miss_bytes += size
+
+    def record_tier_hit(self, size: int, memory: bool) -> None:
+        self.record_hit(size)
+        if memory:
+            self.memory_hits += 1
+            self.memory_hit_bytes += size
+        else:
+            self.disk_hits += 1
+            self.disk_hit_bytes += size
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def total_bytes(self) -> int:
+        return self.hit_bytes + self.miss_bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        return self.hit_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            hit_bytes=self.hit_bytes + other.hit_bytes,
+            miss_bytes=self.miss_bytes + other.miss_bytes,
+            evictions=self.evictions + other.evictions,
+            memory_hits=self.memory_hits + other.memory_hits,
+            disk_hits=self.disk_hits + other.disk_hits,
+            memory_hit_bytes=self.memory_hit_bytes + other.memory_hit_bytes,
+            disk_hit_bytes=self.disk_hit_bytes + other.disk_hit_bytes,
+        )

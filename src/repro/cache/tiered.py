@@ -1,0 +1,169 @@
+"""Two-tier (memory + disk) LRU cache.
+
+Section 4.2 of the paper compares *memory byte hit ratios*: with the
+memory portion of each cache set to 1/10 of its total size (the ratio
+reported for Squid deployments by Rousskov & Soloviev), a higher share
+of BAPS hits land in browser-cache memory, reducing total hit latency.
+
+The model: one LRU recency order across the whole cache; the most
+recently used prefix that fits in ``memory_capacity`` lives in memory,
+everything else on disk.  A disk hit promotes the object to memory,
+demoting the memory LRU tail; a full cache evicts from the disk tail.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+from typing import Callable
+
+from repro.cache.base import CacheEntry
+
+__all__ = ["TieredLRUCache", "Tier"]
+
+
+class Tier(Enum):
+    """Where a tiered-cache hit was served from."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+
+
+class TieredLRUCache:
+    """LRU cache split into a memory tier over a disk tier.
+
+    Not a :class:`~repro.cache.base.Cache` subclass — its ``get``
+    reports the serving tier, which the latency model needs.
+    """
+
+    policy = "tiered-lru"
+
+    def __init__(self, capacity: int, memory_fraction: float = 0.1) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if not (0.0 <= memory_fraction <= 1.0):
+            raise ValueError(
+                f"memory_fraction must be in [0, 1], got {memory_fraction}"
+            )
+        self.capacity = int(capacity)
+        self.memory_capacity = int(capacity * memory_fraction)
+        # Both tiers are ordered least- to most-recently used.
+        self._memory: OrderedDict[int, CacheEntry] = OrderedDict()
+        self._disk: OrderedDict[int, CacheEntry] = OrderedDict()
+        self.memory_used = 0
+        self.disk_used = 0
+        self.on_evict: Callable[[int], None] | None = None
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self.memory_used + self.disk_used
+
+    def get(self, key: int) -> tuple[CacheEntry | None, Tier | None]:
+        """Look up *key*; returns ``(entry, tier)`` or ``(None, None)``.
+
+        The tier reported is where the object was **before** this
+        access (a disk hit pays disk latency even though the object is
+        promoted to memory afterwards).
+        """
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            return entry, Tier.MEMORY
+        entry = self._disk.get(key)
+        if entry is not None:
+            del self._disk[key]
+            self.disk_used -= entry.size
+            self._admit_to_memory(entry)
+            return entry, Tier.DISK
+        return None, None
+
+    def peek(self, key: int) -> CacheEntry | None:
+        """Look up without promotion or recency update."""
+        return self._memory.get(key) or self._disk.get(key)
+
+    def tier_of(self, key: int) -> Tier | None:
+        if key in self._memory:
+            return Tier.MEMORY
+        if key in self._disk:
+            return Tier.DISK
+        return None
+
+    def put(self, key: int, size: int, version: int = 0) -> list[int]:
+        """Insert or refresh; returns evicted keys."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._remove(key)
+        if size > self.capacity:
+            return []
+        entry = CacheEntry(key, size, version)
+        evicted = self._admit_to_memory(entry)
+        if self.on_evict is not None:
+            for k in evicted:
+                self.on_evict(k)
+        return evicted
+
+    def invalidate(self, key: int) -> bool:
+        removed = self._remove(key)
+        if removed and self.on_evict is not None:
+            self.on_evict(key)
+        return removed
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._memory or key in self._disk
+
+    def __len__(self) -> int:
+        return len(self._memory) + len(self._disk)
+
+    def check_invariants(self) -> None:
+        mem = sum(e.size for e in self._memory.values())
+        dsk = sum(e.size for e in self._disk.values())
+        if mem != self.memory_used or dsk != self.disk_used:
+            raise AssertionError("tier occupancy drift")
+        if self.memory_used > max(self.memory_capacity, self._max_single_mem()):
+            raise AssertionError("memory tier over capacity")
+        if self.used > self.capacity:
+            raise AssertionError("cache over capacity")
+        if set(self._memory) & set(self._disk):
+            raise AssertionError("entry present in both tiers")
+
+    # -- internals -------------------------------------------------------
+
+    def _max_single_mem(self) -> int:
+        # A single object larger than the memory tier is allowed to sit
+        # alone in memory (it must live somewhere while being served).
+        if len(self._memory) == 1:
+            return next(iter(self._memory.values())).size
+        return 0
+
+    def _remove(self, key: int) -> bool:
+        entry = self._memory.pop(key, None)
+        if entry is not None:
+            self.memory_used -= entry.size
+            return True
+        entry = self._disk.pop(key, None)
+        if entry is not None:
+            self.disk_used -= entry.size
+            return True
+        return False
+
+    def _admit_to_memory(self, entry: CacheEntry) -> list[int]:
+        """Place *entry* in the memory tier, demoting/evicting as needed."""
+        self._memory[entry.key] = entry
+        self.memory_used += entry.size
+        # Demote memory overflow to disk (LRU first), keeping at least
+        # the newly admitted entry in memory.
+        while self.memory_used > self.memory_capacity and len(self._memory) > 1:
+            old_key, old_entry = self._memory.popitem(last=False)
+            self.memory_used -= old_entry.size
+            self._disk[old_key] = old_entry
+            self._disk.move_to_end(old_key)
+            self.disk_used += old_entry.size
+        # Evict disk overflow entirely.
+        evicted: list[int] = []
+        while self.used > self.capacity and self._disk:
+            victim_key, victim = self._disk.popitem(last=False)
+            self.disk_used -= victim.size
+            evicted.append(victim_key)
+        return evicted

@@ -1,0 +1,216 @@
+"""``baps`` command-line interface.
+
+Examples::
+
+    baps list                               # list experiments
+    baps run table1                         # one experiment
+    baps run fig2 fig3                      # several
+    baps run all                            # the full evaluation
+    baps traces                             # trace characteristics only
+    baps simulate --trace NLANR-uc --organization browsers-aware-proxy-server
+    baps simulate --log access.log --format squid --proxy-frac 0.05
+    baps parse access.log --format squid    # trace statistics for a log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import SimulationConfig
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+from repro.traces.bu import parse_bu_log
+from repro.traces.canet import parse_canet_log
+from repro.traces.profiles import PAPER_TRACES, load_paper_trace
+from repro.traces.squid import parse_squid_log
+from repro.traces.stats import TraceStats, compute_stats
+from repro.util.fmt import ascii_table
+
+__all__ = ["main"]
+
+_PARSERS = {"squid": parse_squid_log, "bu": parse_bu_log, "canet": parse_canet_log}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="baps",
+        description=(
+            "Browsers-Aware Proxy Server — reproduction of Xiao, Zhang & Xu "
+            "(IPDPS 2002). Runs the paper's tables and figures and custom "
+            "simulations."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run_p.add_argument("experiments", nargs="+", help="experiment ids or 'all'")
+
+    sub.add_parser("traces", help="print trace characteristics (Table 1)")
+
+    sim = sub.add_parser("simulate", help="run one custom simulation")
+    src = sim.add_mutually_exclusive_group()
+    src.add_argument(
+        "--trace",
+        default="NLANR-uc",
+        help=f"paper trace name ({', '.join(sorted(PAPER_TRACES))})",
+    )
+    src.add_argument("--log", help="path to a real access log instead")
+    sim.add_argument(
+        "--format",
+        choices=sorted(_PARSERS),
+        default="squid",
+        help="log format for --log",
+    )
+    sim.add_argument(
+        "--organization",
+        "-o",
+        default="browsers-aware-proxy-server",
+        help="one of: " + ", ".join(o.value for o in Organization),
+    )
+    sim.add_argument("--proxy-frac", type=float, default=0.10,
+                     help="proxy cache as a fraction of the infinite cache size")
+    sim.add_argument("--browser-sizing", choices=("minimum", "average"),
+                     default="minimum")
+    sim.add_argument("--policy", default="lru",
+                     help="replacement policy (lru, fifo, lfu, size, gdsf)")
+    sim.add_argument("--index-kind", choices=("exact", "bloom"), default="exact")
+
+    parse_p = sub.add_parser("parse", help="print statistics for an access log")
+    parse_p.add_argument("log", help="path to the log file")
+    parse_p.add_argument("--format", choices=sorted(_PARSERS), default="squid")
+
+    an = sub.add_parser(
+        "analyze", help="workload analysis (Zipf, locality, sizes, skew)"
+    )
+    an_src = an.add_mutually_exclusive_group()
+    an_src.add_argument("--trace", default="NLANR-uc")
+    an_src.add_argument("--log", help="path to a real access log instead")
+    an.add_argument("--format", choices=sorted(_PARSERS), default="squid")
+
+    rep = sub.add_parser(
+        "report", help="collect benchmarks/results/ into one Markdown report"
+    )
+    rep.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory of saved result tables",
+    )
+    rep.add_argument("--output", help="write to a file instead of stdout")
+    return parser
+
+
+def _load_trace(args) -> "object":
+    if args.log:
+        return _PARSERS[args.format](args.log, name=args.log)
+    return load_paper_trace(args.trace)
+
+
+def _cmd_simulate(args) -> int:
+    trace = _load_trace(args)
+    if len(trace) == 0:
+        print("trace is empty after filtering", file=sys.stderr)
+        return 1
+    organization = Organization.from_name(args.organization)
+    config = SimulationConfig.relative(
+        trace,
+        proxy_frac=args.proxy_frac,
+        browser_sizing=args.browser_sizing,
+        proxy_policy=args.policy,
+        browser_policy=args.policy,
+        index_kind=args.index_kind,
+    )
+    t0 = time.perf_counter()
+    result = simulate(trace, organization, config)
+    elapsed = time.perf_counter() - t0
+    bd = result.breakdown()
+    rows = [
+        ["trace", trace.name],
+        ["requests", f"{result.n_requests:,}"],
+        ["organization", result.organization],
+        ["proxy cache", f"{config.proxy_capacity / 1e6:.1f} MB"],
+        ["browser cache (each)", f"{config.browser_capacity / 1e3:.0f} KB"],
+        ["hit ratio", f"{result.hit_ratio:.2%}"],
+        ["byte hit ratio", f"{result.byte_hit_ratio:.2%}"],
+        ["local-browser share", f"{bd.local_browser:.2%}"],
+        ["proxy share", f"{bd.proxy:.2%}"],
+        ["remote-browser share", f"{bd.remote_browser:.2%}"],
+        ["communication overhead", f"{result.overhead.communication_fraction:.3%}"],
+        ["simulated in", f"{elapsed:.2f}s"],
+    ]
+    print(ascii_table(["quantity", "value"], rows, title="simulation result"))
+    return 0
+
+
+def _cmd_parse(args) -> int:
+    trace = _PARSERS[args.format](args.log, name=args.log)
+    stats = compute_stats(trace)
+    print(ascii_table(TraceStats.headers(), [stats.as_row()], title="trace statistics"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(ALL_EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "traces":
+        print(run_experiment("table1").render())
+        return 0
+
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+
+    if args.command == "parse":
+        return _cmd_parse(args)
+
+    if args.command == "analyze":
+        from repro.analysis import analyze_trace
+
+        trace = _load_trace(args)
+        if len(trace) == 0:
+            print("trace is empty after filtering", file=sys.stderr)
+            return 1
+        print(analyze_trace(trace).render())
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.export import collect_report
+
+        text = collect_report(args.results_dir)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+
+    names = args.experiments
+    if names == ["all"]:
+        names = sorted(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name)
+        elapsed = time.perf_counter() - t0
+        print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Cache consistency (coherence) policies.
+
+The paper side-steps consistency by counting any hit on a size-changed
+document as a miss — implicitly assuming perfect, free coherence.  Real
+1990s/2000s proxies used *expiration-based* consistency: a copy is
+served without question while its TTL holds, and revalidated against
+the origin (an If-Modified-Since request costing a WAN round trip)
+once it expires.  The cost of that realism is twofold: *stale
+deliveries* (a fresh-by-TTL copy that has actually changed) and
+*validation traffic*.
+
+This package provides the classic policies and the accounting; the
+engine applies them to browser and proxy hits when
+``SimulationConfig.consistency`` is set (``None`` keeps the paper's
+perfect-coherence behaviour).
+"""
+
+from repro.consistency.policies import (
+    ConsistencyPolicy,
+    FixedTTLPolicy,
+    AdaptiveTTLPolicy,
+    AlwaysValidatePolicy,
+    ConsistencyStats,
+)
+
+__all__ = [
+    "ConsistencyPolicy",
+    "FixedTTLPolicy",
+    "AdaptiveTTLPolicy",
+    "AlwaysValidatePolicy",
+    "ConsistencyStats",
+]

@@ -1,0 +1,112 @@
+"""Expiration-based consistency policies.
+
+A policy answers one question: given that a copy was fetched (or last
+validated) at time *t* and the document was last modified at *m*, until
+when may the copy be served without revalidation?
+
+* :class:`FixedTTLPolicy` — a constant freshness lifetime.
+* :class:`AdaptiveTTLPolicy` — the Alex protocol / Squid "LM-factor"
+  heuristic: documents that haven't changed for a long time are
+  unlikely to change soon, so the lifetime is a fraction of the
+  document's age at fetch time, clamped to [min_ttl, max_ttl].
+* :class:`AlwaysValidatePolicy` — lifetime zero; every hit revalidates
+  (strong consistency at maximal validation traffic).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_non_negative
+
+__all__ = [
+    "ConsistencyPolicy",
+    "FixedTTLPolicy",
+    "AdaptiveTTLPolicy",
+    "AlwaysValidatePolicy",
+    "ConsistencyStats",
+]
+
+
+class ConsistencyPolicy(ABC):
+    """Decides freshness lifetimes for cached copies."""
+
+    @abstractmethod
+    def expires_at(self, now: float, last_modified: float) -> float:
+        """Absolute time until which a copy fetched/validated at *now*
+        (document last modified at *last_modified*) is fresh."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedTTLPolicy(ConsistencyPolicy):
+    """Fresh for a constant *ttl* seconds after fetch/validation."""
+
+    ttl: float = 3600.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("ttl", self.ttl)
+
+    def expires_at(self, now: float, last_modified: float) -> float:
+        return now + self.ttl
+
+    def name(self) -> str:
+        return f"fixed-ttl({self.ttl:g}s)"
+
+
+@dataclass(frozen=True)
+class AdaptiveTTLPolicy(ConsistencyPolicy):
+    """Alex-protocol adaptive TTL: lifetime = factor × document age."""
+
+    factor: float = 0.2
+    min_ttl: float = 60.0
+    max_ttl: float = 86_400.0
+
+    def __post_init__(self) -> None:
+        check_fraction("factor", self.factor)
+        check_non_negative("min_ttl", self.min_ttl)
+        if self.max_ttl < self.min_ttl:
+            raise ValueError(
+                f"max_ttl ({self.max_ttl}) must be >= min_ttl ({self.min_ttl})"
+            )
+
+    def expires_at(self, now: float, last_modified: float) -> float:
+        age = max(0.0, now - last_modified)
+        lifetime = min(self.max_ttl, max(self.min_ttl, self.factor * age))
+        return now + lifetime
+
+    def name(self) -> str:
+        return f"adaptive-ttl({self.factor:g})"
+
+
+@dataclass(frozen=True)
+class AlwaysValidatePolicy(ConsistencyPolicy):
+    """Every hit revalidates with the origin (strong consistency)."""
+
+    def expires_at(self, now: float, last_modified: float) -> float:
+        return now  # already expired
+
+    def name(self) -> str:
+        return "always-validate"
+
+
+@dataclass
+class ConsistencyStats:
+    """What expiration-based coherence costs and leaks."""
+
+    #: hits served while fresh-by-policy but actually outdated.
+    stale_deliveries: int = 0
+    stale_bytes: int = 0
+    #: If-Modified-Since round trips to the origin.
+    validations: int = 0
+    #: validations that confirmed the copy (slow hits).
+    validated_hits: int = 0
+    #: validations that found the copy outdated (turned into misses).
+    validation_misses: int = 0
+
+    @property
+    def validation_hit_ratio(self) -> float:
+        return self.validated_hits / self.validations if self.validations else 0.0

@@ -1,0 +1,41 @@
+"""Simulation core: the five caching organizations of the paper and the
+trace-driven engine that evaluates them.
+
+Typical use::
+
+    from repro.core import Organization, SimulationConfig, Simulator
+    from repro.traces import load_paper_trace
+
+    trace = load_paper_trace("NLANR-uc")
+    config = SimulationConfig.relative(trace, proxy_frac=0.10, browser_sizing="minimum")
+    result = Simulator(trace, Organization.BROWSERS_AWARE_PROXY, config).run()
+    print(result.hit_ratio, result.byte_hit_ratio, result.breakdown())
+"""
+
+from repro.core.events import HitLocation
+from repro.core.config import SimulationConfig, minimum_browser_capacity, average_browser_capacity
+from repro.core.policies import Organization, ORGANIZATION_LABELS
+from repro.core.metrics import SimulationResult, HitBreakdown
+from repro.core.simulator import Simulator, simulate
+from repro.core.overhead import OverheadReport
+from repro.core.scaling import ScalingResult, run_scaling_experiment
+from repro.core.sweep import SweepResult, run_policy_sweep, run_size_sweep
+
+__all__ = [
+    "HitLocation",
+    "SimulationConfig",
+    "minimum_browser_capacity",
+    "average_browser_capacity",
+    "Organization",
+    "ORGANIZATION_LABELS",
+    "SimulationResult",
+    "HitBreakdown",
+    "Simulator",
+    "simulate",
+    "OverheadReport",
+    "ScalingResult",
+    "run_scaling_experiment",
+    "SweepResult",
+    "run_policy_sweep",
+    "run_size_sweep",
+]

@@ -1,0 +1,200 @@
+"""Simulation configuration and the paper's cache-sizing rules.
+
+Cache sizes are expressed relative to trace footprints, exactly as in
+the paper:
+
+* The **proxy cache** is a fraction (0.5 %, 5 %, 10 %, 20 %) of the
+  *infinite proxy cache size* — the storage needed to hold every unique
+  requested document.
+* The **minimum browser cache** is ``S_proxy / n`` for *n* clients
+  ("based on real-world proxy configurations reported in [Rousskov &
+  Soloviev]"), i.e. the aggregate of all browser caches equals the
+  proxy cache — the 2000-era reality of ~8 MB default browser caches
+  against a proxy of a few GB serving hundreds of clients.  (The
+  scanned formula is unreadable; DESIGN.md §3 documents this reading
+  and the sensitivity benchmark ``bench_ablation_sizing`` sweeps the
+  divisor.)
+* The **average browser cache** scales each client's cache as a
+  fraction of the *average infinite browser cache size* — the mean over
+  clients of the storage needed for each client's own unique documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.consistency.policies import ConsistencyPolicy
+from repro.index.staleness import PeriodicUpdatePolicy
+from repro.network.ethernet import EthernetModel
+from repro.network.latency import MemoryDiskModel
+from repro.network.topology import WANModel
+from repro.security.protocols import SecurityOverheadModel
+from repro.traces.record import Trace
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "SimulationConfig",
+    "minimum_browser_capacity",
+    "average_browser_capacity",
+]
+
+
+def minimum_browser_capacity(
+    proxy_capacity: int, n_clients: int, divisor: float = 1.0
+) -> int:
+    """The paper's minimum browser cache: S_proxy / (divisor · n).
+
+    With the default ``divisor=1`` the aggregate browser capacity
+    equals the proxy cache.  The sizing-sensitivity ablation sweeps
+    *divisor* to show how the BAPS gain depends on this reading.
+    """
+    check_non_negative("proxy_capacity", proxy_capacity)
+    check_positive("n_clients", n_clients)
+    check_positive("divisor", divisor)
+    return max(1, int(proxy_capacity / (divisor * n_clients)))
+
+
+def average_browser_capacity(trace: Trace, fraction: float) -> int:
+    """*fraction* of the average infinite browser cache size.
+
+    The infinite browser cache of a client is the total size of all
+    documents the client itself uniquely requested; the average is
+    taken over all clients appearing in the trace.
+    """
+    check_positive("fraction", fraction)
+    footprints = trace.client_footprint_bytes()
+    active = footprints[footprints > 0]
+    if active.size == 0:
+        return 1
+    return max(1, int(fraction * float(np.mean(active))))
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything the engine needs besides the trace and organization."""
+
+    proxy_capacity: int
+    browser_capacity: int
+    #: replacement policy names (see :data:`repro.cache.POLICIES`).
+    proxy_policy: str = "lru"
+    browser_policy: str = "lru"
+    #: memory tier fraction; ``None`` disables the tiered model.
+    memory_fraction: float | None = None
+    #: memory tier fraction for *browser* caches when it differs from
+    #: the proxy's (paper §1/§4.2: "the memory cache portion in a
+    #: browser can be much larger than that for the proxy cache in
+    #: practice"; 1.0 models the memory-resident browser cache).
+    #: ``None`` means same as ``memory_fraction``.
+    browser_memory_fraction: float | None = None
+    #: per-client browser capacities (bytes), overriding the uniform
+    #: ``browser_capacity`` — models the paper's §1 point that users set
+    #: browser cache sizes individually.  Length must cover the trace's
+    #: client count.
+    browser_capacities: tuple[int, ...] | None = None
+    #: browser-index representation: ``"exact"`` (per-entry directory)
+    #: or ``"bloom"`` (Summary-Cache per-client Bloom filters).
+    index_kind: str = "exact"
+    #: browser-index maintenance (exact kind only): ``None`` =
+    #: invalidation-based; a policy = periodic (stale) updates.
+    index_update_policy: PeriodicUpdatePolicy | None = None
+    #: Bloom index parameters (bloom kind only).
+    bloom_bits_per_doc: float = 16.0
+    bloom_rebuild_threshold: float = 0.10
+    #: TTL attached to browser-index entries (seconds); expired entries
+    #: are never offered for peer sharing ("a time stamp of the file or
+    #: the TTL provided by the data source").  ``None`` = no expiry.
+    index_entry_ttl: float | None = None
+    #: whether a remote-browser hit also populates the proxy cache
+    #: (the paper's fetch-and-forward alternative).
+    cache_remote_hits_at_proxy: bool = False
+    #: whether serving a remote hit refreshes the holder's LRU state.
+    remote_hit_refreshes_holder: bool = True
+    #: timing models for the overhead report.
+    lan: EthernetModel = field(default_factory=EthernetModel)
+    wan: WANModel = field(default_factory=WANModel)
+    storage: MemoryDiskModel = field(default_factory=MemoryDiskModel)
+    #: optional §6 crypto pricing per remote hit.
+    security: SecurityOverheadModel | None = None
+    #: expiration-based cache coherence for browser/proxy hits; ``None``
+    #: keeps the paper's perfect-coherence rule (a version mismatch is
+    #: silently a miss).  See :mod:`repro.consistency`.
+    consistency: ConsistencyPolicy | None = None
+    #: probability that a holder is online when asked to serve a remote
+    #: hit (client churn; 1.0 = the paper's always-on LAN).  An offline
+    #: holder costs a wasted round trip and the request goes to origin.
+    holder_availability: float = 1.0
+    #: seed for the (deterministic) availability draws.
+    availability_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("proxy_capacity", self.proxy_capacity)
+        check_non_negative("browser_capacity", self.browser_capacity)
+        for name in ("memory_fraction", "browser_memory_fraction"):
+            value = getattr(self, name)
+            if value is not None and not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.index_kind not in ("exact", "bloom"):
+            raise ValueError(
+                f"index_kind must be 'exact' or 'bloom', got {self.index_kind!r}"
+            )
+        if self.index_kind == "bloom" and self.index_update_policy is not None:
+            raise ValueError("the bloom index has its own rebuild policy")
+        if self.browser_capacities is not None:
+            if any(c < 0 for c in self.browser_capacities):
+                raise ValueError("browser_capacities must be non-negative")
+            object.__setattr__(
+                self, "browser_capacities", tuple(self.browser_capacities)
+            )
+        if self.index_entry_ttl is not None and self.index_entry_ttl <= 0:
+            raise ValueError(
+                f"index_entry_ttl must be > 0, got {self.index_entry_ttl}"
+            )
+        if not (0.0 <= self.holder_availability <= 1.0):
+            raise ValueError(
+                f"holder_availability must be in [0, 1], got {self.holder_availability}"
+            )
+        if self.browser_memory_fraction is not None and self.memory_fraction is None:
+            raise ValueError(
+                "browser_memory_fraction requires memory_fraction to enable "
+                "the tiered model"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def relative(
+        cls,
+        trace: Trace,
+        proxy_frac: float,
+        browser_sizing: str = "minimum",
+        browser_frac: float | None = None,
+        **kwargs,
+    ) -> "SimulationConfig":
+        """Size caches the way the paper's figures do.
+
+        * ``browser_sizing="minimum"`` — browser cache is
+          S_proxy / (10 n),
+        * ``browser_sizing="average"`` — browser cache is
+          *browser_frac* (default: *proxy_frac*) of the average
+          infinite browser cache size.
+        """
+        check_positive("proxy_frac", proxy_frac)
+        proxy_capacity = max(1, int(proxy_frac * trace.infinite_cache_bytes()))
+        n_clients = max(1, trace.n_clients)
+        if browser_sizing == "minimum":
+            browser_capacity = minimum_browser_capacity(proxy_capacity, n_clients)
+        elif browser_sizing == "average":
+            browser_capacity = average_browser_capacity(
+                trace, proxy_frac if browser_frac is None else browser_frac
+            )
+        else:
+            raise ValueError(
+                f"browser_sizing must be 'minimum' or 'average', got {browser_sizing!r}"
+            )
+        return cls(proxy_capacity=proxy_capacity, browser_capacity=browser_capacity, **kwargs)
+
+    def with_(self, **overrides) -> "SimulationConfig":
+        """Return a modified copy (dataclasses.replace convenience)."""
+        return replace(self, **overrides)

@@ -1,0 +1,35 @@
+"""Request outcome taxonomy.
+
+The paper's Figure 3 breaks hits down into "hits in the local browser
+cache, hits in the proxy cache, and hits in remote browser caches";
+everything else is a miss served by the origin (or an upper-level
+proxy, which the simulation treats identically).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["HitLocation"]
+
+
+class HitLocation(Enum):
+    """Where a request was served from.
+
+    ``SIBLING_PROXY`` and ``PARENT_PROXY`` are used by the cooperative
+    proxy hierarchy substrate (:mod:`repro.hierarchy`); the core BAPS
+    organizations never produce them.
+    """
+
+    LOCAL_BROWSER = "local-browser"
+    PROXY = "proxy"
+    REMOTE_BROWSER = "remote-browser"
+    SIBLING_PROXY = "sibling-proxy"
+    PARENT_PROXY = "parent-proxy"
+    ORIGIN = "origin"
+
+    @property
+    def is_hit(self) -> bool:
+        """The paper's hit ratio counts browser-cache and proxy-cache
+        hits; origin fetches are misses."""
+        return self is not HitLocation.ORIGIN

@@ -1,0 +1,183 @@
+"""Simulation results: the two paper metrics plus breakdowns.
+
+"Hit ratio is the ratio between the number of requests that hit in
+browser caches or in the proxy cache and the total number of requests.
+Byte hit ratio is the ratio between the number of bytes that hit in
+browser caches or in the proxy cache and the total number of bytes
+requested."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import CacheStats
+from repro.consistency.policies import ConsistencyStats
+from repro.core.events import HitLocation
+from repro.core.overhead import OverheadReport
+from repro.index.staleness import StalenessStats
+
+__all__ = ["SimulationResult", "HitBreakdown"]
+
+
+@dataclass(frozen=True)
+class HitBreakdown:
+    """Figure 3's stacked bars: hit share by location, as fractions of
+    all requests (or all bytes)."""
+
+    local_browser: float
+    proxy: float
+    remote_browser: float
+
+    @property
+    def total(self) -> float:
+        return self.local_browser + self.proxy + self.remote_browser
+
+    def as_percentages(self) -> dict[str, float]:
+        return {
+            "local-browser": self.local_browser * 100,
+            "proxy": self.proxy * 100,
+            "remote-browsers": self.remote_browser * 100,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    trace_name: str
+    organization: str
+    n_requests: int = 0
+    total_bytes: int = 0
+    #: per-location counters; ORIGIN records misses.
+    by_location: dict[HitLocation, CacheStats] = field(
+        default_factory=lambda: {loc: CacheStats() for loc in HitLocation}
+    )
+    overhead: OverheadReport = field(default_factory=OverheadReport)
+    index_stats: StalenessStats = field(default_factory=StalenessStats)
+    consistency_stats: ConsistencyStats = field(default_factory=ConsistencyStats)
+    index_lookups: int = 0
+    index_false_hits: int = 0
+    #: remote hits lost because the holder was offline (client churn).
+    holder_unavailable: int = 0
+    index_peak_entries: int = 0
+    index_peak_footprint_bytes: int = 0
+    uses_memory_tier: bool = False
+
+    # -- recording (engine-facing) ---------------------------------------
+
+    def record(self, location: HitLocation, size: int, memory: bool | None = None) -> None:
+        self.n_requests += 1
+        self.total_bytes += size
+        stats = self.by_location[location]
+        if location is HitLocation.ORIGIN:
+            stats.record_miss(size)
+        elif memory is None:
+            stats.record_hit(size)
+        else:
+            stats.record_tier_hit(size, memory)
+
+    # -- paper metrics ------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(
+            s.hits for loc, s in self.by_location.items() if loc is not HitLocation.ORIGIN
+        )
+
+    @property
+    def hit_bytes(self) -> int:
+        return sum(
+            s.hit_bytes
+            for loc, s in self.by_location.items()
+            if loc is not HitLocation.ORIGIN
+        )
+
+    def by_location_remote_hits(self) -> int:
+        """Requests served from remote browser caches."""
+        return self.by_location[HitLocation.REMOTE_BROWSER].hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        return self.hit_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def memory_byte_hit_ratio(self) -> float:
+        """Bytes served from *memory* tiers over all bytes requested
+        (§4.2).  Zero unless the run used the tiered cache model."""
+        if not self.total_bytes:
+            return 0.0
+        mem = sum(
+            s.memory_hit_bytes
+            for loc, s in self.by_location.items()
+            if loc is not HitLocation.ORIGIN
+        )
+        return mem / self.total_bytes
+
+    @property
+    def disk_byte_hit_ratio(self) -> float:
+        if not self.total_bytes:
+            return 0.0
+        disk = sum(
+            s.disk_hit_bytes
+            for loc, s in self.by_location.items()
+            if loc is not HitLocation.ORIGIN
+        )
+        return disk / self.total_bytes
+
+    def breakdown(self) -> HitBreakdown:
+        """Hit-ratio breakdown by location (fractions of all requests)."""
+        n = self.n_requests or 1
+        return HitBreakdown(
+            local_browser=self.by_location[HitLocation.LOCAL_BROWSER].hits / n,
+            proxy=self.by_location[HitLocation.PROXY].hits / n,
+            remote_browser=self.by_location[HitLocation.REMOTE_BROWSER].hits / n,
+        )
+
+    def byte_breakdown(self) -> HitBreakdown:
+        """Byte-hit-ratio breakdown by location (fractions of all bytes)."""
+        b = self.total_bytes or 1
+        return HitBreakdown(
+            local_browser=self.by_location[HitLocation.LOCAL_BROWSER].hit_bytes / b,
+            proxy=self.by_location[HitLocation.PROXY].hit_bytes / b,
+            remote_browser=self.by_location[HitLocation.REMOTE_BROWSER].hit_bytes / b,
+        )
+
+    @property
+    def mean_response_time(self) -> float:
+        """Estimated mean per-request service time in seconds — the
+        user-facing summary of the whole latency model."""
+        if not self.n_requests:
+            return 0.0
+        return self.overhead.total_service_time / self.n_requests
+
+    def total_hit_latency(self) -> float:
+        """Estimated time spent serving hits (the §4.2 latency basis)."""
+        return (
+            self.overhead.local_hit_time
+            + self.overhead.proxy_hit_time
+            + self.overhead.remote_storage_time
+            + self.overhead.remote_communication_time
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary of headline numbers (for printing)."""
+        bd = self.breakdown()
+        return {
+            "hit_ratio": self.hit_ratio,
+            "byte_hit_ratio": self.byte_hit_ratio,
+            "local_share": bd.local_browser,
+            "proxy_share": bd.proxy,
+            "remote_share": bd.remote_browser,
+            "communication_fraction": self.overhead.communication_fraction,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult({self.trace_name!r}, {self.organization!r}, "
+            f"HR={self.hit_ratio:.4f}, BHR={self.byte_hit_ratio:.4f})"
+        )

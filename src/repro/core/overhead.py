@@ -1,0 +1,79 @@
+"""Overhead accounting (paper §5).
+
+The engine accumulates estimated service time for every request class
+while it replays the trace; :class:`OverheadReport` then answers the
+paper's questions:
+
+* what fraction of total workload service time is spent transferring
+  documents between browser caches (paper: "less than 1.2%"),
+* what fraction of that communication time is bus contention
+  (paper: "up to 0.12%"),
+* how much §6 cryptography adds per remote hit (paper: "trivial").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.ethernet import BusStats
+
+__all__ = ["OverheadReport"]
+
+
+@dataclass
+class OverheadReport:
+    """Service-time totals accumulated over one simulation run."""
+
+    local_hit_time: float = 0.0
+    proxy_hit_time: float = 0.0
+    remote_transfer_time: float = 0.0
+    remote_contention_time: float = 0.0
+    remote_storage_time: float = 0.0
+    origin_miss_time: float = 0.0
+    security_time: float = 0.0
+    #: If-Modified-Since revalidation round trips (consistency mode).
+    validation_time: float = 0.0
+    index_update_messages: int = 0
+
+    @property
+    def remote_communication_time(self) -> float:
+        """Transfer plus contention: what the paper calls the
+        "communication among browser caches"."""
+        return self.remote_transfer_time + self.remote_contention_time
+
+    @property
+    def total_service_time(self) -> float:
+        return (
+            self.local_hit_time
+            + self.proxy_hit_time
+            + self.remote_storage_time
+            + self.remote_communication_time
+            + self.origin_miss_time
+            + self.security_time
+            + self.validation_time
+        )
+
+    @property
+    def communication_fraction(self) -> float:
+        """Remote-browser communication as a fraction of total service
+        time (the paper's headline <1.2%)."""
+        total = self.total_service_time
+        return self.remote_communication_time / total if total else 0.0
+
+    @property
+    def contention_fraction_of_communication(self) -> float:
+        """Bus contention as a fraction of communication time (the
+        paper's <0.12% — remote hits are not bursty)."""
+        comm = self.remote_communication_time
+        return self.remote_contention_time / comm if comm else 0.0
+
+    @property
+    def security_fraction_of_communication(self) -> float:
+        """Crypto CPU time relative to the communication it protects."""
+        comm = self.remote_communication_time
+        return self.security_time / comm if comm else 0.0
+
+    def absorb_bus(self, bus: BusStats) -> None:
+        """Fold a shared bus's totals into this report."""
+        self.remote_transfer_time += bus.total_service_time
+        self.remote_contention_time += bus.total_contention_time

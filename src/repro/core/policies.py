@@ -1,0 +1,89 @@
+"""The five caching organizations of paper §3.2.
+
+Each organization is a combination of three features — per-client
+browser caches, a shared proxy cache, and the browser index enabling
+remote-browser hits:
+
+================================  ========  =====  =====
+organization                      browsers  proxy  index
+================================  ========  =====  =====
+proxy-cache-only                  no        yes    no
+local-browser-cache-only          yes       no     no
+global-browsers-cache-only        yes       no     yes
+proxy-and-local-browser           yes       yes    no
+browsers-aware-proxy-server       yes       yes    yes
+================================  ========  =====  =====
+
+global-browsers-cache-only additionally follows the paper's rule that
+"a browser does not cache documents fetched from another browser
+cache"; BAPS caches remote fetches at the requesting browser (the
+document is forwarded to the requesting client either directly or via
+the proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Organization", "OrganizationFeatures", "ORGANIZATION_LABELS"]
+
+
+@dataclass(frozen=True)
+class OrganizationFeatures:
+    """Feature switches the engine reads."""
+
+    has_browsers: bool
+    has_proxy: bool
+    has_index: bool
+    #: does a remote-browser hit populate the requester's browser?
+    caches_remote_fetches: bool
+
+
+class Organization(Enum):
+    """The five §3.2 caching organizations."""
+
+    PROXY_ONLY = "proxy-cache-only"
+    LOCAL_BROWSER_ONLY = "local-browser-cache-only"
+    GLOBAL_BROWSERS_ONLY = "global-browsers-cache-only"
+    PROXY_AND_LOCAL_BROWSER = "proxy-and-local-browser"
+    BROWSERS_AWARE_PROXY = "browsers-aware-proxy-server"
+
+    @property
+    def features(self) -> OrganizationFeatures:
+        return _FEATURES[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "Organization":
+        """Accept either the enum name or the paper's hyphenated label."""
+        try:
+            return cls[name.upper().replace("-", "_")]
+        except KeyError:
+            pass
+        for org in cls:
+            if org.value == name.lower():
+                return org
+        known = ", ".join(o.value for o in cls)
+        raise KeyError(f"unknown organization {name!r}; known: {known}")
+
+
+_FEATURES = {
+    Organization.PROXY_ONLY: OrganizationFeatures(
+        has_browsers=False, has_proxy=True, has_index=False, caches_remote_fetches=False
+    ),
+    Organization.LOCAL_BROWSER_ONLY: OrganizationFeatures(
+        has_browsers=True, has_proxy=False, has_index=False, caches_remote_fetches=False
+    ),
+    Organization.GLOBAL_BROWSERS_ONLY: OrganizationFeatures(
+        has_browsers=True, has_proxy=False, has_index=True, caches_remote_fetches=False
+    ),
+    Organization.PROXY_AND_LOCAL_BROWSER: OrganizationFeatures(
+        has_browsers=True, has_proxy=True, has_index=False, caches_remote_fetches=False
+    ),
+    Organization.BROWSERS_AWARE_PROXY: OrganizationFeatures(
+        has_browsers=True, has_proxy=True, has_index=True, caches_remote_fetches=True
+    ),
+}
+
+#: display labels matching the paper's figures.
+ORGANIZATION_LABELS = {org: org.value for org in Organization}

@@ -1,0 +1,140 @@
+"""Client-scaling experiment (paper Figure 8).
+
+"For each trace, we observe its hit ratio (or byte hit ratio) increment
+changes by increasing the number of clients from 25%, to 50%, to 75%,
+and to 100% of the total number of clients … the proxy cache size is
+fixed to 10% of the infinite proxy cache size when the relative number
+of clients is 100%."
+
+The *increment* is the relative improvement of BAPS over the
+conventional proxy-and-local-browser organization:
+
+    increment = (metric_BAPS - metric_PLB) / metric_PLB
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig, average_browser_capacity
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.traces.filters import select_clients
+from repro.traces.record import Trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["ScalingPoint", "ScalingResult", "run_scaling_experiment"]
+
+PAPER_CLIENT_FRACTIONS = (0.25, 0.50, 0.75, 1.00)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One x-axis point of Figure 8."""
+
+    client_fraction: float
+    n_clients: int
+    n_requests: int
+    hit_ratio_plb: float
+    hit_ratio_baps: float
+    byte_hit_ratio_plb: float
+    byte_hit_ratio_baps: float
+
+    @property
+    def hit_ratio_increment(self) -> float:
+        """Relative hit-ratio improvement of BAPS over PLB."""
+        if self.hit_ratio_plb == 0:
+            return 0.0
+        return (self.hit_ratio_baps - self.hit_ratio_plb) / self.hit_ratio_plb
+
+    @property
+    def byte_hit_ratio_increment(self) -> float:
+        if self.byte_hit_ratio_plb == 0:
+            return 0.0
+        return (self.byte_hit_ratio_baps - self.byte_hit_ratio_plb) / self.byte_hit_ratio_plb
+
+
+@dataclass
+class ScalingResult:
+    """The full Figure 8 curve for one trace."""
+
+    trace_name: str
+    points: list[ScalingPoint]
+
+    def increments(self, metric: str = "hit_ratio") -> list[tuple[float, float]]:
+        """(client fraction, increment) pairs in fraction order."""
+        attr = f"{metric}_increment"
+        return [(p.client_fraction, getattr(p, attr)) for p in self.points]
+
+    def is_monotonic(self, metric: str = "hit_ratio", slack: float = 0.0) -> bool:
+        """Does the increment grow with the number of clients (the
+        paper's scalability claim)?  *slack* tolerates small noise."""
+        values = [inc for _, inc in self.increments(metric)]
+        return all(b >= a - slack for a, b in zip(values, values[1:]))
+
+    def table(self) -> str:
+        headers = [
+            "clients",
+            "#",
+            "HR(PLB)",
+            "HR(BAPS)",
+            "HR incr",
+            "BHR(PLB)",
+            "BHR(BAPS)",
+            "BHR incr",
+        ]
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    f"{p.client_fraction * 100:g}%",
+                    p.n_clients,
+                    f"{p.hit_ratio_plb * 100:.2f}%",
+                    f"{p.hit_ratio_baps * 100:.2f}%",
+                    f"{p.hit_ratio_increment * 100:.2f}%",
+                    f"{p.byte_hit_ratio_plb * 100:.2f}%",
+                    f"{p.byte_hit_ratio_baps * 100:.2f}%",
+                    f"{p.byte_hit_ratio_increment * 100:.2f}%",
+                ]
+            )
+        return ascii_table(headers, rows, title=f"{self.trace_name}: client scaling")
+
+
+def run_scaling_experiment(
+    trace: Trace,
+    client_fractions=PAPER_CLIENT_FRACTIONS,
+    proxy_frac: float = 0.10,
+    browser_frac: float = 0.10,
+    order: str = "id",
+    **config_overrides,
+) -> ScalingResult:
+    """Run BAPS vs proxy-and-local-browser at each relative client count.
+
+    The proxy capacity and per-client browser capacity are computed
+    once from the *full* trace and held fixed across subsets, per the
+    paper's setup.
+    """
+    proxy_capacity = max(1, int(proxy_frac * trace.infinite_cache_bytes()))
+    browser_capacity = average_browser_capacity(trace, browser_frac)
+    points = []
+    for frac in client_fractions:
+        sub = trace if frac >= 1.0 else select_clients(trace, fraction=frac, order=order)
+        config = SimulationConfig(
+            proxy_capacity=proxy_capacity,
+            browser_capacity=browser_capacity,
+            **config_overrides,
+        )
+        plb = simulate(sub, Organization.PROXY_AND_LOCAL_BROWSER, config)
+        baps = simulate(sub, Organization.BROWSERS_AWARE_PROXY, config)
+        points.append(
+            ScalingPoint(
+                client_fraction=frac,
+                n_clients=sub.n_clients,
+                n_requests=len(sub),
+                hit_ratio_plb=plb.hit_ratio,
+                hit_ratio_baps=baps.hit_ratio,
+                byte_hit_ratio_plb=plb.byte_hit_ratio,
+                byte_hit_ratio_baps=baps.byte_hit_ratio,
+            )
+        )
+    return ScalingResult(trace_name=trace.name, points=points)

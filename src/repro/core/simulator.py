@@ -1,0 +1,475 @@
+"""The trace-driven simulation engine.
+
+Replays a :class:`~repro.traces.record.Trace` through one of the five
+caching organizations and produces a
+:class:`~repro.core.metrics.SimulationResult`.
+
+Request path (matching paper §2/§3.2):
+
+1. the requesting client's **browser cache** (if the organization has
+   browser caches) — a resident copy with a stale version counts as a
+   miss, per the paper's size-change rule;
+2. the **proxy cache** (if present); a proxy hit also populates the
+   requesting browser;
+3. the **browser index** (if present) — on an index hit the document is
+   validated against the *true* holder cache (a stale index yields a
+   false hit, which costs a wasted round trip and falls through), then
+   transferred over the shared LAN bus; BAPS caches the document at the
+   requesting browser, global-browsers-cache-only does not;
+4. otherwise the **origin server** over the WAN; the response populates
+   the proxy and/or the browser per organization.
+
+Every leg is priced by the §4.2/§5 timing models into the result's
+:class:`~repro.core.overhead.OverheadReport`.
+"""
+
+from __future__ import annotations
+
+from repro.cache import TieredLRUCache, make_cache
+from repro.core.config import SimulationConfig
+from repro.core.events import HitLocation
+from repro.core.metrics import SimulationResult
+from repro.core.overhead import OverheadReport
+from repro.core.policies import Organization
+from repro.index.browser_index import BrowserIndex, UpdateMode
+from repro.index.engine_bloom import BloomBrowserIndex
+from repro.network.ethernet import SharedBus
+from repro.network.latency import AccessKind
+from repro.traces.record import Trace
+
+__all__ = ["Simulator", "simulate"]
+
+
+class Simulator:
+    """One organization, one configuration, one trace replay."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        organization: Organization,
+        config: SimulationConfig,
+    ) -> None:
+        self.trace = trace
+        self.organization = organization
+        self.config = config
+        self.features = organization.features
+        if config.memory_fraction is not None and (
+            config.browser_policy != "lru" or config.proxy_policy != "lru"
+        ):
+            raise ValueError("the tiered memory model supports only LRU caches")
+
+        # Client ids index per-client state directly, so size arrays by
+        # the highest id (ids may be sparse in filtered traces).
+        n_clients = int(trace.clients.max()) + 1 if len(trace) else 1
+        self._tiered = config.memory_fraction is not None
+
+        browser_mem = (
+            config.browser_memory_fraction
+            if config.browser_memory_fraction is not None
+            else config.memory_fraction
+        )
+        if self.features.has_browsers:
+            capacities = self._browser_capacities(n_clients)
+            self.browsers = [
+                self._new_cache(config.browser_policy, capacities[c], browser_mem)
+                for c in range(n_clients)
+            ]
+        else:
+            self.browsers = []
+
+        self.proxy = (
+            self._new_cache(config.proxy_policy, config.proxy_capacity, config.memory_fraction)
+            if self.features.has_proxy
+            else None
+        )
+
+        if self.features.has_index:
+            self.index = self._new_index(n_clients)
+            self._now = 0.0
+            for cid, cache in enumerate(self.browsers):
+                cache.on_evict = self._make_evict_hook(cid)
+        else:
+            self.index = None
+
+        if config.holder_availability < 1.0:
+            import random as _random
+
+            self._avail_rng = _random.Random(config.availability_seed)
+        else:
+            self._avail_rng = None
+
+        self.bus = SharedBus(config.lan)
+        self.result = SimulationResult(
+            trace_name=trace.name,
+            organization=organization.value,
+            uses_memory_tier=self._tiered,
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    def _browser_capacities(self, n_clients: int) -> list[int]:
+        caps = self.config.browser_capacities
+        if caps is None:
+            return [self.config.browser_capacity] * n_clients
+        if len(caps) < n_clients:
+            raise ValueError(
+                f"browser_capacities covers {len(caps)} clients but the trace "
+                f"has {n_clients}"
+            )
+        return list(caps[:n_clients])
+
+    def _new_cache(self, policy: str, capacity: int, memory_fraction: float | None):
+        if self._tiered:
+            return TieredLRUCache(capacity, memory_fraction)
+        return make_cache(policy, capacity)
+
+    def _new_index(self, n_clients: int):
+        config = self.config
+        if config.index_kind == "bloom":
+            avg_doc = max(1, int(self.trace.sizes.mean())) if len(self.trace) else 1
+            expected = max(8, config.browser_capacity // avg_doc)
+            return BloomBrowserIndex(
+                n_clients,
+                expected_docs_per_client=expected,
+                bits_per_doc=config.bloom_bits_per_doc,
+                rebuild_threshold=config.bloom_rebuild_threshold,
+            )
+        if config.index_update_policy is None:
+            return BrowserIndex(n_clients, UpdateMode.INVALIDATION)
+        return BrowserIndex(
+            n_clients, UpdateMode.PERIODIC, policy=config.index_update_policy
+        )
+
+    def _make_evict_hook(self, client: int):
+        def hook(doc: int) -> None:
+            self.index.record_evict(client, doc, self._now)
+
+        return hook
+
+    # -- cache access helpers (uniform over plain / tiered caches) ----------
+
+    def _get(self, cache, key: int):
+        """Returns ``(entry, served_from_memory: bool | None)``."""
+        if self._tiered:
+            entry, tier = cache.get(key)
+            if entry is None:
+                return None, None
+            return entry, tier.value == "memory"
+        return cache.get(key), None
+
+    def _peek_tier(self, cache, key: int):
+        if self._tiered:
+            tier = cache.tier_of(key)
+            return None if tier is None else tier.value == "memory"
+        return None
+
+    def _holder_online(self) -> bool:
+        """Client-churn draw: is the chosen holder reachable right now?"""
+        if self._avail_rng is None:
+            return True
+        return self._avail_rng.random() < self.config.holder_availability
+
+    def _storage_time(self, n_bytes: int, memory: bool | None) -> float:
+        storage = self.config.storage
+        if memory:
+            return storage.memory_time(n_bytes)
+        return storage.disk_time(n_bytes)
+
+    def _browser_put(self, client: int, doc: int, size: int, version: int, now: float) -> None:
+        """Insert into a browser cache, keeping the index in sync."""
+        cache = self.browsers[client]
+        if self.index is not None:
+            already = doc in cache
+            self._now = now
+            cache.put(doc, size, version)
+            # An oversized object is refused; only index what is cached.
+            if doc in cache:
+                self.index.record_insert(
+                    client,
+                    doc,
+                    version,
+                    size,
+                    now,
+                    ttl=self.config.index_entry_ttl,
+                    replace=already,
+                )
+            elif already:
+                self.index.record_evict(client, doc, now)
+        else:
+            cache.put(doc, size, version)
+
+    # -- the replay loop ----------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace; returns the accumulated result.
+
+        With ``config.consistency`` set the replay honours
+        expiration-based coherence (stale deliveries, validations);
+        otherwise the paper's perfect-coherence fast path runs.
+        """
+        if self.config.consistency is not None:
+            return self._run_coherent()
+        return self._run_fast()
+
+    def _run_fast(self) -> SimulationResult:
+        features = self.features
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        browsers = self.browsers
+        proxy = self.proxy
+        index = self.index
+        lan = config.lan
+        wan = config.wan
+        security = config.security
+
+        for t, c, d, s, v in self.trace.iter_rows():
+            # 1. local browser cache
+            if features.has_browsers:
+                entry, memory = self._get(browsers[c], d)
+                if entry is not None and entry.version == v:
+                    result.record(HitLocation.LOCAL_BROWSER, s, memory)
+                    overhead.local_hit_time += self._storage_time(s, memory)
+                    continue
+
+            # 2. proxy cache
+            if proxy is not None:
+                entry, memory = self._get(proxy, d)
+                if entry is not None and entry.version == v:
+                    result.record(HitLocation.PROXY, s, memory)
+                    overhead.proxy_hit_time += self._storage_time(
+                        s, memory
+                    ) + lan.transfer_time(s)
+                    if features.has_browsers:
+                        self._browser_put(c, d, s, v, t)
+                    continue
+
+            # 3. browser index -> remote browser cache
+            if index is not None:
+                hit = index.lookup(d, exclude_client=c, now=t, version=v)
+                remote_served = False
+                offline = False
+                if hit is not None and not self._holder_online():
+                    # client churn: the holder is unreachable — a wasted
+                    # round trip, then the request escalates.
+                    result.holder_unavailable += 1
+                    offline = True
+                    hit = None
+                if hit is not None:
+                    holder_cache = browsers[hit.client]
+                    if config.remote_hit_refreshes_holder:
+                        held, memory = self._get(holder_cache, d)
+                    else:
+                        held = holder_cache.peek(d)
+                        memory = self._peek_tier(holder_cache, d)
+                    if held is not None and held.version == v:
+                        transfer = self.bus.submit(t, s)
+                        result.record(HitLocation.REMOTE_BROWSER, s, memory)
+                        overhead.remote_storage_time += self._storage_time(s, memory)
+                        if security is not None:
+                            overhead.security_time += security.transfer_cost(s)
+                        if features.caches_remote_fetches:
+                            self._browser_put(c, d, s, v, t)
+                            if config.cache_remote_hits_at_proxy and proxy is not None:
+                                proxy.put(d, s, v)
+                        remote_served = True
+                    else:
+                        # Stale index: wasted round trip, then fall through.
+                        index.record_false_hit()
+                        result.index_false_hits += 1
+                elif index.is_stale and not offline:
+                    # Was this a lost opportunity?  Check the truth.
+                    if self._truth_holds(d, v, exclude=c):
+                        index.record_false_miss()
+                if remote_served:
+                    self._track_index_peak()
+                    continue
+
+            # 4. origin server
+            result.record(HitLocation.ORIGIN, s)
+            overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
+            if proxy is not None:
+                proxy.put(d, s, v)
+            if features.has_browsers:
+                self._browser_put(c, d, s, v, t)
+            if index is not None:
+                self._track_index_peak()
+
+        return self._finalise()
+
+    # -- coherent replay (expiration-based consistency) ----------------------
+
+    def _run_coherent(self) -> SimulationResult:
+        """Replay honouring the configured consistency policy.
+
+        Browser and proxy copies are served without question while
+        fresh-by-policy (even if actually outdated: a *stale
+        delivery*); once expired they are revalidated against the
+        origin (an If-Modified-Since round trip).  A validation that
+        finds the document changed receives the new body from the
+        origin directly — it does not retry lower cache levels.
+        Remote-browser hits still require an exact version match: the
+        §6 watermark verification would reject a stale peer copy.
+        """
+        features = self.features
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        cstats = result.consistency_stats
+        browsers = self.browsers
+        proxy = self.proxy
+        index = self.index
+        lan = config.lan
+        wan = config.wan
+        security = config.security
+        policy = config.consistency
+
+        #: first time each version was observed ~ modification time.
+        last_modified: dict[int, float] = {}
+        seen_version: dict[int, int] = {}
+
+        def coherence_action(entry, v: int, t: float, last_mod: float) -> str:
+            if t <= entry.expires_at:
+                return "serve"
+            cstats.validations += 1
+            overhead.validation_time += wan.connection_setup
+            if entry.version == v:
+                cstats.validated_hits += 1
+                entry.expires_at = policy.expires_at(t, last_mod)
+                return "validated"
+            cstats.validation_misses += 1
+            return "changed"
+
+        def stamp(cache, d: int, t: float, last_mod: float) -> None:
+            entry = cache.peek(d)
+            if entry is not None:
+                entry.expires_at = policy.expires_at(t, last_mod)
+
+        for t, c, d, s, v in self.trace.iter_rows():
+            sv = seen_version.get(d)
+            if sv is None or v > sv:
+                seen_version[d] = v
+                last_modified[d] = t
+            last_mod = last_modified[d]
+            served = False
+            go_origin = False
+
+            # 1. local browser cache
+            if features.has_browsers:
+                entry, memory = self._get(browsers[c], d)
+                if entry is not None:
+                    action = coherence_action(entry, v, t, last_mod)
+                    if action in ("serve", "validated"):
+                        if action == "serve" and entry.version != v:
+                            cstats.stale_deliveries += 1
+                            cstats.stale_bytes += s
+                        result.record(HitLocation.LOCAL_BROWSER, s, memory)
+                        overhead.local_hit_time += self._storage_time(s, memory)
+                        served = True
+                    elif action == "changed":
+                        go_origin = True
+
+            # 2. proxy cache
+            if not served and not go_origin and proxy is not None:
+                entry, memory = self._get(proxy, d)
+                if entry is not None:
+                    action = coherence_action(entry, v, t, last_mod)
+                    if action in ("serve", "validated"):
+                        if action == "serve" and entry.version != v:
+                            cstats.stale_deliveries += 1
+                            cstats.stale_bytes += s
+                        result.record(HitLocation.PROXY, s, memory)
+                        overhead.proxy_hit_time += self._storage_time(
+                            s, memory
+                        ) + lan.transfer_time(s)
+                        if features.has_browsers:
+                            self._browser_put(c, d, s, entry.version, t)
+                            stamp(browsers[c], d, t, last_mod)
+                        served = True
+                    elif action == "changed":
+                        go_origin = True
+
+            # 3. browser index -> remote browser cache (exact match only)
+            if not served and not go_origin and index is not None:
+                hit = index.lookup(d, exclude_client=c, now=t, version=v)
+                offline = False
+                if hit is not None and not self._holder_online():
+                    result.holder_unavailable += 1
+                    offline = True
+                    hit = None
+                if hit is not None:
+                    holder_cache = browsers[hit.client]
+                    if config.remote_hit_refreshes_holder:
+                        held, memory = self._get(holder_cache, d)
+                    else:
+                        held = holder_cache.peek(d)
+                        memory = self._peek_tier(holder_cache, d)
+                    if held is not None and held.version == v:
+                        self.bus.submit(t, s)
+                        result.record(HitLocation.REMOTE_BROWSER, s, memory)
+                        overhead.remote_storage_time += self._storage_time(s, memory)
+                        if security is not None:
+                            overhead.security_time += security.transfer_cost(s)
+                        if features.caches_remote_fetches:
+                            self._browser_put(c, d, s, v, t)
+                            stamp(browsers[c], d, t, last_mod)
+                            if config.cache_remote_hits_at_proxy and proxy is not None:
+                                proxy.put(d, s, v)
+                                stamp(proxy, d, t, last_mod)
+                        served = True
+                    else:
+                        index.record_false_hit()
+                        result.index_false_hits += 1
+                elif index.is_stale and not offline and self._truth_holds(d, v, exclude=c):
+                    index.record_false_miss()
+                if served:
+                    self._track_index_peak()
+
+            # 4. origin server
+            if not served:
+                result.record(HitLocation.ORIGIN, s)
+                overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
+                if proxy is not None:
+                    proxy.put(d, s, v)
+                    stamp(proxy, d, t, last_mod)
+                if features.has_browsers:
+                    self._browser_put(c, d, s, v, t)
+                    stamp(browsers[c], d, t, last_mod)
+                if index is not None:
+                    self._track_index_peak()
+
+        return self._finalise()
+
+    def _truth_holds(self, doc: int, version: int, exclude: int) -> bool:
+        """Does any other browser actually hold (doc, version)?"""
+        for cid, cache in enumerate(self.browsers):
+            if cid == exclude:
+                continue
+            held = cache.peek(doc)
+            if held is not None and held.version == version:
+                return True
+        return False
+
+    def _track_index_peak(self) -> None:
+        n = self.index.n_entries
+        if n > self.result.index_peak_entries:
+            self.result.index_peak_entries = n
+            self.result.index_peak_footprint_bytes = self.index.footprint_bytes()
+
+    def _finalise(self) -> SimulationResult:
+        result = self.result
+        result.overhead.absorb_bus(self.bus.stats)
+        if self.index is not None:
+            result.index_stats = self.index.stats
+            result.index_lookups = self.index.n_lookups
+            result.overhead.index_update_messages = self.index.update_messages
+        return result
+
+
+def simulate(
+    trace: Trace,
+    organization: Organization,
+    config: SimulationConfig,
+) -> SimulationResult:
+    """Convenience one-shot: build a :class:`Simulator` and run it."""
+    return Simulator(trace, organization, config).run()

@@ -1,0 +1,104 @@
+"""Parameter sweeps over organizations and relative cache sizes.
+
+The paper's figures plot hit/byte-hit ratios against the *relative
+cache size* (proxy cache as a percentage of the infinite cache size,
+with the browser caches scaled accordingly).  These helpers run the
+cross product and collect results keyed by (organization, fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.traces.record import Trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["SweepResult", "run_policy_sweep", "run_size_sweep", "PAPER_SIZE_FRACTIONS"]
+
+#: the paper's relative proxy cache sizes: 0.5%, 5%, 10%, 20% of the
+#: infinite cache size.
+PAPER_SIZE_FRACTIONS = (0.005, 0.05, 0.10, 0.20)
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep, keyed by (organization, proxy fraction)."""
+
+    trace_name: str
+    fractions: tuple[float, ...]
+    organizations: tuple[Organization, ...]
+    results: dict[tuple[Organization, float], SimulationResult] = field(
+        default_factory=dict
+    )
+
+    def get(self, organization: Organization, fraction: float) -> SimulationResult:
+        return self.results[(organization, fraction)]
+
+    def series(
+        self, organization: Organization, metric: str = "hit_ratio"
+    ) -> list[tuple[float, float]]:
+        """(fraction, metric) pairs for one organization, in fraction
+        order — one curve of a paper figure."""
+        return [
+            (f, getattr(self.results[(organization, f)], metric))
+            for f in self.fractions
+        ]
+
+    def table(self, metric: str = "hit_ratio", title: str | None = None) -> str:
+        """Render organizations × fractions as an ASCII table."""
+        headers = ["organization"] + [f"{f * 100:g}%" for f in self.fractions]
+        rows = []
+        for org in self.organizations:
+            row: list = [org.value]
+            for f in self.fractions:
+                row.append(f"{getattr(self.results[(org, f)], metric) * 100:.2f}%")
+            rows.append(row)
+        return ascii_table(headers, rows, title=title or f"{self.trace_name}: {metric}")
+
+
+def run_policy_sweep(
+    trace: Trace,
+    organizations: Iterable[Organization] = tuple(Organization),
+    fractions: Sequence[float] = PAPER_SIZE_FRACTIONS,
+    browser_sizing: str = "minimum",
+    **config_overrides,
+) -> SweepResult:
+    """Run every organization at every relative cache size.
+
+    ``config_overrides`` are forwarded to
+    :meth:`SimulationConfig.relative` (e.g. ``memory_fraction=0.1``).
+    """
+    organizations = tuple(organizations)
+    fractions = tuple(fractions)
+    sweep = SweepResult(
+        trace_name=trace.name, fractions=fractions, organizations=organizations
+    )
+    for frac in fractions:
+        config = SimulationConfig.relative(
+            trace, proxy_frac=frac, browser_sizing=browser_sizing, **config_overrides
+        )
+        for org in organizations:
+            sweep.results[(org, frac)] = simulate(trace, org, config)
+    return sweep
+
+
+def run_size_sweep(
+    trace: Trace,
+    organization: Organization,
+    fractions: Sequence[float] = PAPER_SIZE_FRACTIONS,
+    browser_sizing: str = "minimum",
+    **config_overrides,
+) -> SweepResult:
+    """Sweep relative cache sizes for a single organization."""
+    return run_policy_sweep(
+        trace,
+        organizations=(organization,),
+        fractions=fractions,
+        browser_sizing=browser_sizing,
+        **config_overrides,
+    )

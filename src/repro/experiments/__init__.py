@@ -1,0 +1,50 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every experiment exposes ``run(...)`` returning a result object with a
+``render()`` method that prints the same rows/series the paper reports.
+The benchmark harness under ``benchmarks/`` and the ``baps`` CLI both
+drive these functions; see DESIGN.md §5 for the experiment index.
+"""
+
+from repro.experiments import (
+    table1,
+    fig2,
+    fig3,
+    fig4_6,
+    fig7,
+    fig8,
+    overhead,
+    memory_hit,
+    index_space,
+    staleness,
+    security_overhead,
+    ablation_replacement,
+    ablation_index,
+    hierarchy,
+    consistency,
+    prefetching,
+    availability,
+)
+from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+
+__all__ = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4_6",
+    "fig7",
+    "fig8",
+    "overhead",
+    "memory_hit",
+    "index_space",
+    "staleness",
+    "security_overhead",
+    "ablation_replacement",
+    "ablation_index",
+    "hierarchy",
+    "consistency",
+    "prefetching",
+    "availability",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,103 @@
+"""Consolidated evaluation report.
+
+``baps report`` collects the row tables the benchmark harness saved
+under ``benchmarks/results/`` into one Markdown document, in the
+paper's presentation order — handy for diffing two reproduction runs
+or attaching the full evaluation to a writeup.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+__all__ = ["collect_report", "RESULTS_ORDER"]
+
+#: presentation order: the paper's artifacts first, extensions after.
+RESULTS_ORDER = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "memory_hit",
+    "overhead",
+    "index_space",
+    "staleness",
+    "security",
+    "ablation_replacement",
+    "ablation_index",
+    "ablation_sizing",
+    "hierarchy",
+    "consistency",
+    "prefetch",
+    "availability",
+]
+
+_TITLES = {
+    "table1": "Table 1 — trace characteristics",
+    "fig2": "Figure 2 — five caching policies (NLANR-uc)",
+    "fig3": "Figure 3 — BAPS hit-location breakdowns",
+    "fig4": "Figure 4 — BAPS vs PLB (NLANR-bo1)",
+    "fig5": "Figure 5 — BAPS vs PLB (BU-95)",
+    "fig6": "Figure 6 — BAPS vs PLB (BU-98)",
+    "fig7": "Figure 7 — the limit case (CA*netII)",
+    "fig8": "Figure 8 — client scaling increments",
+    "memory_hit": "§4.2 — memory byte hit ratios",
+    "overhead": "§5 — communication overhead",
+    "index_space": "§5 — browser index space",
+    "staleness": "§5 — index staleness",
+    "security": "§6 — security overhead",
+    "ablation_replacement": "Ablation — replacement policy",
+    "ablation_index": "Ablation — index maintenance",
+    "ablation_sizing": "Ablation — browser-cache sizing divisor",
+    "hierarchy": "Extension — BAPS vs cooperative proxies",
+    "consistency": "Extension — consistency trade-off",
+    "prefetch": "Extension — PPM prefetching vs peer sharing",
+    "availability": "Extension — reliability under client churn",
+}
+
+
+def collect_report(results_dir: str | pathlib.Path) -> str:
+    """Render every saved result table into one Markdown document.
+
+    Missing tables are listed at the end so a partial benchmark run is
+    visible rather than silently truncated.
+    """
+    results = pathlib.Path(results_dir)
+    sections: list[str] = [
+        "# BAPS reproduction — full evaluation",
+        "",
+        "Generated from `benchmarks/results/` "
+        "(run `pytest benchmarks/ --benchmark-only` to refresh).",
+    ]
+    missing: list[str] = []
+    for name in RESULTS_ORDER:
+        path = results / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            continue
+        sections.append("")
+        sections.append(f"## {_TITLES.get(name, name)}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+    # pick up any extra tables a custom bench saved
+    known = {f"{n}.txt" for n in RESULTS_ORDER}
+    for path in sorted(results.glob("*.txt")) if results.exists() else []:
+        if path.name not in known:
+            sections.append("")
+            sections.append(f"## {path.stem}")
+            sections.append("")
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```")
+    if missing:
+        sections.append("")
+        sections.append(
+            "*Not yet generated: " + ", ".join(missing) + "*"
+        )
+    return "\n".join(sections) + "\n"

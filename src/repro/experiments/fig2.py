@@ -1,0 +1,63 @@
+"""Figure 2 — hit ratios and byte hit ratios of the five caching
+policies (NLANR-uc trace, minimum browser cache size).
+
+The proxy cache is scaled over {0.5, 5, 10, 20}% of the infinite cache
+size; each browser cache is the minimum S_proxy / (10 n).  Expected
+shape: browsers-aware-proxy-server is the highest curve on both
+metrics; local-browser-cache-only is the lowest; proxy-and-local-
+browser only slightly outperforms proxy-cache-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import Organization
+from repro.core.sweep import PAPER_SIZE_FRACTIONS, SweepResult, run_policy_sweep
+from repro.traces.profiles import load_paper_trace
+
+__all__ = ["Fig2Result", "run"]
+
+
+@dataclass
+class Fig2Result:
+    sweep: SweepResult
+
+    def render(self) -> str:
+        return (
+            self.sweep.table("hit_ratio", title=f"Figure 2 (left): {self.sweep.trace_name} hit ratios")
+            + "\n\n"
+            + self.sweep.table(
+                "byte_hit_ratio",
+                title=f"Figure 2 (right): {self.sweep.trace_name} byte hit ratios",
+            )
+        )
+
+    def baps_dominates(self) -> bool:
+        """The paper's headline: BAPS has the highest hit and byte hit
+        ratios at every cache size."""
+        baps = Organization.BROWSERS_AWARE_PROXY
+        for metric in ("hit_ratio", "byte_hit_ratio"):
+            for frac in self.sweep.fractions:
+                top = getattr(self.sweep.get(baps, frac), metric)
+                for org in self.sweep.organizations:
+                    if org is baps:
+                        continue
+                    if getattr(self.sweep.get(org, frac), metric) > top + 1e-12:
+                        return False
+        return True
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    fractions=PAPER_SIZE_FRACTIONS,
+) -> Fig2Result:
+    """Run all five organizations at every relative cache size."""
+    trace = load_paper_trace(trace_name)
+    sweep = run_policy_sweep(
+        trace,
+        organizations=tuple(Organization),
+        fractions=fractions,
+        browser_sizing="minimum",
+    )
+    return Fig2Result(sweep=sweep)

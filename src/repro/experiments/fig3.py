@@ -1,0 +1,79 @@
+"""Figure 3 — breakdowns of BAPS hit ratios and byte hit ratios
+(NLANR-uc trace, minimum browser cache size).
+
+Each relative cache size gets a stacked bar of three hit locations:
+local browser, proxy, and remote browsers.  The paper's point: "the hit
+ratio and byte hit ratio in remote browser caches should not be
+neglected even when the browser cache size is very small."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import HitBreakdown
+from repro.core.policies import Organization
+from repro.core.sweep import PAPER_SIZE_FRACTIONS, run_size_sweep
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["Fig3Result", "run"]
+
+
+@dataclass
+class Fig3Result:
+    trace_name: str
+    fractions: tuple[float, ...]
+    hit_breakdowns: dict[float, HitBreakdown]
+    byte_breakdowns: dict[float, HitBreakdown]
+
+    def render(self) -> str:
+        def table(breakdowns: dict[float, HitBreakdown], what: str) -> str:
+            headers = ["relative cache size", "local-browser", "proxy", "remote-browsers", "total"]
+            rows = []
+            for f in self.fractions:
+                bd = breakdowns[f]
+                rows.append(
+                    [
+                        f"{f * 100:g}%",
+                        f"{bd.local_browser * 100:.2f}%",
+                        f"{bd.proxy * 100:.2f}%",
+                        f"{bd.remote_browser * 100:.2f}%",
+                        f"{bd.total * 100:.2f}%",
+                    ]
+                )
+            return ascii_table(
+                headers, rows, title=f"Figure 3: {self.trace_name} {what} breakdown (BAPS)"
+            )
+
+        return table(self.hit_breakdowns, "hit ratio") + "\n\n" + table(
+            self.byte_breakdowns, "byte hit ratio"
+        )
+
+    def remote_share_at(self, fraction: float) -> float:
+        return self.hit_breakdowns[fraction].remote_browser
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    fractions=PAPER_SIZE_FRACTIONS,
+) -> Fig3Result:
+    trace = load_paper_trace(trace_name)
+    sweep = run_size_sweep(
+        trace,
+        Organization.BROWSERS_AWARE_PROXY,
+        fractions=fractions,
+        browser_sizing="minimum",
+    )
+    hit_b = {}
+    byte_b = {}
+    for f in sweep.fractions:
+        result = sweep.get(Organization.BROWSERS_AWARE_PROXY, f)
+        hit_b[f] = result.breakdown()
+        byte_b[f] = result.byte_breakdown()
+    return Fig3Result(
+        trace_name=trace.name,
+        fractions=tuple(fractions),
+        hit_breakdowns=hit_b,
+        byte_breakdowns=byte_b,
+    )

@@ -1,0 +1,96 @@
+"""Figures 4, 5, 6 — BAPS vs proxy-and-local-browser with *average*
+browser cache sizing (NLANR-bo1, BU-95, BU-98 respectively).
+
+Proxy cache at {0.5, 5, 10, 20}% of the infinite proxy cache size;
+each browser cache at the same fraction of the average infinite
+browser cache size.  Expected shape: "browsers-aware-proxy-server
+consistently and significantly increases both hit ratios and byte hit
+ratios on all the traces."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import Organization
+from repro.core.sweep import PAPER_SIZE_FRACTIONS, SweepResult, run_policy_sweep
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["PairResult", "run", "FIGURE_TRACES"]
+
+#: figure number -> trace
+FIGURE_TRACES = {4: "NLANR-bo1", 5: "BU-95", 6: "BU-98"}
+
+_PAIR = (Organization.PROXY_AND_LOCAL_BROWSER, Organization.BROWSERS_AWARE_PROXY)
+
+
+@dataclass
+class PairResult:
+    figure: int
+    sweep: SweepResult
+
+    def render(self) -> str:
+        headers = [
+            "relative cache size",
+            "HR(PLB)",
+            "HR(BAPS)",
+            "delta",
+            "BHR(PLB)",
+            "BHR(BAPS)",
+            "delta",
+        ]
+        rows = []
+        for f in self.sweep.fractions:
+            plb = self.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f)
+            baps = self.sweep.get(Organization.BROWSERS_AWARE_PROXY, f)
+            rows.append(
+                [
+                    f"{f * 100:g}%",
+                    f"{plb.hit_ratio * 100:.2f}%",
+                    f"{baps.hit_ratio * 100:.2f}%",
+                    f"+{(baps.hit_ratio - plb.hit_ratio) * 100:.2f}",
+                    f"{plb.byte_hit_ratio * 100:.2f}%",
+                    f"{baps.byte_hit_ratio * 100:.2f}%",
+                    f"+{(baps.byte_hit_ratio - plb.byte_hit_ratio) * 100:.2f}",
+                ]
+            )
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"Figure {self.figure}: {self.sweep.trace_name}, "
+                "BAPS vs proxy-and-local-browser (average browser cache)"
+            ),
+        )
+
+    def baps_wins_everywhere(self) -> bool:
+        for f in self.sweep.fractions:
+            plb = self.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f)
+            baps = self.sweep.get(Organization.BROWSERS_AWARE_PROXY, f)
+            if baps.hit_ratio < plb.hit_ratio or baps.byte_hit_ratio < plb.byte_hit_ratio:
+                return False
+        return True
+
+    def mean_hit_gain(self) -> float:
+        """Average hit-ratio gain (in points) over the size axis."""
+        gains = [
+            self.sweep.get(Organization.BROWSERS_AWARE_PROXY, f).hit_ratio
+            - self.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f).hit_ratio
+            for f in self.sweep.fractions
+        ]
+        return sum(gains) / len(gains)
+
+
+def run(figure: int = 4, fractions=PAPER_SIZE_FRACTIONS) -> PairResult:
+    """Run one of Figures 4/5/6 by figure number."""
+    if figure not in FIGURE_TRACES:
+        raise ValueError(f"figure must be one of {sorted(FIGURE_TRACES)}, got {figure}")
+    trace = load_paper_trace(FIGURE_TRACES[figure])
+    sweep = run_policy_sweep(
+        trace,
+        organizations=_PAIR,
+        fractions=fractions,
+        browser_sizing="average",
+    )
+    return PairResult(figure=figure, sweep=sweep)

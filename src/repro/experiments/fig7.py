@@ -1,0 +1,78 @@
+"""Figure 7 — the limit of the browsers-aware proxy server (CA*netII).
+
+With only 3 clients, the accumulated browser cache capacity is tiny
+compared to the proxy cache, so the browser locality available for
+sharing is low: "The increases of both average hit ratio and byte hit
+ratio of this trace by the browsers-aware-proxy-cache are below 1%,
+compared with the proxy-and-local-browser scheme."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import Organization
+from repro.core.sweep import PAPER_SIZE_FRACTIONS, SweepResult, run_policy_sweep
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["Fig7Result", "run"]
+
+_PAIR = (Organization.PROXY_AND_LOCAL_BROWSER, Organization.BROWSERS_AWARE_PROXY)
+
+
+@dataclass
+class Fig7Result:
+    sweep: SweepResult
+
+    def mean_hit_gain(self) -> float:
+        gains = [
+            self.sweep.get(Organization.BROWSERS_AWARE_PROXY, f).hit_ratio
+            - self.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f).hit_ratio
+            for f in self.sweep.fractions
+        ]
+        return sum(gains) / len(gains)
+
+    def mean_byte_gain(self) -> float:
+        gains = [
+            self.sweep.get(Organization.BROWSERS_AWARE_PROXY, f).byte_hit_ratio
+            - self.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f).byte_hit_ratio
+            for f in self.sweep.fractions
+        ]
+        return sum(gains) / len(gains)
+
+    def render(self) -> str:
+        headers = ["relative cache size", "HR(PLB)", "HR(BAPS)", "BHR(PLB)", "BHR(BAPS)"]
+        rows = []
+        for f in self.sweep.fractions:
+            plb = self.sweep.get(Organization.PROXY_AND_LOCAL_BROWSER, f)
+            baps = self.sweep.get(Organization.BROWSERS_AWARE_PROXY, f)
+            rows.append(
+                [
+                    f"{f * 100:g}%",
+                    f"{plb.hit_ratio * 100:.2f}%",
+                    f"{baps.hit_ratio * 100:.2f}%",
+                    f"{plb.byte_hit_ratio * 100:.2f}%",
+                    f"{baps.byte_hit_ratio * 100:.2f}%",
+                ]
+            )
+        table = ascii_table(
+            headers, rows, title=f"Figure 7: {self.sweep.trace_name} (3 clients — BAPS limit case)"
+        )
+        return (
+            table
+            + f"\n mean hit-ratio gain: {self.mean_hit_gain() * 100:.3f} points"
+            + f"\n mean byte-hit-ratio gain: {self.mean_byte_gain() * 100:.3f} points"
+            + "\n (paper: both increases below 1%)"
+        )
+
+
+def run(fractions=PAPER_SIZE_FRACTIONS) -> Fig7Result:
+    trace = load_paper_trace("CAnetII")
+    sweep = run_policy_sweep(
+        trace,
+        organizations=_PAIR,
+        fractions=fractions,
+        browser_sizing="average",
+    )
+    return Fig7Result(sweep=sweep)

@@ -1,0 +1,48 @@
+"""Figure 8 — hit/byte-hit ratio increments vs the relative number of
+clients (NLANR-bo1, BU-95, BU-98).
+
+The increment of BAPS over proxy-and-local-browser is measured while
+the trace is restricted to 25/50/75/100% of its clients; the proxy
+cache stays fixed at 10% of the full trace's infinite cache size.
+Expected shape: "both hit ratio increment and byte hit ratio increment
+of the browsers-aware proxy server proportionally increase as the
+number of clients increases."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scaling import PAPER_CLIENT_FRACTIONS, ScalingResult, run_scaling_experiment
+from repro.traces.profiles import load_paper_trace
+
+__all__ = ["Fig8Result", "run", "FIG8_TRACES"]
+
+FIG8_TRACES = ("NLANR-bo1", "BU-95", "BU-98")
+
+
+@dataclass
+class Fig8Result:
+    results: dict[str, ScalingResult]
+
+    def render(self) -> str:
+        return "\n\n".join(self.results[name].table() for name in self.results)
+
+    def all_monotonic(self, metric: str = "hit_ratio", slack: float = 0.01) -> bool:
+        return all(r.is_monotonic(metric, slack=slack) for r in self.results.values())
+
+
+def run(
+    trace_names=FIG8_TRACES,
+    client_fractions=PAPER_CLIENT_FRACTIONS,
+    proxy_frac: float = 0.10,
+) -> Fig8Result:
+    results = {}
+    for name in trace_names:
+        trace = load_paper_trace(name)
+        results[name] = run_scaling_experiment(
+            trace,
+            client_fractions=client_fractions,
+            proxy_frac=proxy_frac,
+        )
+    return Fig8Result(results=results)

@@ -1,0 +1,122 @@
+"""Extension experiment — BAPS vs cooperative proxy caching.
+
+The conventional alternative to browser-cache sharing is proxy-level
+cooperation (the escalation path the paper's introduction describes and
+its related work studies).  This experiment holds the *total proxy
+storage* fixed and compares:
+
+* one proxy + private browsers (proxy-and-local-browser),
+* one browsers-aware proxy (BAPS),
+* four sibling leaf proxies with ICP queries (storage split 4 ways),
+* a two-level leaf/parent hierarchy (storage split half/half),
+* four sibling leaves with browser caches in front.
+
+Expected shape: splitting a fixed budget across cooperating proxies
+recovers some but not all of the single-proxy hit ratio (every leaf
+duplicates hot documents), while BAPS *adds* browser capacity that was
+already paid for — so BAPS tops the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.events import HitLocation
+from repro.core.metrics import SimulationResult
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.hierarchy import HierarchyConfig, simulate_hierarchy
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["HierarchyComparisonResult", "run"]
+
+
+@dataclass
+class HierarchyComparisonResult:
+    trace_name: str
+    total_proxy_capacity: int
+    results: dict[str, SimulationResult]
+
+    def render(self) -> str:
+        headers = ["scheme", "hit ratio", "byte hit ratio", "peer hits", "origin misses"]
+        rows = []
+        for label, r in self.results.items():
+            peer = (
+                r.by_location[HitLocation.REMOTE_BROWSER].hits
+                + r.by_location[HitLocation.SIBLING_PROXY].hits
+                + r.by_location[HitLocation.PARENT_PROXY].hits
+            )
+            rows.append(
+                [
+                    label,
+                    f"{r.hit_ratio * 100:.2f}%",
+                    f"{r.byte_hit_ratio * 100:.2f}%",
+                    peer,
+                    r.by_location[HitLocation.ORIGIN].misses,
+                ]
+            )
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"BAPS vs cooperative proxies ({self.trace_name}, "
+                f"{self.total_proxy_capacity / 1e6:.0f} MB total proxy storage)"
+            ),
+        )
+
+    def baps_tops_table(self) -> bool:
+        baps = self.results["browsers-aware-proxy (BAPS)"]
+        return all(
+            baps.hit_ratio >= r.hit_ratio - 1e-12 for r in self.results.values()
+        )
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    proxy_frac: float = 0.10,
+    n_leaves: int = 4,
+) -> HierarchyComparisonResult:
+    trace = load_paper_trace(trace_name)
+    core = SimulationConfig.relative(trace, proxy_frac=proxy_frac, browser_sizing="minimum")
+    total = core.proxy_capacity
+    browser = core.browser_capacity
+
+    results: dict[str, SimulationResult] = {}
+    results["single proxy + private browsers (PLB)"] = simulate(
+        trace, Organization.PROXY_AND_LOCAL_BROWSER, core
+    )
+    results["browsers-aware-proxy (BAPS)"] = simulate(
+        trace, Organization.BROWSERS_AWARE_PROXY, core
+    )
+    results[f"{n_leaves} sibling leaves (ICP)"] = simulate_hierarchy(
+        trace,
+        HierarchyConfig(
+            n_leaves=n_leaves,
+            leaf_capacity=total // n_leaves,
+            siblings=True,
+            browser_capacity=browser,
+        ),
+    )
+    results["leaf + parent (two-level)"] = simulate_hierarchy(
+        trace,
+        HierarchyConfig(
+            n_leaves=1,
+            leaf_capacity=total // 2,
+            parent_capacity=total - total // 2,
+            browser_capacity=browser,
+        ),
+    )
+    results[f"{n_leaves} siblings, no cooperation"] = simulate_hierarchy(
+        trace,
+        HierarchyConfig(
+            n_leaves=n_leaves,
+            leaf_capacity=total // n_leaves,
+            siblings=False,
+            browser_capacity=browser,
+        ),
+    )
+    return HierarchyComparisonResult(
+        trace_name=trace.name, total_proxy_capacity=total, results=results
+    )

@@ -1,0 +1,59 @@
+"""§5 — browser index space requirement.
+
+Reproduces the paper's arithmetic (100 clients × 8 MB browser caches,
+8 KB average documents, 16-byte MD5 URL signatures ⇒ a few MB of proxy
+memory; ~2 MB with Bloom compression) and cross-checks it against the
+*measured* peak index footprint of an actual BAPS simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.index.signatures import IndexSpaceModel
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["IndexSpaceResult", "run"]
+
+
+@dataclass
+class IndexSpaceResult:
+    model: IndexSpaceModel
+    measured_trace: str
+    measured_peak_entries: int
+    measured_peak_bytes: int
+
+    def render(self) -> str:
+        rep = self.model.report()
+        headers = ["quantity", "value"]
+        rows = [
+            ["clients", f"{rep['clients']:g}"],
+            ["docs per browser", f"{rep['docs_per_browser']:g}"],
+            ["total indexed docs", f"{rep['total_docs']:g}"],
+            ["exact index size", f"{rep['exact_index_mb']:.2f} MB"],
+            ["bloom index size", f"{rep['bloom_index_mb']:.2f} MB"],
+            [
+                f"measured peak ({self.measured_trace})",
+                f"{self.measured_peak_entries} entries = "
+                f"{self.measured_peak_bytes / 1e6:.3f} MB",
+            ],
+        ]
+        return ascii_table(headers, rows, title="Section 5: browser index space")
+
+
+def run(trace_name: str = "NLANR-uc", proxy_frac: float = 0.10) -> IndexSpaceResult:
+    trace = load_paper_trace(trace_name)
+    config = SimulationConfig.relative(
+        trace, proxy_frac=proxy_frac, browser_sizing="average"
+    )
+    result = simulate(trace, Organization.BROWSERS_AWARE_PROXY, config)
+    return IndexSpaceResult(
+        model=IndexSpaceModel(),
+        measured_trace=trace.name,
+        measured_peak_entries=result.index_peak_entries,
+        measured_peak_bytes=result.index_peak_footprint_bytes,
+    )

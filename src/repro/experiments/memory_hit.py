@@ -1,0 +1,161 @@
+"""§4.2 — memory byte hit ratios and hit latency.
+
+The paper compares BAPS at 5% of the infinite cache size against
+proxy-and-local-browser at 10% — two configurations with nearly equal
+*byte hit ratios* — and shows BAPS serves a larger share of those
+bytes from **memory**, cutting total hit latency: "the memory byte hit
+ratios of the two schemes are quite different under the same condition
+… would reduce [a large share] of the total hit latency."
+
+Two variants are reported:
+
+* **conservative** — memory tier = 1/10 of every cache, the paper's
+  stated assumption ("which is not in favor of the browsers-aware-
+  proxy-server"),
+* **memory-resident browsers** — browser caches fully in memory (the
+  §1 "browser cache in memory" technique the paper motivates: a memory
+  drive holds the whole browser cache, periodically saved to disk),
+  proxy memory still 1/10.  This is where the paper's inversion —
+  BAPS's smaller configuration beating PLB's larger one on memory byte
+  hit ratio — shows robustly in our workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = ["MemoryHitVariant", "MemoryHitResult", "run"]
+
+
+@dataclass
+class MemoryHitVariant:
+    """One pairing of BAPS@small vs PLB@large under a memory model."""
+
+    label: str
+    baps: SimulationResult
+    plb: SimulationResult
+    baps_frac: float
+    plb_frac: float
+
+    @property
+    def latency_reduction(self) -> float:
+        """Fractional reduction of total hit latency, BAPS vs PLB."""
+        plb_lat = self.plb.total_hit_latency()
+        if plb_lat == 0:
+            return 0.0
+        return 1.0 - self.baps.total_hit_latency() / plb_lat
+
+    @property
+    def memory_ratio_advantage(self) -> float:
+        """BAPS memory byte hit ratio minus PLB's (points)."""
+        return self.baps.memory_byte_hit_ratio - self.plb.memory_byte_hit_ratio
+
+    @property
+    def normalized_latency_reduction(self) -> float:
+        """Latency-per-hit-byte reduction — fair when the two byte hit
+        ratios are close but not identical."""
+        if not (self.baps.hit_bytes and self.plb.hit_bytes):
+            return 0.0
+        baps_rate = self.baps.total_hit_latency() / self.baps.hit_bytes
+        plb_rate = self.plb.total_hit_latency() / self.plb.hit_bytes
+        return 1.0 - baps_rate / plb_rate if plb_rate else 0.0
+
+
+@dataclass
+class MemoryHitResult:
+    trace_name: str
+    variants: list[MemoryHitVariant]
+
+    def variant(self, label: str) -> MemoryHitVariant:
+        for v in self.variants:
+            if v.label == label:
+                return v
+        raise KeyError(label)
+
+    def render(self) -> str:
+        blocks = []
+        for v in self.variants:
+            headers = [
+                "scheme",
+                "cache size",
+                "byte hit ratio",
+                "memory byte hit ratio",
+                "hit latency (s)",
+            ]
+            rows = [
+                [
+                    "browsers-aware-proxy-server",
+                    f"{v.baps_frac * 100:g}%",
+                    f"{v.baps.byte_hit_ratio * 100:.2f}%",
+                    f"{v.baps.memory_byte_hit_ratio * 100:.2f}%",
+                    f"{v.baps.total_hit_latency():.1f}",
+                ],
+                [
+                    "proxy-and-local-browser",
+                    f"{v.plb_frac * 100:g}%",
+                    f"{v.plb.byte_hit_ratio * 100:.2f}%",
+                    f"{v.plb.memory_byte_hit_ratio * 100:.2f}%",
+                    f"{v.plb.total_hit_latency():.1f}",
+                ],
+            ]
+            table = ascii_table(
+                headers,
+                rows,
+                title=f"Section 4.2: {self.trace_name} — {v.label}",
+            )
+            blocks.append(
+                table
+                + f"\n hit-latency reduction by BAPS: {v.latency_reduction * 100:.1f}%"
+                + f" (per hit-byte: {v.normalized_latency_reduction * 100:.1f}%)"
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    baps_frac: float = 0.05,
+    plb_frac: float = 0.10,
+    memory_fraction: float = 0.10,
+) -> MemoryHitResult:
+    """Compare BAPS@baps_frac vs PLB@plb_frac under both memory models.
+
+    The default pairing (5% vs 10%) follows the paper's observation
+    that those two points have nearly equal byte hit ratios.
+    """
+    trace = load_paper_trace(trace_name)
+    variants = []
+    for label, browser_mem in (
+        ("conservative (memory = 1/10 everywhere)", None),
+        ("memory-resident browser caches", 1.0),
+    ):
+        baps_config = SimulationConfig.relative(
+            trace,
+            proxy_frac=baps_frac,
+            browser_sizing="minimum",
+            memory_fraction=memory_fraction,
+            browser_memory_fraction=browser_mem,
+        )
+        plb_config = SimulationConfig.relative(
+            trace,
+            proxy_frac=plb_frac,
+            browser_sizing="minimum",
+            memory_fraction=memory_fraction,
+            browser_memory_fraction=browser_mem,
+        )
+        variants.append(
+            MemoryHitVariant(
+                label=label,
+                baps=simulate(trace, Organization.BROWSERS_AWARE_PROXY, baps_config),
+                plb=simulate(trace, Organization.PROXY_AND_LOCAL_BROWSER, plb_config),
+                baps_frac=baps_frac,
+                plb_frac=plb_frac,
+            )
+        )
+    return MemoryHitResult(trace_name=trace.name, variants=variants)

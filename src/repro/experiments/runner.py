@@ -1,0 +1,60 @@
+"""Run every experiment by name — used by the CLI and integration tests."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments import (
+    ablation_index,
+    ablation_replacement,
+    availability,
+    consistency,
+    fig2,
+    prefetching,
+    hierarchy,
+    fig3,
+    fig4_6,
+    fig7,
+    fig8,
+    index_space,
+    memory_hit,
+    overhead,
+    security_overhead,
+    staleness,
+    table1,
+)
+
+__all__ = ["ALL_EXPERIMENTS", "run_experiment"]
+
+#: experiment id -> zero-argument runner (paper defaults).
+ALL_EXPERIMENTS: dict[str, Callable[[], Any]] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": lambda: fig4_6.run(4),
+    "fig5": lambda: fig4_6.run(5),
+    "fig6": lambda: fig4_6.run(6),
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "overhead": overhead.run,
+    "memory-hit": memory_hit.run,
+    "index-space": index_space.run,
+    "staleness": staleness.run,
+    "security": security_overhead.run,
+    "ablation-replacement": ablation_replacement.run,
+    "ablation-index": ablation_index.run,
+    "hierarchy": hierarchy.run,
+    "consistency": consistency.run,
+    "prefetch": prefetching.run,
+    "availability": availability.run,
+}
+
+
+def run_experiment(name: str):
+    """Run one experiment by id; returns its result object."""
+    try:
+        runner = ALL_EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return runner()

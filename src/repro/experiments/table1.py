@@ -1,0 +1,53 @@
+"""Table 1 — characteristics of the selected web traces.
+
+Columns: trace, #requests, total GB, infinite cache GB, #clients, max
+hit ratio, max byte hit ratio.  The max ratios are produced by an
+infinite-cache replay (every non-compulsory access hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.profiles import PAPER_TRACES, load_paper_trace
+from repro.traces.stats import TraceStats, compute_stats
+from repro.util.fmt import ascii_table
+
+__all__ = ["Table1Result", "run"]
+
+
+@dataclass
+class Table1Result:
+    rows: list[TraceStats]
+    targets: dict[str, tuple[float, float]]
+
+    def render(self) -> str:
+        table = ascii_table(
+            TraceStats.headers(),
+            [r.as_row() for r in self.rows],
+            title="Table 1: Selected Web Traces (synthetic, calibrated)",
+        )
+        lines = [table, "", "Calibration targets (paper Table 1):"]
+        for r in self.rows:
+            thr, tbhr = self.targets[r.name]
+            lines.append(
+                f"  {r.name:10s} max HR {r.max_hit_ratio * 100:6.2f}% "
+                f"(target {thr * 100:5.2f}%)   max BHR {r.max_byte_hit_ratio * 100:6.2f}% "
+                f"(target {tbhr * 100:5.2f}%)"
+            )
+        return "\n".join(lines)
+
+
+def run(trace_names: tuple[str, ...] | None = None) -> Table1Result:
+    """Compute Table 1 for the calibrated paper traces."""
+    names = trace_names or tuple(PAPER_TRACES)
+    rows = []
+    targets = {}
+    for name in names:
+        profile = PAPER_TRACES[name]
+        rows.append(compute_stats(load_paper_trace(name)))
+        targets[name] = (
+            profile.target_max_hit_ratio,
+            profile.target_max_byte_hit_ratio,
+        )
+    return Table1Result(rows=rows, targets=targets)

@@ -1,0 +1,29 @@
+"""Cooperative proxy caching substrate.
+
+The paper's introduction describes the conventional escalation path a
+proxy uses on a miss: "the proxy server will immediately send the
+request to its cooperative caches, if any, or to an upper level proxy
+cache, or to the web server" — and its related work (Gadde et al.,
+Fan et al.) studies exactly these proxy-level cooperation schemes.
+This package implements them so BAPS can be compared against the
+alternatives it competes with:
+
+* :class:`~repro.hierarchy.icp.ICPModel` — an ICP-style sibling query
+  protocol with per-query cost accounting,
+* :class:`~repro.hierarchy.simulator.HierarchySimulator` — a cluster of
+  leaf proxies (each serving a client partition, optionally with
+  browser caches) cooperating as siblings and/or through a shared
+  parent proxy.
+"""
+
+from repro.hierarchy.icp import ICPModel, ICPStats
+from repro.hierarchy.config import HierarchyConfig
+from repro.hierarchy.simulator import HierarchySimulator, simulate_hierarchy
+
+__all__ = [
+    "ICPModel",
+    "ICPStats",
+    "HierarchyConfig",
+    "HierarchySimulator",
+    "simulate_hierarchy",
+]

@@ -1,0 +1,63 @@
+"""Configuration for the cooperative proxy hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hierarchy.icp import ICPModel
+from repro.network.ethernet import EthernetModel
+from repro.network.latency import MemoryDiskModel
+from repro.network.topology import WANModel
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["HierarchyConfig"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A cluster of cooperating proxies.
+
+    Clients are partitioned over ``n_leaves`` leaf proxies
+    (``client % n_leaves`` by default, i.e. interleaved — a contiguous
+    split is available via ``partition="blocks"``).  On a leaf miss the
+    request escalates: siblings (if ``siblings=True``), then the parent
+    proxy (if ``parent_capacity > 0``), then the origin.
+    """
+
+    n_leaves: int
+    leaf_capacity: int
+    parent_capacity: int = 0
+    siblings: bool = False
+    #: optional per-client browser caches in front of the leaves.
+    browser_capacity: int = 0
+    policy: str = "lru"
+    partition: str = "interleave"
+    #: does a sibling hit populate the requesting leaf's cache?
+    cache_sibling_fetches: bool = True
+    icp: ICPModel = field(default_factory=ICPModel)
+    lan: EthernetModel = field(default_factory=EthernetModel)
+    wan: WANModel = field(default_factory=WANModel)
+    storage: MemoryDiskModel = field(default_factory=MemoryDiskModel)
+
+    def __post_init__(self) -> None:
+        check_positive("n_leaves", self.n_leaves)
+        check_non_negative("leaf_capacity", self.leaf_capacity)
+        check_non_negative("parent_capacity", self.parent_capacity)
+        check_non_negative("browser_capacity", self.browser_capacity)
+        if self.partition not in ("interleave", "blocks"):
+            raise ValueError(
+                f"partition must be 'interleave' or 'blocks', got {self.partition!r}"
+            )
+        if self.n_leaves == 1 and self.siblings:
+            raise ValueError("sibling cooperation needs at least two leaves")
+
+    @property
+    def total_proxy_capacity(self) -> int:
+        return self.n_leaves * self.leaf_capacity + self.parent_capacity
+
+    def leaf_of(self, client: int, n_clients: int) -> int:
+        """Which leaf proxy serves *client*."""
+        if self.partition == "interleave":
+            return client % self.n_leaves
+        block = max(1, -(-n_clients // self.n_leaves))  # ceil division
+        return min(client // block, self.n_leaves - 1)

@@ -1,0 +1,76 @@
+"""ICP-style sibling query protocol model.
+
+When a leaf proxy misses, it multicasts a query to its sibling proxies
+and waits up to a timeout for hits (Internet Cache Protocol, RFC 2186,
+as deployed by Squid and studied by Fan et al. as the baseline that
+Summary Cache improves on).  We model the message costs and the added
+latency, not the wire format:
+
+* every miss that triggers cooperation costs one query message per
+  sibling,
+* if at least one sibling holds the object, the leaf fetches it from
+  the first (round-robin) holder after one query round trip,
+* if none do, the leaf has wasted a full timeout before escalating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["ICPModel", "ICPStats"]
+
+
+@dataclass
+class ICPStats:
+    """Query traffic and time accounting."""
+
+    queries_sent: int = 0
+    query_rounds: int = 0
+    hits: int = 0
+    misses: int = 0
+    query_time: float = 0.0
+    timeout_time: float = 0.0
+
+    @property
+    def total_overhead_time(self) -> float:
+        return self.query_time + self.timeout_time
+
+
+@dataclass(frozen=True)
+class ICPModel:
+    """Timing/cost constants for one sibling group."""
+
+    #: one-way LAN latency for a query or its reply.
+    query_latency: float = 0.002
+    #: how long a proxy waits for sibling replies before giving up.
+    timeout: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_non_negative("query_latency", self.query_latency)
+        check_positive("timeout", self.timeout)
+
+    def round_cost(self, n_siblings: int, any_hit: bool) -> float:
+        """Latency added by one query round."""
+        check_non_negative("n_siblings", n_siblings)
+        if n_siblings == 0:
+            return 0.0
+        if any_hit:
+            return 2 * self.query_latency  # query out, first hit back
+        return self.timeout
+
+    def account(self, stats: ICPStats, n_siblings: int, any_hit: bool) -> float:
+        """Record one query round in *stats*; returns the added latency."""
+        if n_siblings == 0:
+            return 0.0
+        stats.query_rounds += 1
+        stats.queries_sent += n_siblings
+        cost = self.round_cost(n_siblings, any_hit)
+        if any_hit:
+            stats.hits += 1
+            stats.query_time += cost
+        else:
+            stats.misses += 1
+            stats.timeout_time += cost
+        return cost

@@ -1,0 +1,158 @@
+"""Trace-driven simulation of cooperative proxy hierarchies.
+
+The request path for client *c* assigned to leaf proxy *L*:
+
+1. *c*'s browser cache (if configured),
+2. leaf proxy *L*,
+3. ICP query to sibling leaves (if configured) — a sibling hit fetches
+   the document from that sibling (optionally caching it at *L*),
+4. the parent proxy (if configured) — a parent hit populates *L*,
+5. the origin server — the response populates the parent (if any),
+   *L*, and the browser.
+
+Results reuse :class:`~repro.core.metrics.SimulationResult` with the
+``SIBLING_PROXY`` / ``PARENT_PROXY`` hit locations, so hierarchies and
+BAPS runs are directly comparable.
+"""
+
+from __future__ import annotations
+
+from repro.cache import make_cache
+from repro.core.events import HitLocation
+from repro.core.metrics import SimulationResult
+from repro.hierarchy.config import HierarchyConfig
+from repro.hierarchy.icp import ICPStats
+from repro.traces.record import Trace
+
+__all__ = ["HierarchySimulator", "simulate_hierarchy"]
+
+
+class HierarchySimulator:
+    """One hierarchy configuration, one trace replay."""
+
+    def __init__(self, trace: Trace, config: HierarchyConfig) -> None:
+        self.trace = trace
+        self.config = config
+        n_clients = int(trace.clients.max()) + 1 if len(trace) else 1
+        self.n_clients = n_clients
+        self.leaves = [
+            make_cache(config.policy, config.leaf_capacity)
+            for _ in range(config.n_leaves)
+        ]
+        self.parent = (
+            make_cache(config.policy, config.parent_capacity)
+            if config.parent_capacity > 0
+            else None
+        )
+        self.browsers = (
+            [make_cache(config.policy, config.browser_capacity) for _ in range(n_clients)]
+            if config.browser_capacity > 0
+            else []
+        )
+        self.leaf_of_client = [
+            config.leaf_of(c, n_clients) for c in range(n_clients)
+        ]
+        self.icp_stats = ICPStats()
+        self.result = SimulationResult(
+            trace_name=trace.name,
+            organization=self._label(),
+        )
+
+    def _label(self) -> str:
+        parts = [f"{self.config.n_leaves}-leaf"]
+        if self.config.siblings:
+            parts.append("siblings")
+        if self.parent is not None:
+            parts.append("parent")
+        if self.browsers:
+            parts.append("browsers")
+        return "hierarchy:" + "+".join(parts)
+
+    # -- replay -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        leaves = self.leaves
+        parent = self.parent
+        browsers = self.browsers
+        leaf_of = self.leaf_of_client
+        icp = config.icp
+        lan = config.lan
+        wan = config.wan
+        storage = config.storage
+        use_siblings = config.siblings
+
+        for t, c, d, s, v in self.trace.iter_rows():
+            # 1. browser cache
+            if browsers:
+                entry = browsers[c].get(d)
+                if entry is not None and entry.version == v:
+                    result.record(HitLocation.LOCAL_BROWSER, s)
+                    overhead.local_hit_time += storage.disk_time(s)
+                    continue
+
+            leaf_id = leaf_of[c]
+            leaf = leaves[leaf_id]
+
+            # 2. own leaf proxy
+            entry = leaf.get(d)
+            if entry is not None and entry.version == v:
+                result.record(HitLocation.PROXY, s)
+                overhead.proxy_hit_time += storage.disk_time(s) + lan.transfer_time(s)
+                if browsers:
+                    browsers[c].put(d, s, v)
+                continue
+
+            # 3. sibling query round
+            if use_siblings:
+                holder = None
+                for offset in range(1, len(leaves)):
+                    sid = (leaf_id + offset) % len(leaves)
+                    held = leaves[sid].peek(d)
+                    if held is not None and held.version == v:
+                        holder = sid
+                        break
+                cost = icp.account(
+                    self.icp_stats, len(leaves) - 1, any_hit=holder is not None
+                )
+                overhead.proxy_hit_time += cost
+                if holder is not None:
+                    leaves[holder].get(d)  # serving refreshes the sibling's LRU
+                    result.record(HitLocation.SIBLING_PROXY, s)
+                    overhead.remote_storage_time += storage.disk_time(s)
+                    overhead.remote_transfer_time += lan.transfer_time(s)
+                    if config.cache_sibling_fetches:
+                        leaf.put(d, s, v)
+                    if browsers:
+                        browsers[c].put(d, s, v)
+                    continue
+
+            # 4. parent proxy
+            if parent is not None:
+                entry = parent.get(d)
+                if entry is not None and entry.version == v:
+                    result.record(HitLocation.PARENT_PROXY, s)
+                    overhead.remote_storage_time += storage.disk_time(s)
+                    overhead.remote_transfer_time += lan.transfer_time(s)
+                    leaf.put(d, s, v)
+                    if browsers:
+                        browsers[c].put(d, s, v)
+                    continue
+
+            # 5. origin
+            result.record(HitLocation.ORIGIN, s)
+            overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
+            if parent is not None:
+                parent.put(d, s, v)
+            leaf.put(d, s, v)
+            if browsers:
+                browsers[c].put(d, s, v)
+
+        return result
+
+
+def simulate_hierarchy(trace: Trace, config: HierarchyConfig) -> SimulationResult:
+    """Convenience one-shot hierarchy simulation."""
+    return HierarchySimulator(trace, config).run()

@@ -1,0 +1,152 @@
+"""Bloom filters for compressed browser-cache summaries.
+
+The paper cites Fan et al.'s Summary Cache and the URL-compression work
+of Michel et al. as ways to shrink the browser index ("a storage of
+2 MB is sufficient for the 100 browsers with a tolerant inaccuracy").
+:class:`BloomIndex` keeps one Bloom filter per client; membership
+queries can return false positives (the "tolerant inaccuracy"), never
+false negatives — unless deletions have occurred since the last
+rebuild, which is exactly the staleness the periodic update mode
+models.
+
+Hashing uses double hashing over a 64-bit mix of the key (Kirsch &
+Mitzenmacher: two independent hashes generate k), so adds and queries
+are O(k) with no digest computation in the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["BloomFilter", "BloomIndex"]
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser — a fast, well-distributed 64-bit mix."""
+    x &= 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over integer keys."""
+
+    def __init__(self, n_bits: int, n_hashes: int = 8) -> None:
+        check_positive("n_bits", n_bits)
+        check_positive("n_hashes", n_hashes)
+        self.n_bits = int(n_bits)
+        self.n_hashes = int(n_hashes)
+        self._bits = np.zeros((self.n_bits + 63) // 64, dtype=np.uint64)
+        self.n_added = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, bits_per_item: float = 16.0) -> "BloomFilter":
+        """Size a filter for *capacity* items; the optimal hash count is
+        ``bits_per_item * ln 2``."""
+        check_positive("capacity", capacity)
+        n_bits = max(64, int(capacity * bits_per_item))
+        k = max(1, int(round(bits_per_item * 0.6931)))
+        return cls(n_bits, k)
+
+    def _positions(self, key: int):
+        h1 = _mix64(key)
+        h2 = _mix64(h1 ^ 0x9E3779B97F4A7C15) | 1
+        for i in range(self.n_hashes):
+            yield (h1 + i * h2) % self.n_bits
+
+    def add(self, key: int) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 6] |= np.uint64(1 << (pos & 63))
+        self.n_added += 1
+
+    def __contains__(self, key: int) -> bool:
+        for pos in self._positions(key):
+            if not (int(self._bits[pos >> 6]) >> (pos & 63)) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._bits[:] = 0
+        self.n_added = 0
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise OR of two same-shaped filters."""
+        if (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes):
+            raise ValueError("can only union identically shaped Bloom filters")
+        out = BloomFilter(self.n_bits, self.n_hashes)
+        out._bits = self._bits | other._bits
+        out.n_added = self.n_added + other.n_added
+        return out
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set."""
+        set_bits = int(np.bitwise_count(self._bits).sum())
+        return set_bits / self.n_bits
+
+    def false_positive_rate(self) -> float:
+        """Estimated FP probability at the current fill level."""
+        return self.fill_fraction() ** self.n_hashes
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bits.nbytes
+
+
+class BloomIndex:
+    """Per-client Bloom summaries of browser caches.
+
+    A compressed alternative to the exact
+    :class:`~repro.index.browser_index.BrowserIndex`: lookups return
+    *candidate* holders which the engine must validate against the true
+    caches (a false positive behaves exactly like a stale-index false
+    hit).  Deletions are handled by periodic rebuild from the true
+    cache contents, as Summary Cache does.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        expected_docs_per_client: int,
+        bits_per_doc: float = 16.0,
+    ) -> None:
+        check_positive("n_clients", n_clients)
+        check_positive("expected_docs_per_client", expected_docs_per_client)
+        self.n_clients = n_clients
+        self._filters = [
+            BloomFilter.for_capacity(expected_docs_per_client, bits_per_doc)
+            for _ in range(n_clients)
+        ]
+        self._rr = 0
+
+    def add(self, client: int, doc: int) -> None:
+        self._filters[client].add(doc)
+
+    def rebuild(self, client: int, docs) -> None:
+        """Reset *client*'s filter from its true cache contents."""
+        f = self._filters[client]
+        f.clear()
+        for doc in docs:
+            f.add(doc)
+
+    def candidates(self, doc: int, exclude_client: int) -> list[int]:
+        """Clients whose summaries claim *doc* (may include false
+        positives)."""
+        return [
+            c
+            for c in range(self.n_clients)
+            if c != exclude_client and doc in self._filters[c]
+        ]
+
+    def choose(self, doc: int, exclude_client: int) -> int | None:
+        """Round-robin choice among candidate holders."""
+        cands = self.candidates(doc, exclude_client)
+        if not cands:
+            return None
+        self._rr += 1
+        return cands[self._rr % len(cands)]
+
+    def footprint_bytes(self) -> int:
+        return sum(f.size_bytes for f in self._filters)

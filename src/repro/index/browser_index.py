@@ -1,0 +1,245 @@
+"""The proxy's browser index file (paper §2).
+
+The index records, for every client browser cache, which documents it
+holds.  Maintenance is either *invalidation-based* (every insert and
+evict is reported immediately — the index is always exact) or
+*periodic* (changes are batched per client and flushed when the
+:class:`~repro.index.staleness.PeriodicUpdatePolicy` fires — the
+visible index lags the truth, producing false hits and false misses
+that the simulation engine detects and charges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.index.entry import IndexEntry
+from repro.index.staleness import ClientUpdateState, PeriodicUpdatePolicy, StalenessStats
+
+__all__ = ["BrowserIndex", "IndexLookup", "UpdateMode"]
+
+
+class UpdateMode(Enum):
+    """How browser caches report changes to the proxy's index."""
+
+    INVALIDATION = "invalidation"
+    PERIODIC = "periodic"
+
+
+@dataclass(frozen=True)
+class IndexLookup:
+    """A successful index search: the chosen holder's entry."""
+
+    client: int
+    entry: IndexEntry
+
+
+class BrowserIndex:
+    """Directory of all clients' browser-cache contents.
+
+    ``record_insert`` / ``record_evict`` are driven by the *true* cache
+    events; what ``lookup`` sees depends on the update mode.
+    """
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether lookups may disagree with the true browser caches."""
+        return self.mode is UpdateMode.PERIODIC
+
+    @property
+    def update_messages(self) -> int:
+        """Messages sent from browsers to keep this index current: one
+        per insert/evict event under invalidation, one per batch flush
+        under periodic updates."""
+        if self.mode is UpdateMode.INVALIDATION:
+            return self.n_insert_events + self.n_evict_events
+        return self.stats.flushes
+
+    def __init__(
+        self,
+        n_clients: int,
+        mode: UpdateMode = UpdateMode.INVALIDATION,
+        policy: PeriodicUpdatePolicy | None = None,
+    ) -> None:
+        if n_clients <= 0:
+            raise ValueError(f"n_clients must be > 0, got {n_clients}")
+        if mode is UpdateMode.PERIODIC and policy is None:
+            policy = PeriodicUpdatePolicy()
+        if mode is UpdateMode.INVALIDATION and policy is not None:
+            raise ValueError("invalidation mode takes no periodic policy")
+        self.n_clients = n_clients
+        self.mode = mode
+        self.policy = policy
+        #: visible index: doc -> {client: IndexEntry}
+        self._visible: dict[int, dict[int, IndexEntry]] = {}
+        #: pending (periodic mode): client -> {doc: IndexEntry | None}
+        #: (None = eviction); dict form coalesces insert+evict churn.
+        self._pending: list[dict[int, IndexEntry | None]] = [
+            {} for _ in range(n_clients)
+        ]
+        self._client_state = [ClientUpdateState() for _ in range(n_clients)]
+        self._rr = 0  # round-robin cursor for holder selection
+        self._n_entries = 0
+        self.stats = StalenessStats()
+        self.n_lookups = 0
+        self.n_index_hits = 0
+        self.n_insert_events = 0
+        self.n_evict_events = 0
+
+    # -- event intake ----------------------------------------------------
+
+    def record_insert(
+        self,
+        client: int,
+        doc: int,
+        version: int,
+        size: int,
+        now: float,
+        ttl: float | None = None,
+        replace: bool = False,
+    ) -> None:
+        """A document entered *client*'s browser cache.
+
+        Pass ``replace=True`` when the client is refreshing a document
+        it already cached (a new version), so the per-client document
+        count used by the periodic policy stays accurate.
+        """
+        entry = IndexEntry(
+            client=client, doc=doc, version=version, size=size, timestamp=now, ttl=ttl
+        )
+        self.n_insert_events += 1
+        state = self._client_state[client]
+        if not replace:
+            state.cached_docs += 1
+        if self.mode is UpdateMode.INVALIDATION:
+            holders = self._visible.setdefault(doc, {})
+            if client not in holders:
+                self._n_entries += 1
+            holders[client] = entry
+        else:
+            self._pending[client][doc] = entry
+            state.pending_changes += 1
+            self._maybe_flush(client, now)
+
+    def record_evict(self, client: int, doc: int, now: float) -> None:
+        """A document left *client*'s browser cache (evicted or
+        invalidated)."""
+        self.n_evict_events += 1
+        state = self._client_state[client]
+        state.cached_docs = max(0, state.cached_docs - 1)
+        if self.mode is UpdateMode.INVALIDATION:
+            holders = self._visible.get(doc)
+            if holders and client in holders:
+                del holders[client]
+                self._n_entries -= 1
+                if not holders:
+                    del self._visible[doc]
+        else:
+            self._pending[client][doc] = None
+            state.pending_changes += 1
+            self._maybe_flush(client, now)
+
+    # -- flushing (periodic mode) -----------------------------------------
+
+    def _maybe_flush(self, client: int, now: float) -> None:
+        assert self.policy is not None
+        if self.policy.should_flush(self._client_state[client], now):
+            self.flush(client, now)
+
+    def flush(self, client: int, now: float) -> int:
+        """Apply *client*'s batched updates to the visible index.
+
+        Returns the number of items in the batch (the §5 overhead model
+        charges one message per flush).
+        """
+        pending = self._pending[client]
+        n_items = len(pending)
+        if n_items == 0:
+            return 0
+        for doc, entry in pending.items():
+            if entry is None:
+                holders = self._visible.get(doc)
+                if holders and client in holders:
+                    del holders[client]
+                    self._n_entries -= 1
+                    if not holders:
+                        del self._visible[doc]
+            else:
+                holders = self._visible.setdefault(doc, {})
+                if client not in holders:
+                    self._n_entries += 1
+                holders[client] = entry
+        pending.clear()
+        state = self._client_state[client]
+        state.pending_changes = 0
+        state.last_flush = now
+        self.stats.flushes += 1
+        self.stats.flushed_items += n_items
+        return n_items
+
+    def flush_all(self, now: float) -> None:
+        for client in range(self.n_clients):
+            self.flush(client, now)
+
+    # -- lookups ------------------------------------------------------------
+
+    def lookup(
+        self,
+        doc: int,
+        exclude_client: int,
+        now: float,
+        version: int | None = None,
+    ) -> IndexLookup | None:
+        """Search the (visible) index for a browser holding *doc*.
+
+        *exclude_client* is the requester — its own browser already
+        missed.  When *version* is given, only entries recorded with
+        that version qualify (the proxy knows the current version from
+        the origin's headers).  Expired-TTL entries never qualify.
+        Holder choice is round-robin over qualifying clients so repeat
+        lookups spread load, as the paper's non-bursty traffic
+        measurement assumes.
+        """
+        self.n_lookups += 1
+        holders = self._visible.get(doc)
+        if not holders:
+            return None
+        candidates = [
+            (c, e)
+            for c, e in holders.items()
+            if c != exclude_client
+            and not e.expired(now)
+            and (version is None or e.version == version)
+        ]
+        if not candidates:
+            return None
+        candidates.sort()
+        self._rr += 1
+        client, entry = candidates[self._rr % len(candidates)]
+        self.n_index_hits += 1
+        return IndexLookup(client=client, entry=entry)
+
+    def holders_of(self, doc: int) -> list[int]:
+        """All clients the visible index believes hold *doc*."""
+        return sorted(self._visible.get(doc, ()))
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        """Visible index items across all clients (O(1))."""
+        return self._n_entries
+
+    def footprint_bytes(self) -> int:
+        """Memory needed at the proxy for the exact index (§5):
+        one :attr:`IndexEntry.WIRE_BYTES` record per item."""
+        return self.n_entries * IndexEntry.WIRE_BYTES
+
+    def record_false_hit(self) -> None:
+        """The engine validated a lookup against the true cache and
+        found the index stale."""
+        self.stats.false_hits += 1
+
+    def record_false_miss(self) -> None:
+        self.stats.false_misses += 1

@@ -1,0 +1,172 @@
+"""Bloom-summary browser index usable directly by the simulator.
+
+Implements Fan et al.'s Summary Cache discipline for the BAPS browser
+index: the proxy holds one Bloom filter per client instead of exact
+entries.  Insertions are added to the client's filter immediately
+(adding to a Bloom filter is cheap and monotone); evictions cannot be
+removed, so the filter goes stale until the client sends a fresh
+summary — a *rebuild*, triggered after a threshold fraction of the
+client's cached documents has changed.
+
+Lookups can therefore return **false positives** (evicted documents, or
+plain Bloom collisions); the simulation engine validates every
+candidate against the true browser cache and charges a wasted round
+trip for false hits, exactly as with the periodic exact index.
+"""
+
+from __future__ import annotations
+
+from repro.index.bloom import BloomFilter
+from repro.index.browser_index import IndexLookup
+from repro.index.entry import IndexEntry
+from repro.index.staleness import StalenessStats
+
+__all__ = ["BloomBrowserIndex"]
+
+
+class BloomBrowserIndex:
+    """Summary-Cache style index: one Bloom filter per client.
+
+    Exposes the same interface the engine uses on
+    :class:`~repro.index.browser_index.BrowserIndex`.
+    """
+
+    #: lookups may be wrong; the engine must validate and may count
+    #: false hits/misses.
+    is_stale = True
+
+    def __init__(
+        self,
+        n_clients: int,
+        expected_docs_per_client: int = 512,
+        bits_per_doc: float = 16.0,
+        rebuild_threshold: float = 0.10,
+    ) -> None:
+        if n_clients <= 0:
+            raise ValueError(f"n_clients must be > 0, got {n_clients}")
+        if not (0.0 <= rebuild_threshold <= 1.0):
+            raise ValueError(
+                f"rebuild_threshold must be in [0, 1], got {rebuild_threshold}"
+            )
+        self.n_clients = n_clients
+        self.bits_per_doc = bits_per_doc
+        self.expected_docs = max(1, expected_docs_per_client)
+        self.rebuild_threshold = rebuild_threshold
+        self._filters = [self._new_filter() for _ in range(n_clients)]
+        #: true per-client contents (each client knows its own cache and
+        #: sends the full summary on rebuild): client -> {doc: (version, size)}
+        self._contents: list[dict[int, tuple[int, int]]] = [
+            {} for _ in range(n_clients)
+        ]
+        self._changes_since_rebuild = [0] * n_clients
+        self._rr = 0
+        self.stats = StalenessStats()
+        self.n_lookups = 0
+        self.n_index_hits = 0
+        self.n_insert_events = 0
+        self.n_evict_events = 0
+        self.rebuilds = 0
+
+    def _new_filter(self) -> BloomFilter:
+        return BloomFilter.for_capacity(self.expected_docs, self.bits_per_doc)
+
+    # -- event intake (same signatures as BrowserIndex) --------------------
+
+    def record_insert(
+        self,
+        client: int,
+        doc: int,
+        version: int,
+        size: int,
+        now: float,
+        ttl: float | None = None,
+        replace: bool = False,
+    ) -> None:
+        self.n_insert_events += 1
+        self._contents[client][doc] = (version, size)
+        self._filters[client].add(doc)
+        if replace:
+            # a new version under the same key: the filter entry is
+            # already present, nothing stale is introduced
+            return
+        self._bump(client, now)
+
+    def record_evict(self, client: int, doc: int, now: float) -> None:
+        self.n_evict_events += 1
+        self._contents[client].pop(doc, None)
+        # the filter cannot forget: this is the staleness source
+        self._bump(client, now)
+
+    def _bump(self, client: int, now: float) -> None:
+        self._changes_since_rebuild[client] += 1
+        basis = max(len(self._contents[client]), 20)
+        if self._changes_since_rebuild[client] >= self.rebuild_threshold * basis:
+            self.rebuild(client, now)
+
+    def rebuild(self, client: int, now: float) -> None:
+        """Client sends a fresh summary of its true contents."""
+        f = self._new_filter()
+        for doc in self._contents[client]:
+            f.add(doc)
+        self._filters[client] = f
+        self._changes_since_rebuild[client] = 0
+        self.rebuilds += 1
+        self.stats.flushes += 1
+        self.stats.flushed_items += len(self._contents[client])
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(
+        self,
+        doc: int,
+        exclude_client: int,
+        now: float,
+        version: int | None = None,
+    ) -> IndexLookup | None:
+        """Pick a candidate holder from the summaries.
+
+        Bloom summaries carry no version or size, so the returned
+        entry echoes the client's *claimed* contents when known; the
+        engine always validates against the true cache.
+        """
+        self.n_lookups += 1
+        candidates = [
+            c
+            for c in range(self.n_clients)
+            if c != exclude_client and doc in self._filters[c]
+        ]
+        if not candidates:
+            return None
+        self._rr += 1
+        client = candidates[self._rr % len(candidates)]
+        self.n_index_hits += 1
+        known = self._contents[client].get(doc)
+        entry = IndexEntry(
+            client=client,
+            doc=doc,
+            version=known[0] if known else -1,
+            size=known[1] if known else 0,
+            timestamp=now,
+        )
+        return IndexLookup(client=client, entry=entry)
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(c) for c in self._contents)
+
+    def footprint_bytes(self) -> int:
+        """Proxy-side memory: the filters themselves."""
+        return sum(f.size_bytes for f in self._filters)
+
+    @property
+    def update_messages(self) -> int:
+        """One message per summary rebuild."""
+        return self.rebuilds
+
+    def record_false_hit(self) -> None:
+        self.stats.false_hits += 1
+
+    def record_false_miss(self) -> None:
+        self.stats.false_misses += 1

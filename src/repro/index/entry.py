@@ -1,0 +1,33 @@
+"""Index entry: one (client, document) item of the browser index file.
+
+The paper: "Each item of the index file includes the ID number of a
+client machine, the URL including the full path name of the cached file
+object, and, if any, a time stamp of the file or the TTL provided by
+the data source."  URLs are stored as 16-byte MD5 signatures (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IndexEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexEntry:
+    """One browser-index item."""
+
+    client: int
+    doc: int
+    version: int
+    size: int
+    timestamp: float
+    ttl: float | None = None
+
+    #: on-the-wire/in-memory footprint used by the §5 space estimate:
+    #: 16-byte MD5 URL signature + 4-byte client id + 8-byte timestamp.
+    WIRE_BYTES = 28
+
+    def expired(self, now: float) -> bool:
+        """True when the TTL (if any) has lapsed at time *now*."""
+        return self.ttl is not None and now > self.timestamp + self.ttl

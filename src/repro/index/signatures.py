@@ -1,0 +1,78 @@
+"""URL signatures and the §5 index space estimate.
+
+"Each URL is represented by a 16-byte MD5 signature.  Assume there are
+100 clients connected to one proxy.  Each client has a browser with an
+8 MB cache.  We assume that an average document size is 8 KB.  Each
+browser has about 1 K web pages.  The proxy server only needs about
+[a few MB] to store the whole browser index file for the 100 browsers."
+
+:class:`IndexSpaceModel` reproduces that arithmetic for the exact
+index and for the Bloom-filter compressed variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.md5 import md5_digest
+from repro.util.validation import check_positive
+
+__all__ = ["url_signature", "IndexSpaceModel"]
+
+
+def url_signature(url: str) -> bytes:
+    """The 16-byte MD5 signature used for URLs in the index file."""
+    return md5_digest(url)
+
+
+@dataclass(frozen=True)
+class IndexSpaceModel:
+    """Proxy-side memory needed to index all browser caches."""
+
+    n_clients: int = 100
+    browser_cache_bytes: int = 8_000_000
+    avg_doc_bytes: int = 8_000
+    signature_bytes: int = 16
+    client_id_bytes: int = 4
+    timestamp_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("n_clients", self.n_clients)
+        check_positive("browser_cache_bytes", self.browser_cache_bytes)
+        check_positive("avg_doc_bytes", self.avg_doc_bytes)
+
+    @property
+    def docs_per_browser(self) -> int:
+        """~1 K pages for an 8 MB cache of 8 KB documents."""
+        return max(1, self.browser_cache_bytes // self.avg_doc_bytes)
+
+    @property
+    def total_docs(self) -> int:
+        return self.docs_per_browser * self.n_clients
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.signature_bytes + self.client_id_bytes + self.timestamp_bytes
+
+    def exact_index_bytes(self) -> int:
+        """Full index: one record per cached document."""
+        return self.total_docs * self.entry_bytes
+
+    def bloom_index_bytes(self, bits_per_doc: float = 16.0) -> int:
+        """Summary-Cache-style compression: one Bloom filter per client
+        with *bits_per_doc* bits per cached document (16 bits/doc gives
+        well under 1% false positives with 11 hash functions)."""
+        if bits_per_doc <= 0:
+            raise ValueError(f"bits_per_doc must be > 0, got {bits_per_doc}")
+        per_client_bits = self.docs_per_browser * bits_per_doc
+        return int(self.n_clients * per_client_bits / 8)
+
+    def report(self) -> dict[str, float]:
+        """All the §5 numbers in one dict (sizes in MB)."""
+        return {
+            "clients": self.n_clients,
+            "docs_per_browser": self.docs_per_browser,
+            "total_docs": self.total_docs,
+            "exact_index_mb": self.exact_index_bytes() / 1e6,
+            "bloom_index_mb": self.bloom_index_bytes() / 1e6,
+        }

@@ -1,0 +1,82 @@
+"""Delayed index updates (paper §5, citing Fan et al.'s Summary Cache).
+
+"The update of URL indices among cooperative caches can be delayed
+until a fixed percentage of cached documents are new.  The delay
+threshold of 1% to 10% … results in a tolerable degradation of the
+cache hit ratios."
+
+:class:`PeriodicUpdatePolicy` decides when a client's batched index
+updates are flushed to the proxy: when the number of unreported changes
+exceeds ``threshold`` × (documents currently cached), or when
+``max_interval`` seconds have passed since the last flush (the paper's
+"roughly every 5 minutes to an hour").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["PeriodicUpdatePolicy", "ClientUpdateState", "StalenessStats"]
+
+
+@dataclass
+class ClientUpdateState:
+    """Per-client bookkeeping for the periodic update policy."""
+
+    pending_changes: int = 0
+    cached_docs: int = 0
+    last_flush: float = 0.0
+
+
+@dataclass(frozen=True)
+class PeriodicUpdatePolicy:
+    """Flush when unreported changes exceed a fraction of the cache.
+
+    ``min_docs`` floors the basis so a nearly empty cache still batches
+    a handful of changes per message instead of flushing every event.
+    """
+
+    threshold: float = 0.10
+    max_interval: float | None = None
+    min_docs: int = 20
+
+    def __post_init__(self) -> None:
+        check_fraction("threshold", self.threshold)
+        if self.max_interval is not None:
+            check_positive("max_interval", self.max_interval)
+
+    def should_flush(self, state: ClientUpdateState, now: float) -> bool:
+        if state.pending_changes == 0:
+            return False
+        if self.max_interval is not None and now - state.last_flush >= self.max_interval:
+            return True
+        basis = max(state.cached_docs, self.min_docs)
+        return state.pending_changes >= self.threshold * basis
+
+
+@dataclass
+class StalenessStats:
+    """Observed consequences of a stale index.
+
+    * *false hits*: the index named a holder that no longer has the
+      document (or has a different version) — the request pays an extra
+      round trip and then goes to the origin;
+    * *false misses*: a browser held the document but the index did not
+      know yet — a lost sharing opportunity;
+    * *flushes*: batched update messages sent to the proxy.
+    """
+
+    false_hits: int = 0
+    false_misses: int = 0
+    flushes: int = 0
+    flushed_items: int = 0
+
+    def merged(self, other: "StalenessStats") -> "StalenessStats":
+        return StalenessStats(
+            false_hits=self.false_hits + other.false_hits,
+            false_misses=self.false_misses + other.false_misses,
+            flushes=self.flushes + other.flushes,
+            flushed_items=self.flushed_items + other.flushed_items,
+        )

@@ -1,0 +1,27 @@
+"""Network and storage-latency models (paper §4.2 and §5).
+
+* :mod:`repro.network.ethernet` — the 10 Mbps shared LAN over which
+  remote-browser hits travel, with 0.1 s connection setup and FCFS bus
+  contention accounting,
+* :mod:`repro.network.latency` — the memory/disk access-time model
+  (16-byte memory blocks at 2 µs, 4 KB disk pages at 10 ms),
+* :mod:`repro.network.topology` — a LAN of clients plus proxy with a
+  WAN link to origin servers; prices the service time of every request
+  class so the §5 "overhead as a fraction of total service time"
+  estimate can be reproduced.
+"""
+
+from repro.network.ethernet import EthernetModel, SharedBus, BusStats
+from repro.network.latency import MemoryDiskModel, AccessKind
+from repro.network.topology import LANTopology, WANModel, ServiceTimeModel
+
+__all__ = [
+    "EthernetModel",
+    "SharedBus",
+    "BusStats",
+    "MemoryDiskModel",
+    "AccessKind",
+    "LANTopology",
+    "WANModel",
+    "ServiceTimeModel",
+]

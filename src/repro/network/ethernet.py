@@ -1,0 +1,118 @@
+"""Shared-Ethernet transfer and contention model (paper §5).
+
+"The simulator estimates the data transferring time based on the number
+of remote browser hits and their data sizes on a 10 Mbps Ethernet.
+Setting 0.1 second as the network connection time …"
+
+Remote-browser transfers share one bus; overlapping transfers queue
+FCFS, and the queueing delay is the *contention time* the paper reports
+("the contention time only contributes up to 0.12% of the total
+communication time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import BITS_PER_BYTE
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["EthernetModel", "SharedBus", "BusStats", "BusTransfer"]
+
+
+@dataclass(frozen=True)
+class EthernetModel:
+    """Point-to-point timing for one LAN transfer."""
+
+    bandwidth_bps: float = 10e6
+    connection_setup: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_bps", self.bandwidth_bps)
+        check_non_negative("connection_setup", self.connection_setup)
+
+    def serialization_time(self, n_bytes: int) -> float:
+        """Wire time for *n_bytes*, excluding setup."""
+        check_non_negative("n_bytes", n_bytes)
+        return n_bytes * BITS_PER_BYTE / self.bandwidth_bps
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Setup plus wire time for one transfer."""
+        return self.connection_setup + self.serialization_time(n_bytes)
+
+
+@dataclass(frozen=True)
+class BusTransfer:
+    """Timing of one completed transfer on the shared bus."""
+
+    arrival: float
+    start: float
+    finish: float
+    n_bytes: int
+
+    @property
+    def wait(self) -> float:
+        """Time spent queued behind earlier transfers (contention)."""
+        return self.start - self.arrival
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class BusStats:
+    """Aggregate bus accounting."""
+
+    n_transfers: int = 0
+    total_bytes: int = 0
+    total_service_time: float = 0.0
+    total_contention_time: float = 0.0
+
+    @property
+    def total_communication_time(self) -> float:
+        return self.total_service_time + self.total_contention_time
+
+    @property
+    def contention_fraction(self) -> float:
+        """Contention time as a fraction of total communication time."""
+        total = self.total_communication_time
+        return self.total_contention_time / total if total else 0.0
+
+
+class SharedBus:
+    """FCFS shared medium.
+
+    Transfers must be submitted in non-decreasing arrival order (the
+    simulator replays the trace chronologically).  A transfer arriving
+    while the bus is busy waits until the bus frees.
+    """
+
+    def __init__(self, model: EthernetModel | None = None) -> None:
+        self.model = model or EthernetModel()
+        self._busy_until = 0.0
+        self._last_arrival = float("-inf")
+        self.stats = BusStats()
+
+    def submit(self, arrival: float, n_bytes: int) -> BusTransfer:
+        """Schedule one transfer; returns its timing."""
+        if arrival < self._last_arrival:
+            raise ValueError(
+                f"transfers must arrive in order: {arrival} < {self._last_arrival}"
+            )
+        self._last_arrival = arrival
+        start = max(arrival, self._busy_until)
+        service = self.model.transfer_time(n_bytes)
+        finish = start + service
+        self._busy_until = finish
+        t = BusTransfer(arrival=arrival, start=start, finish=finish, n_bytes=n_bytes)
+        self.stats.n_transfers += 1
+        self.stats.total_bytes += n_bytes
+        self.stats.total_service_time += service
+        self.stats.total_contention_time += t.wait
+        return t
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self._last_arrival = float("-inf")
+        self.stats = BusStats()

@@ -1,0 +1,103 @@
+"""LAN/WAN topology and the total-service-time model (paper §5).
+
+The paper reports remote-browser communication overhead "out of the
+total workload service time", so the simulator must price *every*
+request class, not just remote hits:
+
+* local browser hit — memory or disk access on the client machine,
+* proxy hit — memory or disk access at the proxy plus the LAN hop,
+* remote browser hit — storage access at the holder plus a shared-bus
+  LAN transfer (the overhead being measured),
+* miss — a WAN fetch from the origin server.
+
+WAN defaults (0.5 s connect, 1 Mbps effective throughput) model a
+2000-era origin fetch; they are configurable and only scale the
+denominator of the overhead fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.ethernet import EthernetModel, SharedBus
+from repro.network.latency import AccessKind, MemoryDiskModel
+from repro.util.units import BITS_PER_BYTE
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["WANModel", "LANTopology", "ServiceTimeModel"]
+
+
+@dataclass(frozen=True)
+class WANModel:
+    """Origin-server fetch timing."""
+
+    connection_setup: float = 0.5
+    bandwidth_bps: float = 1e6
+
+    def __post_init__(self) -> None:
+        check_non_negative("connection_setup", self.connection_setup)
+        check_positive("bandwidth_bps", self.bandwidth_bps)
+
+    def fetch_time(self, n_bytes: int) -> float:
+        check_non_negative("n_bytes", n_bytes)
+        return self.connection_setup + n_bytes * BITS_PER_BYTE / self.bandwidth_bps
+
+
+@dataclass
+class LANTopology:
+    """A cluster of clients and one proxy on a shared LAN segment."""
+
+    n_clients: int
+    lan: EthernetModel = field(default_factory=EthernetModel)
+    wan: WANModel = field(default_factory=WANModel)
+    storage: MemoryDiskModel = field(default_factory=MemoryDiskModel)
+
+    def __post_init__(self) -> None:
+        check_positive("n_clients", self.n_clients)
+        self.bus = SharedBus(self.lan)
+
+    def remote_browser_transfer(self, arrival: float, n_bytes: int):
+        """A remote-browser hit moves the document across the shared
+        bus; returns the :class:`~repro.network.ethernet.BusTransfer`."""
+        return self.bus.submit(arrival, n_bytes)
+
+    def reset(self) -> None:
+        self.bus.reset()
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Per-request service-time pricing for the overhead estimate."""
+
+    lan: EthernetModel = field(default_factory=EthernetModel)
+    wan: WANModel = field(default_factory=WANModel)
+    storage: MemoryDiskModel = field(default_factory=MemoryDiskModel)
+
+    def local_hit(self, n_bytes: int, kind: AccessKind = AccessKind.DISK) -> float:
+        """Served from the client's own browser cache."""
+        return self.storage.access_time(n_bytes, kind)
+
+    def proxy_hit(self, n_bytes: int, kind: AccessKind = AccessKind.DISK) -> float:
+        """Served from the proxy cache: storage access + LAN hop to the
+        client."""
+        return self.storage.access_time(n_bytes, kind) + self.lan.transfer_time(n_bytes)
+
+    def remote_browser_hit(
+        self,
+        n_bytes: int,
+        kind: AccessKind = AccessKind.DISK,
+        contention: float = 0.0,
+    ) -> float:
+        """Served from another client's browser cache: storage access at
+        the holder, LAN transfer, plus any bus contention wait."""
+        check_non_negative("contention", contention)
+        return (
+            self.storage.access_time(n_bytes, kind)
+            + self.lan.transfer_time(n_bytes)
+            + contention
+        )
+
+    def origin_miss(self, n_bytes: int) -> float:
+        """Fetched from the origin over the WAN (plus the LAN hop from
+        the proxy to the client, which is dwarfed by the WAN time)."""
+        return self.wan.fetch_time(n_bytes) + self.lan.transfer_time(n_bytes)

@@ -1,0 +1,28 @@
+"""Web prefetching substrate (PPM prediction).
+
+The browsers-aware proxy's authors followed this paper with
+popularity-based PPM prefetching (Xiao/Zhang group, ICPP 2002): a proxy
+that *predicts* upcoming requests from per-client access context and
+pushes documents into browser caches ahead of time.  This package
+implements the classic order-k PPM (Prediction by Partial Matching)
+predictor and a prefetching simulator, so prefetching — the other way
+to use idle browser cache capacity — can be compared against BAPS's
+peer sharing.
+"""
+
+from repro.prefetch.ppm import PPMPredictor, Prediction
+from repro.prefetch.engine import (
+    PrefetchConfig,
+    PrefetchStats,
+    PrefetchSimulator,
+    simulate_prefetch,
+)
+
+__all__ = [
+    "PPMPredictor",
+    "Prediction",
+    "PrefetchConfig",
+    "PrefetchStats",
+    "PrefetchSimulator",
+    "simulate_prefetch",
+]

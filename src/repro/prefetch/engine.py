@@ -1,0 +1,175 @@
+"""Prefetching simulator: proxy-and-local-browser plus PPM pushes.
+
+After every served request the proxy consults the PPM model and pushes
+confident predictions into the requesting client's browser cache (if
+not already cached there).  A prefetch that the proxy itself holds
+costs only a LAN transfer; otherwise it costs a WAN fetch — the
+bandwidth gamble at the heart of prefetching.
+
+Accounting distinguishes *useful* prefetches (the client's next
+accesses hit them) from *wasted* ones (evicted or never referenced),
+and reports the extra WAN bytes prefetching moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache import make_cache
+from repro.core.events import HitLocation
+from repro.core.metrics import SimulationResult
+from repro.network.ethernet import EthernetModel
+from repro.network.latency import MemoryDiskModel
+from repro.network.topology import WANModel
+from repro.prefetch.ppm import PPMPredictor
+from repro.traces.record import Trace
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+__all__ = ["PrefetchConfig", "PrefetchStats", "PrefetchSimulator", "simulate_prefetch"]
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Prefetching on top of proxy-and-local-browser."""
+
+    proxy_capacity: int
+    browser_capacity: int
+    order: int = 2
+    confidence_threshold: float = 0.3
+    max_prefetches_per_request: int = 2
+    policy: str = "lru"
+    lan: EthernetModel = field(default_factory=EthernetModel)
+    wan: WANModel = field(default_factory=WANModel)
+    storage: MemoryDiskModel = field(default_factory=MemoryDiskModel)
+
+    def __post_init__(self) -> None:
+        check_non_negative("proxy_capacity", self.proxy_capacity)
+        check_non_negative("browser_capacity", self.browser_capacity)
+        check_positive("order", self.order)
+        check_fraction("confidence_threshold", self.confidence_threshold)
+        check_non_negative("max_prefetches_per_request", self.max_prefetches_per_request)
+
+
+@dataclass
+class PrefetchStats:
+    """What the prefetcher did and whether it paid off."""
+
+    issued: int = 0
+    issued_bytes: int = 0
+    #: prefetched objects later served from the browser cache.
+    useful: int = 0
+    useful_bytes: int = 0
+    #: prefetches fetched over the WAN (not already at the proxy).
+    wan_fetches: int = 0
+    wan_bytes: int = 0
+    #: predictions skipped because the object was already cached.
+    redundant: int = 0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of issued prefetches that were eventually used."""
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class PrefetchSimulator:
+    """Proxy-and-local-browser with PPM prefetch pushes."""
+
+    def __init__(self, trace: Trace, config: PrefetchConfig) -> None:
+        self.trace = trace
+        self.config = config
+        n_clients = int(trace.clients.max()) + 1 if len(trace) else 1
+        self.browsers = [
+            make_cache(config.policy, config.browser_capacity) for _ in range(n_clients)
+        ]
+        self.proxy = make_cache(config.policy, config.proxy_capacity)
+        self.predictor = PPMPredictor(order=config.order)
+        self.stats = PrefetchStats()
+        #: (client, doc) pairs sitting in a browser due to a prefetch
+        #: and not yet accessed.
+        self._pending: set[tuple[int, int]] = set()
+        #: last known (size, version) per doc, for prefetchable bodies.
+        self._known: dict[int, tuple[int, int]] = {}
+        self.result = SimulationResult(
+            trace_name=trace.name, organization="plb+ppm-prefetch"
+        )
+
+    # -- replay --------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        browsers = self.browsers
+        proxy = self.proxy
+        predictor = self.predictor
+        stats = self.stats
+        lan = config.lan
+        wan = config.wan
+        disk_time = config.storage.disk_time
+        threshold = config.confidence_threshold
+        fanout = config.max_prefetches_per_request
+
+        for t, c, d, s, v in self.trace.iter_rows():
+            browser = browsers[c]
+            entry = browser.get(d)
+            if entry is not None and entry.version == v:
+                if (c, d) in self._pending:
+                    self._pending.discard((c, d))
+                    stats.useful += 1
+                    stats.useful_bytes += s
+                result.record(HitLocation.LOCAL_BROWSER, s)
+                overhead.local_hit_time += disk_time(s)
+            else:
+                entry = proxy.get(d)
+                if entry is not None and entry.version == v:
+                    result.record(HitLocation.PROXY, s)
+                    overhead.proxy_hit_time += disk_time(s) + lan.transfer_time(s)
+                    browser.put(d, s, v)
+                else:
+                    result.record(HitLocation.ORIGIN, s)
+                    overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
+                    proxy.put(d, s, v)
+                    browser.put(d, s, v)
+                self._pending.discard((c, d))
+
+            self._known[d] = (s, v)
+            predictor.observe(c, d)
+
+            # push predictions into the client's browser
+            if fanout == 0:
+                continue
+            for pred in predictor.predict(c, threshold=threshold, max_predictions=fanout):
+                pd = pred.doc
+                known = self._known.get(pd)
+                if known is None:
+                    continue
+                ps, pv = known
+                held = browser.peek(pd)
+                if held is not None and held.version == pv:
+                    stats.redundant += 1
+                    continue
+                stats.issued += 1
+                stats.issued_bytes += ps
+                at_proxy = proxy.peek(pd)
+                if at_proxy is not None and at_proxy.version == pv:
+                    overhead.remote_transfer_time += lan.transfer_time(ps)
+                else:
+                    stats.wan_fetches += 1
+                    stats.wan_bytes += ps
+                    overhead.origin_miss_time += wan.fetch_time(ps)
+                    proxy.put(pd, ps, pv)
+                evicted_self = browser.put(pd, ps, pv)
+                if pd in browser:
+                    self._pending.add((c, pd))
+                for gone in evicted_self:
+                    self._pending.discard((c, gone))
+
+        return result
+
+
+
+def simulate_prefetch(trace: Trace, config: PrefetchConfig) -> tuple[SimulationResult, PrefetchStats]:
+    """One-shot prefetching simulation; returns (result, prefetch stats)."""
+    sim = PrefetchSimulator(trace, config)
+    result = sim.run()
+    return result, sim.stats

@@ -1,0 +1,108 @@
+"""Order-k PPM (Prediction by Partial Matching) next-request predictor.
+
+A context trie stores, for every recent access context of length 1..k,
+the observed successor counts.  Predicting after context
+``(a, b)`` blends the order-2 node (successors of "a then b") with the
+order-1 node (successors of "b"), preferring higher orders — the
+structure used by every PPM web-prefetching study of the era.
+
+The trie is trained online, one access at a time, per client stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["PPMPredictor", "Prediction"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One predicted next document."""
+
+    doc: int
+    confidence: float
+    order: int
+
+
+class _Node:
+    __slots__ = ("successors", "total")
+
+    def __init__(self) -> None:
+        self.successors: dict[int, int] = {}
+        self.total = 0
+
+    def observe(self, doc: int) -> None:
+        self.successors[doc] = self.successors.get(doc, 0) + 1
+        self.total += 1
+
+
+class PPMPredictor:
+    """Per-client order-k PPM model over document ids."""
+
+    def __init__(self, order: int = 2, max_contexts: int = 200_000) -> None:
+        check_positive("order", order)
+        check_positive("max_contexts", max_contexts)
+        self.order = int(order)
+        self.max_contexts = int(max_contexts)
+        #: context tuple (length 1..k) -> successor counts
+        self._contexts: dict[tuple[int, ...], _Node] = {}
+        #: per-client recent access window (length <= k)
+        self._history: dict[int, list[int]] = {}
+        self.n_observations = 0
+
+    def observe(self, client: int, doc: int) -> None:
+        """Feed one access of *client* to *doc* into the model."""
+        history = self._history.setdefault(client, [])
+        for length in range(1, min(self.order, len(history)) + 1):
+            context = tuple(history[-length:])
+            node = self._contexts.get(context)
+            if node is None:
+                if len(self._contexts) >= self.max_contexts:
+                    continue  # bounded memory: stop growing, keep counting
+                node = self._contexts[context] = _Node()
+            node.observe(doc)
+        history.append(doc)
+        if len(history) > self.order:
+            del history[: len(history) - self.order]
+        self.n_observations += 1
+
+    def predict(
+        self,
+        client: int,
+        threshold: float = 0.25,
+        max_predictions: int = 2,
+    ) -> list[Prediction]:
+        """Predict the next documents for *client*.
+
+        Returns up to *max_predictions* documents whose conditional
+        probability exceeds *threshold*, preferring the longest
+        matching context (higher-order predictions shadow lower-order
+        ones for the same document).
+        """
+        check_fraction("threshold", threshold)
+        history = self._history.get(client)
+        if not history:
+            return []
+        picked: dict[int, Prediction] = {}
+        for length in range(min(self.order, len(history)), 0, -1):
+            context = tuple(history[-length:])
+            node = self._contexts.get(context)
+            if node is None or node.total == 0:
+                continue
+            for doc, count in node.successors.items():
+                confidence = count / node.total
+                if confidence >= threshold and doc not in picked:
+                    picked[doc] = Prediction(doc=doc, confidence=confidence, order=length)
+        ranked = sorted(picked.values(), key=lambda p: (-p.order, -p.confidence))
+        return ranked[:max_predictions]
+
+    @property
+    def n_contexts(self) -> int:
+        return len(self._contexts)
+
+    def footprint_entries(self) -> int:
+        """Total successor entries across contexts (a memory proxy)."""
+        return sum(len(n.successors) for n in self._contexts.values())

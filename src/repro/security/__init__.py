@@ -1,0 +1,59 @@
+"""Reliability and security substrate (paper §6).
+
+Everything here is implemented from scratch in pure Python:
+
+* :mod:`repro.security.md5` — RFC 1321 MD5, used for the 16-byte URL
+  signatures in the browser index and for message digests,
+* :mod:`repro.security.rsa` — RSA key generation, raw encryption, and
+  signatures (the proxy's public/private key pair),
+* :mod:`repro.security.des` — the full 16-round DES block cipher with
+  ECB/CBC modes (the symmetric-key system the paper names),
+* :mod:`repro.security.watermark` — the proxy-signed digital watermark
+  ensuring documents forwarded between browsers are tamper-proof,
+* :mod:`repro.security.anonymity` — the proxy-anonymizer and peer mix
+  protocols hiding requester/provider identities,
+* :mod:`repro.security.protocols` — end-to-end message-flow simulation
+  with overhead accounting ("the associated overheads are trivial").
+"""
+
+from repro.security.md5 import md5_digest, md5_hexdigest, MD5
+from repro.security.rsa import RSAKeyPair, generate_keypair, rsa_encrypt_int, rsa_decrypt_int
+from repro.security.des import DES, des_encrypt_block, des_decrypt_block
+from repro.security.watermark import Watermark, WatermarkAuthority, WatermarkError
+from repro.security.anonymity import (
+    AnonymizingProxy,
+    MixChain,
+    PeerEndpoint,
+    AnonymityError,
+)
+from repro.security.mutual import ShortcutResponseProtocol, CrowdsStyleForwarder
+from repro.security.protocols import (
+    SecureTransferProtocol,
+    TransferRecord,
+    SecurityOverheadModel,
+)
+
+__all__ = [
+    "md5_digest",
+    "md5_hexdigest",
+    "MD5",
+    "RSAKeyPair",
+    "generate_keypair",
+    "rsa_encrypt_int",
+    "rsa_decrypt_int",
+    "DES",
+    "des_encrypt_block",
+    "des_decrypt_block",
+    "Watermark",
+    "WatermarkAuthority",
+    "WatermarkError",
+    "AnonymizingProxy",
+    "MixChain",
+    "PeerEndpoint",
+    "AnonymityError",
+    "ShortcutResponseProtocol",
+    "CrowdsStyleForwarder",
+    "SecureTransferProtocol",
+    "TransferRecord",
+    "SecurityOverheadModel",
+]

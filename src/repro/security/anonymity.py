@@ -1,0 +1,250 @@
+"""Communication anonymity protocols (paper §6.2 and HPL-2001-204).
+
+Two mechanisms are implemented:
+
+* :class:`AnonymizingProxy` — the paper's primary design: the proxy
+  acts as an anonymizer.  A requesting client only ever talks to the
+  proxy; the proxy contacts the holder and relays the content.  The
+  holder never learns who requested, and the requester never learns who
+  served.  Payloads between holder and proxy are encrypted under a
+  per-transfer DES session key so a LAN eavesdropper learns neither
+  content nor (from content) the participants.
+
+* :class:`MixChain` — the decentralised alternative ("anonymity
+  protocols that hide identities among peer browsers with no or limited
+  centralized controls"): the requester builds an onion over a chain of
+  peer hops; each hop can decrypt only its own layer, learning just the
+  next hop.
+
+Both protocols operate on an in-memory message transcript, so tests can
+assert the anonymity properties by inspecting exactly what bytes each
+principal observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.security.des import DES
+from repro.security.rsa import RSAKeyPair, generate_keypair, rsa_encrypt_int
+from repro.util.rng import make_rng
+
+__all__ = [
+    "AnonymityError",
+    "Message",
+    "PeerEndpoint",
+    "AnonymizingProxy",
+    "MixChain",
+]
+
+
+class AnonymityError(Exception):
+    """Protocol violation or undecryptable message."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message as observed on the wire.
+
+    ``sender``/``receiver`` are the *physical* LAN endpoints (what an
+    eavesdropper on the segment sees); ``payload`` is the bytes
+    delivered.  Anonymity assertions check that application-level
+    identities never appear where they must not.
+    """
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: bytes
+
+
+@dataclass
+class PeerEndpoint:
+    """A client machine participating in the protocols."""
+
+    name: str
+    keypair: RSAKeyPair
+    #: documents cached locally: doc key -> content bytes
+    store: dict[int, bytes] = field(default_factory=dict)
+
+    @property
+    def public(self) -> tuple[int, int]:
+        return self.keypair.public
+
+    @classmethod
+    def create(cls, name: str, seed: int | None = None, bits: int = 512) -> "PeerEndpoint":
+        return cls(name=name, keypair=generate_keypair(bits, seed=seed))
+
+
+def _wrap_session_key(session_key: bytes, public: tuple[int, int]) -> int:
+    """RSA-encrypt an 8-byte DES session key for *public*."""
+    return rsa_encrypt_int(int.from_bytes(session_key, "big"), public)
+
+
+def _unwrap_session_key(wrapped: int, keypair: RSAKeyPair) -> bytes:
+    m = pow(wrapped, keypair.d, keypair.n)
+    if m >= 1 << 64:
+        # Decrypting with the wrong private key yields a random value
+        # far wider than a DES session key.
+        raise AnonymityError("session key unwrap failed: not addressed to this key")
+    return m.to_bytes(8, "big")
+
+
+class AnonymizingProxy:
+    """The proxy-mediated anonymity protocol.
+
+    Flow for one remote-browser hit:
+
+    1. requester → proxy: request for document *key* (the proxy knows
+       the requester, as it must — it is trusted infrastructure),
+    2. proxy → holder: fetch *key*, carrying a fresh DES session key
+       wrapped under the holder's public RSA key — **no requester
+       identity**,
+    3. holder → proxy: document encrypted under the session key,
+    4. proxy → requester: document re-encrypted under a session key
+       shared with the requester — **no holder identity**.
+    """
+
+    def __init__(self, name: str = "proxy", seed: int | np.random.Generator | None = None) -> None:
+        self.name = name
+        self._rng = make_rng(seed)
+        self.transcript: list[Message] = []
+
+    def _session_key(self) -> bytes:
+        return bytes(int(b) for b in self._rng.integers(0, 256, size=8))
+
+    def _send(self, sender: str, receiver: str, kind: str, payload: bytes) -> Message:
+        msg = Message(sender=sender, receiver=receiver, kind=kind, payload=payload)
+        self.transcript.append(msg)
+        return msg
+
+    def relay(
+        self,
+        requester: PeerEndpoint,
+        holder: PeerEndpoint,
+        key: int,
+    ) -> bytes:
+        """Run the four-message relay; returns the document as received
+        by the requester.  Raises :class:`AnonymityError` if the holder
+        does not actually have the document."""
+        # 1. request (requester -> proxy); names the document only.
+        self._send(requester.name, self.name, "request", key.to_bytes(8, "big"))
+
+        if key not in holder.store:
+            raise AnonymityError(
+                f"index said client holds doc {key} but it is not in its store"
+            )
+
+        # 2. fetch (proxy -> holder): wrapped session key + doc key.
+        k_hold = self._session_key()
+        wrapped = _wrap_session_key(k_hold, holder.public)
+        fetch_payload = key.to_bytes(8, "big") + wrapped.to_bytes(
+            (holder.keypair.n.bit_length() + 7) // 8, "big"
+        )
+        self._send(self.name, holder.name, "fetch", fetch_payload)
+
+        # 3. deliver (holder -> proxy): document under the session key.
+        recovered_key = _unwrap_session_key(wrapped, holder.keypair)
+        if recovered_key != k_hold:
+            raise AnonymityError("holder failed to unwrap the session key")
+        iv = self._session_key()
+        ciphertext = DES(k_hold).encrypt_cbc(holder.store[key], iv)
+        self._send(holder.name, self.name, "deliver", iv + ciphertext)
+
+        # 4. forward (proxy -> requester): re-encrypted for the requester.
+        document = DES(k_hold).decrypt_cbc(ciphertext, iv)
+        k_req = self._session_key()
+        wrapped_req = _wrap_session_key(k_req, requester.public)
+        iv2 = self._session_key()
+        ct2 = DES(k_req).encrypt_cbc(document, iv2)
+        payload = (
+            wrapped_req.to_bytes((requester.keypair.n.bit_length() + 7) // 8, "big")
+            + iv2
+            + ct2
+        )
+        self._send(self.name, requester.name, "forward", payload)
+
+        # Requester-side decryption.
+        n_bytes = (requester.keypair.n.bit_length() + 7) // 8
+        got_wrapped = int.from_bytes(payload[:n_bytes], "big")
+        got_key = _unwrap_session_key(got_wrapped, requester.keypair)
+        return DES(got_key).decrypt_cbc(payload[n_bytes + 8 :], payload[n_bytes : n_bytes + 8])
+
+    # -- anonymity checks (used by tests and examples) -------------------
+
+    def holder_view(self, holder: PeerEndpoint) -> list[Message]:
+        """Messages the holder sent or received."""
+        return [m for m in self.transcript if holder.name in (m.sender, m.receiver)]
+
+    def requester_view(self, requester: PeerEndpoint) -> list[Message]:
+        return [m for m in self.transcript if requester.name in (m.sender, m.receiver)]
+
+
+class MixChain:
+    """Onion routing over a chain of peer hops (decentralised variant).
+
+    The requester picks hops ``h1 … hk`` ending at the holder and builds
+    nested layers: the outermost is decryptable only by ``h1`` and names
+    ``h2``; the innermost is decryptable only by the holder and contains
+    the document request.  Each hop learns its predecessor and successor
+    and nothing else.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self._rng = make_rng(seed)
+        self.transcript: list[Message] = []
+
+    def _session_key(self) -> bytes:
+        return bytes(int(b) for b in self._rng.integers(0, 256, size=8))
+
+    def build_onion(self, hops: list[PeerEndpoint], request: bytes) -> bytes:
+        """Wrap *request* in one DES+RSA layer per hop, innermost last."""
+        if not hops:
+            raise AnonymityError("mix chain needs at least one hop")
+        payload = request
+        for i, hop in enumerate(reversed(hops)):
+            nxt = hops[len(hops) - i] if i > 0 else None
+            next_name = (nxt.name if nxt else "").encode().ljust(16, b"\x00")[:16]
+            key = self._session_key()
+            iv = self._session_key()
+            wrapped = _wrap_session_key(key, hop.public)
+            n_bytes = (hop.keypair.n.bit_length() + 7) // 8
+            body = DES(key).encrypt_cbc(next_name + payload, iv)
+            payload = wrapped.to_bytes(n_bytes, "big") + iv + body
+        return payload
+
+    def peel(self, hop: PeerEndpoint, onion: bytes) -> tuple[str, bytes]:
+        """One hop strips its layer: returns (next hop name, inner bytes)."""
+        n_bytes = (hop.keypair.n.bit_length() + 7) // 8
+        if len(onion) < n_bytes + 8:
+            raise AnonymityError("onion too short for this hop")
+        wrapped = int.from_bytes(onion[:n_bytes], "big")
+        key = _unwrap_session_key(wrapped, hop.keypair)
+        iv = onion[n_bytes : n_bytes + 8]
+        try:
+            plain = DES(key).decrypt_cbc(onion[n_bytes + 8 :], iv)
+        except ValueError as exc:
+            raise AnonymityError("layer not addressed to this hop") from exc
+        next_name = plain[:16].rstrip(b"\x00").decode()
+        return next_name, plain[16:]
+
+    def route(self, hops: list[PeerEndpoint], request: bytes) -> bytes:
+        """Send *request* through the full chain, recording each wire
+        message; returns the request as seen by the final hop."""
+        onion = self.build_onion(hops, request)
+        sender = "requester"
+        inner = onion
+        for i, hop in enumerate(hops):
+            self.transcript.append(
+                Message(sender=sender, receiver=hop.name, kind="onion", payload=inner)
+            )
+            next_name, inner = self.peel(hop, inner)
+            expected = hops[i + 1].name if i + 1 < len(hops) else ""
+            if next_name != expected:
+                raise AnonymityError(
+                    f"layer routing mismatch at {hop.name}: {next_name!r} != {expected!r}"
+                )
+            sender = hop.name
+        return inner

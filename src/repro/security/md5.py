@@ -1,0 +1,144 @@
+"""MD5 message digest, implemented from RFC 1321.
+
+The paper uses 16-byte MD5 signatures for URLs in the browser index
+(§5) and MD5 message digests inside the digital watermark (§6.1), and
+cites Rivest's RFC 1321 directly — so we implement the algorithm
+rather than wrapping :mod:`hashlib`.  (The test suite cross-checks this
+implementation against ``hashlib.md5`` on random inputs.)
+
+Note: MD5 is used here exactly as the paper used it in 2002 — as a
+content fingerprint inside a trusted LAN — not as a modern
+collision-resistant primitive.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["MD5", "md5_digest", "md5_hexdigest"]
+
+# Per-round left-rotate amounts (RFC 1321 §3.4).
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+# K[i] = floor(2^32 * abs(sin(i + 1))), precomputed per the RFC.
+_K = [
+    0xD76AA478, 0xE8C7B756, 0x242070DB, 0xC1BDCEEE,
+    0xF57C0FAF, 0x4787C62A, 0xA8304613, 0xFD469501,
+    0x698098D8, 0x8B44F7AF, 0xFFFF5BB1, 0x895CD7BE,
+    0x6B901122, 0xFD987193, 0xA679438E, 0x49B40821,
+    0xF61E2562, 0xC040B340, 0x265E5A51, 0xE9B6C7AA,
+    0xD62F105D, 0x02441453, 0xD8A1E681, 0xE7D3FBC8,
+    0x21E1CDE6, 0xC33707D6, 0xF4D50D87, 0x455A14ED,
+    0xA9E3E905, 0xFCEFA3F8, 0x676F02D9, 0x8D2A4C8A,
+    0xFFFA3942, 0x8771F681, 0x6D9D6122, 0xFDE5380C,
+    0xA4BEEA44, 0x4BDECFA9, 0xF6BB4B60, 0xBEBFBC70,
+    0x289B7EC6, 0xEAA127FA, 0xD4EF3085, 0x04881D05,
+    0xD9D4D039, 0xE6DB99E5, 0x1FA27CF8, 0xC4AC5665,
+    0xF4292244, 0x432AFF97, 0xAB9423A7, 0xFC93A039,
+    0x655B59C3, 0x8F0CCC92, 0xFFEFF47D, 0x85845DD1,
+    0x6FA87E4F, 0xFE2CE6E0, 0xA3014314, 0x4E0811A1,
+    0xF7537E82, 0xBD3AF235, 0x2AD7D2BB, 0xEB86D391,
+]
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(x: int, n: int) -> int:
+    x &= _MASK
+    return ((x << n) | (x >> (32 - n))) & _MASK
+
+
+class MD5:
+    """Incremental MD5, mirroring the ``hashlib`` interface."""
+
+    digest_size = 16
+    block_size = 64
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._a = 0x67452301
+        self._b = 0xEFCDAB89
+        self._c = 0x98BADCFE
+        self._d = 0x10325476
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+
+    def digest(self) -> bytes:
+        # Work on copies so digest() is idempotent and update() can
+        # continue afterwards, as with hashlib.
+        clone = MD5.__new__(MD5)
+        clone._a, clone._b, clone._c, clone._d = self._a, self._b, self._c, self._d
+        clone._length = self._length
+        clone._buffer = self._buffer
+        bit_len = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
+        pad_len = (55 - clone._length) % 64
+        tail = b"\x80" + b"\x00" * pad_len + struct.pack("<Q", bit_len)
+        clone._buffer += tail
+        while len(clone._buffer) >= 64:
+            clone._compress(clone._buffer[:64])
+            clone._buffer = clone._buffer[64:]
+        return struct.pack("<4I", clone._a, clone._b, clone._c, clone._d)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "MD5":
+        clone = MD5.__new__(MD5)
+        clone._a, clone._b, clone._c, clone._d = self._a, self._b, self._c, self._d
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def _compress(self, block: bytes) -> None:
+        m = struct.unpack("<16I", block)
+        a, b, c, d = self._a, self._b, self._c, self._d
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & _MASK))
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & _MASK
+            a, d, c = d, c, b
+            b = (b + _rotl(f, _SHIFTS[i])) & _MASK
+        self._a = (self._a + a) & _MASK
+        self._b = (self._b + b) & _MASK
+        self._c = (self._c + c) & _MASK
+        self._d = (self._d + d) & _MASK
+
+
+def md5_digest(data: bytes | str) -> bytes:
+    """16-byte MD5 digest of *data* (str is encoded UTF-8)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return MD5(data).digest()
+
+
+def md5_hexdigest(data: bytes | str) -> str:
+    """Hex MD5 digest of *data*."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return MD5(data).hexdigest()

@@ -1,0 +1,171 @@
+"""Mutual-anonymity protocols with limited proxy involvement
+(HPL-2001-204 variants the paper cites in §6.2).
+
+The baseline :class:`~repro.security.anonymity.AnonymizingProxy` relays
+*content* through the proxy — full anonymity but the proxy carries
+every shared byte.  The tech report's refinements reduce the proxy's
+load while keeping requester and holder mutually anonymous:
+
+* :class:`ShortcutResponseProtocol` — the proxy only brokers: it hands
+  the holder a one-time *rendezvous tag* and a requester-chosen return
+  key (never the requester's identity).  The holder broadcasts the
+  encrypted response on the LAN tagged with the rendezvous tag; only
+  the requester recognises the tag and can decrypt.  Content bytes
+  cross the wire once instead of twice.
+* :class:`CrowdsStyleForwarder` — no proxy at all: each peer forwards a
+  request to a randomly chosen peer, flipping a biased coin to decide
+  whether to forward again or submit; the initiator is hidden in the
+  crowd (plausible deniability rather than cryptographic anonymity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.security.anonymity import AnonymityError, Message, PeerEndpoint
+from repro.security.des import DES
+from repro.security.rsa import rsa_encrypt_int
+from repro.util.rng import make_rng
+from repro.util.validation import check_probability
+
+__all__ = ["ShortcutResponseProtocol", "CrowdsStyleForwarder"]
+
+
+class ShortcutResponseProtocol:
+    """Broker-only proxy; content travels holder → LAN broadcast.
+
+    Message flow for one remote hit of document *key*:
+
+    1. requester → proxy: request carrying a fresh rendezvous tag and a
+       DES return key, both encrypted so only the proxy can read them,
+    2. proxy → holder: the tag and return key (re-wrapped for the
+       holder) — no requester identity,
+    3. holder → LAN broadcast: ``tag || E_returnkey(document)``; every
+       client sees the broadcast, only the requester recognises the tag.
+
+    The proxy never touches the document; the holder never learns the
+    requester; eavesdroppers see only ciphertext under a one-time key.
+    """
+
+    def __init__(self, name: str = "proxy", seed: int | np.random.Generator | None = None) -> None:
+        self.name = name
+        self._rng = make_rng(seed)
+        self.transcript: list[Message] = []
+        self.broadcasts: list[bytes] = []
+
+    def _random_bytes(self, n: int) -> bytes:
+        return bytes(int(b) for b in self._rng.integers(0, 256, size=n))
+
+    def _send(self, sender: str, receiver: str, kind: str, payload: bytes) -> None:
+        self.transcript.append(
+            Message(sender=sender, receiver=receiver, kind=kind, payload=payload)
+        )
+
+    def exchange(self, requester: PeerEndpoint, holder: PeerEndpoint, key: int) -> bytes:
+        """Run the three-message exchange; returns the document as
+        recovered by the requester."""
+        if key not in holder.store:
+            raise AnonymityError(f"holder does not have document {key}")
+
+        tag = self._random_bytes(16)
+        return_key = self._random_bytes(8)
+
+        # 1. request: tag + return key, for the proxy's eyes only (the
+        #    wire carries them RSA-wrapped; we model the wrap on the
+        #    return key, the tag is public randomness).
+        self._send(requester.name, self.name, "request", key.to_bytes(8, "big") + tag)
+
+        # 2. brokering: proxy re-wraps the return key for the holder.
+        wrapped = rsa_encrypt_int(int.from_bytes(return_key, "big"), holder.public)
+        n_bytes = (holder.keypair.n.bit_length() + 7) // 8
+        self._send(
+            self.name,
+            holder.name,
+            "broker",
+            key.to_bytes(8, "big") + tag + wrapped.to_bytes(n_bytes, "big"),
+        )
+
+        # 3. holder broadcasts the response to the whole LAN segment.
+        recovered_key = pow(wrapped, holder.keypair.d, holder.keypair.n)
+        if recovered_key >= 1 << 64:
+            raise AnonymityError("holder failed to unwrap the return key")
+        iv = self._random_bytes(8)
+        ciphertext = DES(recovered_key.to_bytes(8, "big")).encrypt_cbc(
+            holder.store[key], iv
+        )
+        frame = tag + iv + ciphertext
+        self.broadcasts.append(frame)
+        self._send(holder.name, "*broadcast*", "response", frame)
+
+        # requester side: pick its frame out of the broadcast channel.
+        for seen in self.broadcasts:
+            if seen[:16] == tag:
+                return DES(return_key).decrypt_cbc(seen[24:], seen[16:24])
+        raise AnonymityError("rendezvous frame never appeared")  # pragma: no cover
+
+
+@dataclass
+class CrowdsStyleForwarder:
+    """Crowds-style request forwarding among peers (no proxy).
+
+    Each hop forwards to a random peer with probability
+    ``forward_probability``, otherwise submits to the holder.  The
+    holder (and any local observer) cannot tell whether its predecessor
+    originated the request or merely forwarded it.
+    """
+
+    peers: list[PeerEndpoint]
+    forward_probability: float = 0.75
+    seed: int | None = 0
+    transcript: list[Message] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_probability("forward_probability", self.forward_probability)
+        if len(self.peers) < 2:
+            raise AnonymityError("a crowd needs at least two peers")
+        self._rng = make_rng(self.seed)
+
+    def route(self, initiator: PeerEndpoint, holder: PeerEndpoint, key: int) -> tuple[bytes, int]:
+        """Forward a request for *key* through the crowd to *holder*.
+
+        Returns ``(document, path_length)``.
+        """
+        if key not in holder.store:
+            raise AnonymityError(f"holder does not have document {key}")
+        current = initiator
+        hops = 0
+        while True:
+            if self._rng.random() >= self.forward_probability:
+                break
+            candidates = [p for p in self.peers if p.name != current.name]
+            nxt = candidates[int(self._rng.random() * len(candidates))]
+            self.transcript.append(
+                Message(
+                    sender=current.name,
+                    receiver=nxt.name,
+                    kind="forward",
+                    payload=key.to_bytes(8, "big"),
+                )
+            )
+            current = nxt
+            hops += 1
+            if hops > 64:  # geometric tail guard
+                break
+        self.transcript.append(
+            Message(
+                sender=current.name,
+                receiver=holder.name,
+                kind="submit",
+                payload=key.to_bytes(8, "big"),
+            )
+        )
+        return holder.store[key], hops
+
+    def predecessor_of_submit(self) -> str:
+        """Who the holder saw — its anonymity set is the whole crowd."""
+        submits = [m for m in self.transcript if m.kind == "submit"]
+        if not submits:
+            raise AnonymityError("no request submitted yet")
+        return submits[-1].sender

@@ -1,0 +1,180 @@
+"""RSA public-key cryptosystem (key generation, raw encryption,
+signatures), implemented from scratch.
+
+The paper's data-integrity protocol has the proxy sign an MD5 digest
+with its private key; every client holds the proxy's public key and can
+verify the watermark but cannot forge it.  This module provides exactly
+that primitive: textbook RSA over fixed-width digests.
+
+Keys default to 512 bits — generation and per-document signing stay
+fast in pure Python while the signature remains unforgeable *within the
+simulation's trust model* (a 2002-era LAN of mutually trusted peers).
+This is a faithful reconstruction of the paper's protocol, not a
+modern-hardened RSA implementation (no OAEP/PSS padding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "RSAKeyPair",
+    "generate_keypair",
+    "rsa_encrypt_int",
+    "rsa_decrypt_int",
+    "is_probable_prime",
+]
+
+# Deterministic Miller-Rabin witnesses: this set is proven sufficient
+# for all n < 3.3 * 10^24, far beyond our prime sizes' error budget
+# when combined with random witnesses.
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int, rng: np.random.Generator | None = None, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    witnesses = list(_SMALL_PRIMES)
+    if rng is not None and n > 5:
+        # n can exceed int64, so draw wide words and reduce into [2, n-2].
+        n_extra = max(0, rounds - len(witnesses))
+        words = rng.integers(0, 2**63, size=2 * n_extra, dtype=np.int64)
+        for j in range(n_extra):
+            wide = (int(words[2 * j]) << 63) | int(words[2 * j + 1])
+            witnesses.append(2 + wide % (n - 4))
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: np.random.Generator) -> int:
+    """Draw a random prime with exactly *bits* bits."""
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    n_words = (bits + 63) // 64
+    while True:
+        words = rng.integers(0, 2**63, size=n_words, dtype=np.int64).astype(object)
+        candidate = 0
+        for w in words:
+            candidate = (candidate << 63) | int(w)
+        candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1  # top bit and odd
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair.  ``(n, e)`` is public; ``d`` is private."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> tuple[int, int]:
+        return self.n, self.e
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def max_message_bytes(self) -> int:
+        """Largest message (in bytes) representable below the modulus."""
+        return (self.n.bit_length() - 1) // 8
+
+    # -- signatures (private-key encryption of a digest) ---------------
+
+    def sign(self, message: bytes) -> int:
+        """Encrypt *message* (e.g. an MD5 digest) with the private key."""
+        m = int.from_bytes(message, "big")
+        if m >= self.n:
+            raise ValueError(
+                f"message too large for modulus: {len(message)} bytes "
+                f"vs {self.max_message_bytes}-byte limit"
+            )
+        return pow(m, self.d, self.n)
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Check that *signature* decrypts (with the public key) to
+        *message*."""
+        if not (0 <= signature < self.n):
+            return False
+        recovered = pow(signature, self.e, self.n)
+        return recovered == int.from_bytes(message, "big")
+
+    def recover(self, signature: int) -> bytes:
+        """Public-key decryption of a signature back to digest bytes."""
+        m = pow(signature, self.e, self.n)
+        length = (m.bit_length() + 7) // 8
+        return m.to_bytes(max(length, 1), "big")
+
+
+def generate_keypair(
+    bits: int = 512,
+    seed: int | np.random.Generator | None = None,
+    e: int = 65537,
+) -> RSAKeyPair:
+    """Generate an RSA key pair with a *bits*-bit modulus."""
+    if bits < 64:
+        raise ValueError(f"modulus too small: {bits} bits")
+    rng = make_rng(seed)
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        # Round-trip self-check: catches the (astronomically unlikely)
+        # composite slipping past Miller-Rabin.
+        probe = 0xDEADBEEF % n
+        if pow(pow(probe, e, n), d, n) == probe:
+            return RSAKeyPair(n=n, e=e, d=d)
+
+
+def rsa_encrypt_int(m: int, public: tuple[int, int]) -> int:
+    """Raw RSA encryption of an integer with a public key ``(n, e)``."""
+    n, e = public
+    if not (0 <= m < n):
+        raise ValueError("message out of range for modulus")
+    return pow(m, e, n)
+
+
+def rsa_decrypt_int(c: int, key: RSAKeyPair) -> int:
+    """Raw RSA decryption of an integer with the private key."""
+    if not (0 <= c < key.n):
+        raise ValueError("ciphertext out of range for modulus")
+    return pow(c, key.d, key.n)

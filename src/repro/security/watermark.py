@@ -1,0 +1,87 @@
+"""Digital watermark for data integrity (paper §6.1).
+
+The proxy generates an MD5 message digest of each document it serves
+and encrypts the digest with its **private** key, producing the
+watermark ``{MD5(doc)}_{K_priv}``.  The watermark travels with the
+document into browser caches.  When one client forwards the document to
+another, the receiver recomputes the MD5 digest and checks it against
+the watermark decrypted with the proxy's **public** key.  No client can
+tamper with a document and still produce a matching watermark, because
+only the proxy knows its private key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.md5 import md5_digest
+from repro.security.rsa import RSAKeyPair
+
+__all__ = ["Watermark", "WatermarkAuthority", "WatermarkError", "verify_watermark"]
+
+
+class WatermarkError(Exception):
+    """Raised when a watermarked document fails integrity verification."""
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """A proxy-signed MD5 digest of one document."""
+
+    digest: bytes
+    signature: int
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 16:
+            raise ValueError(f"MD5 digest must be 16 bytes, got {len(self.digest)}")
+
+
+class WatermarkAuthority:
+    """The proxy's signing role.
+
+    Holds the proxy key pair; clients only ever see the public part
+    (``authority.public``) and verify with :func:`verify_watermark`.
+    """
+
+    def __init__(self, keypair: RSAKeyPair) -> None:
+        if keypair.max_message_bytes < 16:
+            raise ValueError(
+                "proxy key modulus too small to sign a 16-byte MD5 digest"
+            )
+        self._keypair = keypair
+
+    @property
+    def public(self) -> tuple[int, int]:
+        """The proxy's public key ``(n, e)``, known to all clients."""
+        return self._keypair.public
+
+    def create(self, document: bytes) -> Watermark:
+        """Digest and sign *document* (done once, when the proxy first
+        fetches the document from the origin)."""
+        digest = md5_digest(document)
+        return Watermark(digest=digest, signature=self._keypair.sign(digest))
+
+    def verify(self, document: bytes, watermark: Watermark) -> None:
+        """Proxy-side verification (convenience; clients use
+        :func:`verify_watermark` with just the public key)."""
+        verify_watermark(document, watermark, self.public)
+
+
+def verify_watermark(
+    document: bytes,
+    watermark: Watermark,
+    proxy_public: tuple[int, int],
+) -> None:
+    """Client-side check that *document* is intact.
+
+    Recomputes MD5(document) and compares it against the watermark
+    signature decrypted with the proxy's public key.  Raises
+    :class:`WatermarkError` on any mismatch.
+    """
+    n, e = proxy_public
+    digest = md5_digest(document)
+    if digest != watermark.digest:
+        raise WatermarkError("document digest does not match watermark digest")
+    recovered = pow(watermark.signature, e, n)
+    if recovered != int.from_bytes(watermark.digest, "big"):
+        raise WatermarkError("watermark signature was not produced by the proxy")

@@ -1,0 +1,66 @@
+"""Shared machinery for log-format parsers.
+
+All parsers reduce a text log to rows of ``(timestamp, client_key,
+url, size)`` and then call :func:`rows_to_trace`, which maps client
+keys and URLs to dense integer ids and infers document versions from
+observed size changes (the paper counts a hit on a size-changed
+document as a miss, so a size change is exactly a version bump).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+__all__ = ["rows_to_trace"]
+
+
+def rows_to_trace(
+    rows: Iterable[tuple[float, str, str, int]],
+    name: str,
+) -> Trace:
+    """Build a :class:`Trace` from parsed ``(ts, client, url, size)`` rows."""
+    timestamps: list[float] = []
+    clients: list[int] = []
+    docs: list[int] = []
+    sizes: list[int] = []
+    versions: list[int] = []
+
+    client_ids: dict[str, int] = {}
+    doc_ids: dict[str, int] = {}
+    last_size: dict[int, int] = {}
+    version_of: dict[int, int] = {}
+    urls: dict[int, str] = {}
+
+    for ts, client_key, url, size in rows:
+        cid = client_ids.get(client_key)
+        if cid is None:
+            cid = client_ids[client_key] = len(client_ids)
+        did = doc_ids.get(url)
+        if did is None:
+            did = doc_ids[url] = len(doc_ids)
+            urls[did] = url
+            version_of[did] = 0
+            last_size[did] = size
+        elif size != last_size[did]:
+            version_of[did] += 1
+            last_size[did] = size
+        timestamps.append(ts)
+        clients.append(cid)
+        docs.append(did)
+        sizes.append(size)
+        versions.append(version_of[did])
+
+    order = np.argsort(np.asarray(timestamps, dtype=np.float64), kind="stable")
+    return Trace(
+        timestamps=np.asarray(timestamps, dtype=np.float64)[order],
+        clients=np.asarray(clients, dtype=np.int64)[order],
+        docs=np.asarray(docs, dtype=np.int64)[order],
+        sizes=np.asarray(sizes, dtype=np.int64)[order],
+        versions=np.asarray(versions, dtype=np.int64)[order],
+        name=name,
+        urls=urls,
+    )

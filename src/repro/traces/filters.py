@@ -1,0 +1,79 @@
+"""Trace filtering and sub-setting.
+
+Used by the scaling experiment (Figure 8 restricts the trace to a
+relative number of clients) and by parsers (dropping uncacheably large
+objects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+__all__ = ["select_clients", "head", "cacheable_only"]
+
+
+def select_clients(
+    trace: Trace,
+    fraction: float | None = None,
+    client_ids: np.ndarray | list[int] | None = None,
+    order: str = "id",
+    renumber: bool = True,
+) -> Trace:
+    """Restrict *trace* to a subset of clients.
+
+    Exactly one of *fraction* (in (0, 1]) or *client_ids* must be given.
+    With *fraction*, clients are ranked by ``order``:
+
+    * ``"id"`` — ascending client id (deterministic, the default),
+    * ``"activity"`` — descending request count (keeps the busiest
+      clients, which is how proxy operators typically truncate logs).
+
+    The selected sub-trace is renumbered to dense ids unless
+    ``renumber=False``.
+    """
+    if (fraction is None) == (client_ids is None):
+        raise ValueError("pass exactly one of fraction or client_ids")
+    if client_ids is None:
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        unique, counts = np.unique(trace.clients, return_counts=True)
+        k = max(1, int(round(fraction * unique.size)))
+        if order == "id":
+            chosen = unique[:k]
+        elif order == "activity":
+            chosen = unique[np.argsort(-counts, kind="stable")][:k]
+        else:
+            raise ValueError(f"unknown order {order!r}")
+    else:
+        chosen = np.asarray(list(client_ids), dtype=np.int64)
+        if chosen.size == 0:
+            raise ValueError("client_ids must be non-empty")
+    mask = np.isin(trace.clients, chosen)
+    sub = trace.take(mask, name=f"{trace.name}[clients={len(chosen)}]")
+    return sub.renumbered() if renumber else sub
+
+
+def head(trace: Trace, n_requests: int) -> Trace:
+    """Return the first *n_requests* requests of *trace*."""
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be >= 0, got {n_requests}")
+    return trace.take(np.arange(min(n_requests, len(trace))))
+
+
+def cacheable_only(
+    trace: Trace,
+    min_size: int = 1,
+    max_size: int | None = None,
+) -> Trace:
+    """Drop requests outside the cacheable size band.
+
+    Real proxy deployments refuse to cache zero-byte error responses and
+    objects larger than a configured ceiling; parsers apply this before
+    simulation.
+    """
+    mask = trace.sizes >= min_size
+    if max_size is not None:
+        mask &= trace.sizes <= max_size
+    return trace.take(mask, name=trace.name)

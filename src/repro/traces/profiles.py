@@ -1,0 +1,227 @@
+"""Calibrated profiles for the paper's five traces (Table 1).
+
+Each profile pairs a synthetic-generator configuration with the paper's
+published characteristics.  Request counts are scaled down (the paper's
+traces run to millions of requests; we use 60k–150k) — all experiments
+express cache sizes *relative to the infinite cache size*, exactly as
+the paper does, so the figures' shapes are scale-invariant.
+
+Where the scanned paper text is unreadable, the targets marked
+``approx=True`` are documented estimates (see DESIGN.md §3); the byte
+hit ratio column survives in the scan and is matched closely.
+
+Generator parameters were tuned with ``tools/calibrate.py`` so that the
+generated traces reproduce the target maximum hit / byte-hit ratios
+within about two points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.record import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+__all__ = ["TraceProfile", "PAPER_TRACES", "get_profile", "load_paper_trace"]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """A paper trace: generator config + published Table 1 targets."""
+
+    name: str
+    period: str
+    config: SyntheticTraceConfig
+    seed: int
+    #: Table 1 targets (fractions, not percent).
+    target_max_hit_ratio: float
+    target_max_byte_hit_ratio: float
+    #: True when the target had to be estimated from a garbled scan.
+    approx_hit_target: bool = False
+
+    def generate(self) -> Trace:
+        """Generate this profile's trace (deterministic)."""
+        return generate_trace(self.config, seed=self.seed)
+
+
+# Knobs shared by all five calibrated profiles (see DESIGN.md §3):
+# strongly skewed client activity (a few clients dominate the request
+# stream, so idle clients' browsers retain documents much longer than
+# the churning proxy) and a substantial mid-tail of long-reuse-distance
+# revisits — the two ingredients of sharable browser locality.
+_COMMON = dict(
+    client_activity_alpha=0.3,
+    recency_bias=0.15,
+    uniform_doc_frac=0.35,
+    # Browser revisits are shallow (back button, shared embedded
+    # objects): a mean re-reference depth of ~12 requests into the
+    # client's own stream.
+    self_lookback_mean=12.0,
+)
+
+
+def _profile(
+    name: str,
+    period: str,
+    seed: int,
+    target_hr: float,
+    target_bhr: float,
+    approx: bool,
+    **overrides,
+) -> TraceProfile:
+    config = SyntheticTraceConfig(name=name, **{**_COMMON, **overrides})
+    return TraceProfile(
+        name=name,
+        period=period,
+        config=config,
+        seed=seed,
+        target_max_hit_ratio=target_hr,
+        target_max_byte_hit_ratio=target_bhr,
+        approx_hit_target=approx,
+    )
+
+
+PAPER_TRACES: dict[str, TraceProfile] = {
+    p.name: p
+    for p in [
+        # NLANR uc proxy, one day (7/14/2000).  Byte hit target 14.85%
+        # survives in the scan; the large HR/BHR gap means popular
+        # documents are much smaller than one-shot ones.
+        _profile(
+            "NLANR-uc",
+            "1 day (2000-07-14)",
+            seed=1001,
+            target_hr=0.40,
+            target_bhr=0.1485,
+            approx=True,
+            n_requests=120_000,
+            n_clients=100,
+            p_new=0.5931,
+            p_self=0.16,
+            private_doc_frac=0.18,
+            p_mutate=0.012,
+            size_popularity_beta=1.379,
+            size_sigma=1.5,
+            mean_doc_size=10_000,
+            duration=86_400.0,
+        ),
+        # NLANR bo1 proxy, one day (2000-08-29); byte hit 28.79%.
+        _profile(
+            "NLANR-bo1",
+            "1 day (2000-08-29)",
+            seed=1002,
+            target_hr=0.47,
+            target_bhr=0.2879,
+            approx=True,
+            n_requests=100_000,
+            n_clients=80,
+            p_new=0.5243,
+            p_self=0.18,
+            private_doc_frac=0.15,
+            p_mutate=0.010,
+            size_popularity_beta=0.7375,
+            size_sigma=1.3,
+            mean_doc_size=11_000,
+            duration=86_400.0,
+        ),
+        # Boston University, Jan–Feb 1995; byte hit 31.37%.  The 1995
+        # population shows the strongest locality of the five traces.
+        _profile(
+            "BU-95",
+            "2 months (Jan-Feb 1995)",
+            seed=1003,
+            target_hr=0.55,
+            target_bhr=0.3137,
+            approx=True,
+            n_requests=150_000,
+            n_clients=120,
+            p_new=0.446,
+            p_self=0.22,
+            private_doc_frac=0.12,
+            p_mutate=0.008,
+            size_popularity_beta=0.8781,
+            size_sigma=1.2,
+            mean_doc_size=9_000,
+            duration=60 * 86_400.0,
+        ),
+        # Boston University, Apr–May 1998; byte hit 35.94%.  Barford et
+        # al. report markedly lower hit ratios than 1995 (wider access
+        # variation), so the request hit target sits closer to the byte
+        # target.
+        _profile(
+            "BU-98",
+            "2 months (Apr-May 1998)",
+            seed=1004,
+            target_hr=0.44,
+            target_bhr=0.3594,
+            approx=True,
+            n_requests=130_000,
+            n_clients=150,
+            p_new=0.5548,
+            p_self=0.20,
+            private_doc_frac=0.16,
+            p_mutate=0.010,
+            size_popularity_beta=0.3128,
+            size_sigma=1.2,
+            mean_doc_size=13_000,
+            duration=60 * 86_400.0,
+        ),
+        # CA*netII parent cache, two concatenated days (1999-09-19/20).
+        # Only 3 clients — the paper's limit case where aggregate
+        # browser capacity is too small for BAPS to help.
+        _profile(
+            "CAnetII",
+            "2 days (1999-09-19/20)",
+            seed=1005,
+            target_hr=0.50,
+            target_bhr=0.2984,
+            approx=True,
+            n_requests=60_000,
+            n_clients=3,
+            p_new=0.4955,
+            p_self=0.25,
+            private_doc_frac=0.10,
+            p_mutate=0.010,
+            size_popularity_beta=0.8094,
+            size_sigma=1.2,
+            mean_doc_size=12_000,
+            duration=2 * 86_400.0,
+        ),
+    ]
+}
+
+_ALIASES = {
+    "nlanr-uc": "NLANR-uc",
+    "nlanr-bo1": "NLANR-bo1",
+    "bu-95": "BU-95",
+    "bu95": "BU-95",
+    "bu-98": "BU-98",
+    "bu98": "BU-98",
+    "canetii": "CAnetII",
+    "ca*netii": "CAnetII",
+    "canet": "CAnetII",
+}
+
+
+def get_profile(name: str) -> TraceProfile:
+    """Look up a paper trace profile by (case-insensitive) name."""
+    key = _ALIASES.get(name.lower(), name)
+    try:
+        return PAPER_TRACES[key]
+    except KeyError:
+        known = ", ".join(sorted(PAPER_TRACES))
+        raise KeyError(f"unknown trace {name!r}; known traces: {known}") from None
+
+
+_TRACE_CACHE: dict[str, Trace] = {}
+
+
+def load_paper_trace(name: str, cache: bool = True) -> Trace:
+    """Generate (and memoise) one of the paper's five traces."""
+    profile = get_profile(name)
+    if cache and profile.name in _TRACE_CACHE:
+        return _TRACE_CACHE[profile.name]
+    trace = profile.generate()
+    if cache:
+        _TRACE_CACHE[profile.name] = trace
+    return trace

@@ -1,0 +1,98 @@
+"""Trace characteristics — the columns of the paper's Table 1.
+
+``Max Hit Ratio`` / ``Max Byte Hit Ratio`` are the hit ratios an
+*infinite* shared cache would achieve: every request except the first
+access to each unique (document, version) pair hits.  Version changes
+model the paper's rule that a hit on a document whose size has changed
+counts as a miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.record import Trace
+from repro.util.units import GB
+
+__all__ = ["TraceStats", "compute_stats", "first_access_mask"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """One row of Table 1."""
+
+    name: str
+    n_requests: int
+    n_clients: int
+    n_docs: int
+    total_gb: float
+    infinite_cache_gb: float
+    max_hit_ratio: float
+    max_byte_hit_ratio: float
+    mean_doc_size: float
+    duration_seconds: float
+
+    def as_row(self) -> list:
+        """Row cells in Table 1 column order."""
+        return [
+            self.name,
+            self.n_requests,
+            f"{self.total_gb:.3f}",
+            f"{self.infinite_cache_gb:.3f}",
+            self.n_clients,
+            f"{self.max_hit_ratio * 100:.2f}%",
+            f"{self.max_byte_hit_ratio * 100:.2f}%",
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return [
+            "Trace",
+            "# Requests",
+            "Total GB",
+            "Infinite Cache (GB)",
+            "# Clients",
+            "Max Hit Ratio",
+            "Max Byte Hit Ratio",
+        ]
+
+
+def first_access_mask(trace: Trace) -> np.ndarray:
+    """Boolean mask of requests that are the first access to their
+    (doc, version) pair — compulsory misses for any cache."""
+    if len(trace) == 0:
+        return np.zeros(0, dtype=bool)
+    vmax = int(trace.versions.max()) + 1
+    key = trace.docs * vmax + trace.versions
+    # np.unique returns the index of the first occurrence of each key in
+    # the *sorted* order; with return_index it is the first occurrence in
+    # the original array.
+    _, first_idx = np.unique(key, return_index=True)
+    mask = np.zeros(len(trace), dtype=bool)
+    mask[first_idx] = True
+    return mask
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute the Table 1 characteristics for *trace*."""
+    n = len(trace)
+    if n == 0:
+        return TraceStats(trace.name, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    compulsory = first_access_mask(trace)
+    total_bytes = trace.total_bytes
+    compulsory_bytes = int(trace.sizes[compulsory].sum())
+    n_compulsory = int(compulsory.sum())
+    return TraceStats(
+        name=trace.name,
+        n_requests=n,
+        n_clients=trace.n_clients,
+        n_docs=trace.n_docs,
+        total_gb=total_bytes / GB,
+        infinite_cache_gb=trace.infinite_cache_bytes() / GB,
+        max_hit_ratio=1.0 - n_compulsory / n,
+        max_byte_hit_ratio=1.0 - compulsory_bytes / total_bytes,
+        mean_doc_size=total_bytes / n,
+        duration_seconds=trace.duration,
+    )

@@ -1,0 +1,402 @@
+"""Calibrated synthetic web workload generator.
+
+The paper drives its simulations with five real proxy traces that are no
+longer obtainable (NLANR published rolling seven-day logs; the BU and
+CA*netII archives are gone).  This module generates synthetic traces
+with the same *knobs that matter* for browser/proxy cache simulation:
+
+* **Compulsory-miss rate** — the fraction of requests that are first
+  accesses to a unique document.  This directly sets the trace's
+  maximum achievable hit ratio (Table 1's "Max Hit Ratio"), since even
+  an infinite cache misses every first access.
+* **Popularity skew** — document re-references use preferential
+  attachment (sampling uniformly from the stream of past shared
+  references), which produces the Zipf-like popularity observed in web
+  traces, plus a recency-biased component for temporal locality.
+* **Size/popularity anti-correlation** — popular documents are smaller
+  on average (``size ~ count^-beta``), which makes the maximum byte hit
+  ratio lower than the maximum hit ratio, as in every row of Table 1.
+* **Client affinity** — a fraction of each client's re-references go to
+  its own recent history, and a fraction of newly created documents are
+  *private* (never re-referenced by other clients).  Together these
+  control how much browser-cache content is sharable, the quantity the
+  paper sets out to measure.
+* **Document mutation** — requests occasionally observe a changed
+  document (new version/size); the simulator counts a hit on a stale
+  copy as a miss, matching the paper's size-change rule.
+
+Generation is two-pass: pass one builds the (client, doc, version)
+reference stream with a single O(N) loop over pre-drawn random arrays;
+pass two assigns sizes per unique (doc, version) from final popularity
+counts, fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.traces.record import Trace
+from repro.util.rng import make_rng
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = ["SyntheticTraceConfig", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Knobs for :func:`generate_trace`.
+
+    Defaults produce a mid-sized NLANR-like workload; the per-paper
+    profiles in :mod:`repro.traces.profiles` override them per trace.
+    """
+
+    n_requests: int = 100_000
+    n_clients: int = 64
+    #: probability that a request introduces a brand-new document
+    #: (compulsory miss rate; max hit ratio ~= 1 - p_new - p_mutate).
+    p_new: float = 0.45
+    #: probability that a re-reference goes to the client's own recent
+    #: history rather than the global shared pool.
+    p_self: float = 0.25
+    #: probability that a newly created document is private to its
+    #: creator (excluded from the shared reference pool).
+    private_doc_frac: float = 0.15
+    #: probability that a re-referenced document has mutated (version
+    #: bump; a cached copy of the old version becomes a miss).
+    p_mutate: float = 0.01
+    #: global re-references: probability of sampling from the recent
+    #: window instead of the whole history (temporal locality).
+    recency_bias: float = 0.3
+    #: global re-references: probability of sampling uniformly over
+    #: *distinct* shared documents instead of by popularity.  This is
+    #: the mid-tail "revisit" traffic with long reuse distances — the
+    #: documents that a small proxy cache has already evicted but that
+    #: still sit in some browser cache, i.e. the paper's sharable
+    #: browser locality.
+    uniform_doc_frac: float = 0.25
+    #: size of the recent window as a fraction of the pool.
+    recency_window_frac: float = 0.05
+    #: mean look-back depth into the client's own history for self
+    #: re-references (exponentially distributed).
+    self_lookback_mean: float = 40.0
+    #: mean document size in bytes (the overall trace averages to this).
+    mean_doc_size: float = 12_000.0
+    #: lognormal sigma for per-document size noise.
+    size_sigma: float = 1.2
+    #: size/popularity anti-correlation: size ~ count**-beta.
+    size_popularity_beta: float = 0.45
+    #: lognormal sigma applied when a document mutates to a new size.
+    mutate_size_sigma: float = 0.3
+    #: mean number of embedded objects per page (Poisson).  When a
+    #: client fetches a page, its embedded objects (images, frames —
+    #: fixed per page) are requested immediately after, giving the
+    #: trace the sequential structure that prefetch predictors exploit.
+    #: 0 disables the feature (the calibrated paper profiles use 0 and
+    #: are unaffected).
+    embedded_per_page_mean: float = 0.0
+    #: Dirichlet concentration for per-client activity (lower = a few
+    #: clients dominate, as in real proxy logs).
+    client_activity_alpha: float = 0.8
+    #: total trace duration in seconds (one day by default).
+    duration: float = 86_400.0
+    #: strength of the diurnal load pattern in [0, 1): 0 = flat Poisson
+    #: arrivals, 0.8 = pronounced day/night cycle (request rate swings
+    #: between 1±0.8 of the mean over each 24 h period).
+    diurnal_amplitude: float = 0.0
+    #: minimum document size in bytes.
+    min_doc_size: int = 64
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        check_positive("n_requests", self.n_requests)
+        check_positive("n_clients", self.n_clients)
+        check_probability("p_new", self.p_new)
+        check_probability("p_self", self.p_self)
+        check_probability("private_doc_frac", self.private_doc_frac)
+        check_probability("p_mutate", self.p_mutate)
+        check_probability("recency_bias", self.recency_bias)
+        check_probability("uniform_doc_frac", self.uniform_doc_frac)
+        check_fraction("recency_window_frac", self.recency_window_frac)
+        check_positive("self_lookback_mean", self.self_lookback_mean)
+        check_non_negative("embedded_per_page_mean", self.embedded_per_page_mean)
+        check_positive("mean_doc_size", self.mean_doc_size)
+        check_positive("duration", self.duration)
+        check_positive("min_doc_size", self.min_doc_size)
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+        if self.p_new + self.p_self > 1.0:
+            raise ValueError(
+                "p_new + p_self must not exceed 1 "
+                f"(got {self.p_new} + {self.p_self})"
+            )
+
+    def scaled(self, requests_frac: float) -> "SyntheticTraceConfig":
+        """Return a config with the request count scaled by a factor."""
+        check_positive("requests_frac", requests_frac)
+        return replace(self, n_requests=max(1, int(self.n_requests * requests_frac)))
+
+
+def generate_trace(
+    config: SyntheticTraceConfig,
+    seed: int | np.random.Generator | None = 0,
+) -> Trace:
+    """Generate a synthetic :class:`Trace` from *config*.
+
+    Deterministic for a given ``(config, seed)`` pair.
+    """
+    rng = make_rng(seed)
+
+    clients = _draw_clients(config, rng)
+    docs, versions = _reference_stream(config, rng, clients)
+    sizes = _assign_sizes(config, rng, docs, versions)
+    timestamps = _draw_timestamps(config, rng)
+
+    return Trace(
+        timestamps=timestamps,
+        clients=clients,
+        docs=docs,
+        sizes=sizes,
+        versions=versions,
+        name=config.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# pass 0: clients and timestamps
+# ---------------------------------------------------------------------------
+
+
+def _draw_clients(config: SyntheticTraceConfig, rng: np.random.Generator) -> np.ndarray:
+    """Draw the requesting client for each request.
+
+    Activity is skewed via a Dirichlet draw, then every client is
+    guaranteed to appear at least once (the paper's client counts are
+    counts of *active* clients).
+    """
+    weights = rng.dirichlet(np.full(config.n_clients, config.client_activity_alpha))
+    clients = rng.choice(config.n_clients, size=config.n_requests, p=weights)
+    if config.n_requests >= config.n_clients:
+        present = np.zeros(config.n_clients, dtype=bool)
+        present[clients] = True
+        missing = np.flatnonzero(~present)
+        if missing.size:
+            slots = rng.choice(config.n_requests, size=missing.size, replace=False)
+            clients[slots] = missing
+    return clients.astype(np.int64)
+
+
+def _draw_timestamps(config: SyntheticTraceConfig, rng: np.random.Generator) -> np.ndarray:
+    """Poisson arrivals normalised to span exactly ``config.duration``.
+
+    With ``diurnal_amplitude > 0`` the arrival process is an
+    inhomogeneous Poisson with a sinusoidal 24-hour intensity,
+    generated by inverse-transforming the homogeneous arrivals through
+    the cumulative rate function.
+    """
+    gaps = rng.exponential(1.0, size=config.n_requests)
+    t = np.cumsum(gaps)
+    t -= t[0]
+    span = t[-1] if t[-1] > 0 else 1.0
+    uniform_t = (t / span) * config.duration
+    a = config.diurnal_amplitude
+    if a == 0.0:
+        return uniform_t
+    # Invert Lambda(t) = t - (a T_d / 2 pi) cos-terms numerically: the
+    # cumulative intensity for rate(t) = 1 + a sin(2 pi t / T_d) is
+    # Lambda(t) = t + (a T_d / 2 pi)(1 - cos(2 pi t / T_d)); a few
+    # Newton steps invert it to better than a second.
+    day = 86_400.0
+    k = a * day / (2 * np.pi)
+    target = uniform_t
+    x = target.copy()
+    for _ in range(8):
+        lam = x + k * (1 - np.cos(2 * np.pi * x / day))
+        rate = 1 + a * np.sin(2 * np.pi * x / day)
+        x = x - (lam - target) / np.maximum(rate, 1e-9)
+    x = np.maximum.accumulate(np.clip(x, 0.0, None))
+    if x[-1] > 0:
+        x *= config.duration / x[-1]
+    return x
+
+
+# ---------------------------------------------------------------------------
+# pass 1: the reference stream
+# ---------------------------------------------------------------------------
+
+
+def _reference_stream(
+    config: SyntheticTraceConfig,
+    rng: np.random.Generator,
+    clients: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build document ids and versions for every request.
+
+    A single Python loop over pre-drawn uniform variates; the state is
+    plain lists/dicts.  The process is inherently sequential
+    (preferential attachment feeds popularity back into the pool), so
+    this loop cannot be vectorised; pre-drawing every random variate
+    keeps it fast.
+    """
+    n = config.n_requests
+    u_kind = rng.random(n)          # new / self / global decision
+    u_private = rng.random(n)       # private flag for new docs
+    u_pos = rng.random(n)           # position within the chosen pool
+    u_recent = rng.random(n)        # recency-window / uniform decision
+    u_mutate = rng.random(n)        # mutation decision
+    lookback = rng.exponential(config.self_lookback_mean, size=n).astype(np.int64)
+    if config.embedded_per_page_mean > 0:
+        n_embedded = rng.poisson(config.embedded_per_page_mean, size=n)
+    else:
+        n_embedded = None
+
+    p_new = config.p_new
+    p_self_edge = config.p_new + config.p_self
+    recency_bias = config.recency_bias
+    uniform_edge = config.recency_bias + config.uniform_doc_frac
+    window_frac = config.recency_window_frac
+    private_frac = config.private_doc_frac
+    p_mutate = config.p_mutate
+
+    # shared_pool holds one entry per reference to a shared document, so
+    # uniform sampling from it is preferential attachment; shared_docs
+    # holds each shared document once, for uniform mid-tail revisits.
+    shared_pool: list[int] = []
+    shared_docs: list[int] = []
+    history: list[list[int]] = [[] for _ in range(config.n_clients)]
+    version_of: list[int] = []      # indexed by doc id
+    is_private: list[bool] = []     # indexed by doc id
+    embedded_of: list[list[int]] = []   # page doc id -> embedded doc ids
+    queue: list[list[int]] = [[] for _ in range(config.n_clients)]
+
+    docs = np.empty(n, dtype=np.int64)
+    versions = np.empty(n, dtype=np.int64)
+
+    client_list = clients.tolist()
+    u_kind_l = u_kind.tolist()
+    u_private_l = u_private.tolist()
+    u_pos_l = u_pos.tolist()
+    u_recent_l = u_recent.tolist()
+    u_mutate_l = u_mutate.tolist()
+    lookback_l = lookback.tolist()
+
+    track_embedded = n_embedded is not None
+    n_embedded_l = n_embedded.tolist() if track_embedded else None
+
+    for i in range(n):
+        c = client_list[i]
+        hist = history[c]
+        doc = -1
+        from_queue = False
+        if track_embedded and queue[c]:
+            # Embedded objects of the page just visited come first.
+            doc = queue[c].pop()
+            from_queue = True
+        else:
+            kind = u_kind_l[i]
+            if kind >= p_new:
+                if kind < p_self_edge:
+                    if hist:
+                        idx = len(hist) - 1 - min(lookback_l[i], len(hist) - 1)
+                        doc = hist[idx]
+                else:
+                    if shared_pool:
+                        pool_len = len(shared_pool)
+                        r = u_recent_l[i]
+                        if r < recency_bias:
+                            window = max(1, int(pool_len * window_frac))
+                            doc = shared_pool[pool_len - 1 - int(u_pos_l[i] * window)]
+                        elif r < uniform_edge:
+                            doc = shared_docs[int(u_pos_l[i] * len(shared_docs))]
+                        else:
+                            doc = shared_pool[int(u_pos_l[i] * pool_len)]
+        if doc < 0:
+            # New document, either by choice or because the pools are
+            # still empty early in the trace.
+            doc = len(version_of)
+            version_of.append(0)
+            private = u_private_l[i] < private_frac
+            is_private.append(private)
+            if not private:
+                shared_docs.append(doc)
+            if track_embedded:
+                embedded_of.append([])
+                kids = []
+                for _ in range(n_embedded_l[i]):
+                    kid = len(version_of)
+                    version_of.append(0)
+                    is_private.append(private)
+                    embedded_of.append([])
+                    kids.append(kid)
+                embedded_of[doc] = kids
+        elif u_mutate_l[i] < p_mutate:
+            # The document changed at the origin since it was last seen.
+            version_of[doc] += 1
+        if not is_private[doc]:
+            # Every reference to a shared doc reinforces its popularity.
+            shared_pool.append(doc)
+        if track_embedded and not from_queue and embedded_of[doc]:
+            # Visiting a page queues its embedded objects (pop() takes
+            # from the end, so reverse to preserve document order).
+            queue[c].extend(reversed(embedded_of[doc]))
+        docs[i] = doc
+        versions[i] = version_of[doc]
+        hist.append(doc)
+
+    return docs, versions
+
+
+# ---------------------------------------------------------------------------
+# pass 2: sizes
+# ---------------------------------------------------------------------------
+
+
+def _assign_sizes(
+    config: SyntheticTraceConfig,
+    rng: np.random.Generator,
+    docs: np.ndarray,
+    versions: np.ndarray,
+) -> np.ndarray:
+    """Assign a body size to every request.
+
+    Sizes are constant per (doc, version).  A document's base size is
+    lognormal noise damped by its final reference count
+    (``count**-beta``), producing the size/popularity anti-correlation
+    that separates byte hit ratios from request hit ratios.  The whole
+    trace is then rescaled so the mean request size matches
+    ``config.mean_doc_size``.
+    """
+    n_docs = int(docs.max()) + 1 if len(docs) else 0
+    counts = np.bincount(docs, minlength=n_docs).astype(np.float64)
+
+    noise = rng.lognormal(mean=0.0, sigma=config.size_sigma, size=n_docs)
+    base = noise * np.power(np.maximum(counts, 1.0), -config.size_popularity_beta)
+
+    # Per-version perturbation: version v of doc d has size
+    # base[d] * mut_noise(d, v).  Enumerate unique (doc, version) pairs.
+    vmax = int(versions.max()) + 1 if len(versions) else 1
+    pair_key = docs * vmax + versions
+    unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+    pair_docs = unique_keys // vmax
+    pair_vers = unique_keys % vmax
+    mut_noise = np.where(
+        pair_vers == 0,
+        1.0,
+        rng.lognormal(mean=0.0, sigma=config.mutate_size_sigma, size=len(unique_keys)),
+    )
+    pair_sizes = base[pair_docs] * mut_noise
+
+    request_sizes = pair_sizes[inverse]
+    scale = (config.mean_doc_size * len(docs)) / max(request_sizes.sum(), 1e-12)
+    request_sizes = np.maximum(
+        np.rint(request_sizes * scale), config.min_doc_size
+    ).astype(np.int64)
+    return request_sizes

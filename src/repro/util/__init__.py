@@ -1,0 +1,43 @@
+"""Small shared utilities: RNG handling, unit constants, formatting."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    KIB,
+    MIB,
+    GIB,
+    BITS_PER_BYTE,
+    format_bytes,
+    format_duration,
+    parse_size,
+)
+from repro.util.fmt import ascii_table, percent
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_fraction,
+    check_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "BITS_PER_BYTE",
+    "format_bytes",
+    "format_duration",
+    "parse_size",
+    "ascii_table",
+    "percent",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability",
+]

@@ -1,0 +1,51 @@
+"""Plain-text table rendering used by experiments and the CLI.
+
+The benchmark harness prints the same rows/series as the paper's tables
+and figures; this module provides a single consistent renderer so every
+experiment output looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["ascii_table", "percent"]
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction in [0, 1] (or a ratio) as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append("|" + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths)) + "|")
+    lines.append(sep)
+    for row in str_rows:
+        lines.append("|" + "|".join(f" {c:<{w}} " for c, w in zip(row, widths)) + "|")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,103 @@
+"""Unit constants and human-readable formatting.
+
+The paper mixes decimal storage units (an "8 MB browser cache") with
+binary block sizes (16-byte cache blocks, 4 KB disk pages).  We follow
+the convention that trace/storage sizes are decimal (``MB = 1e6``) while
+block-level constants are binary (``KIB = 1024``), and expose both.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "BITS_PER_BYTE",
+    "format_bytes",
+    "format_duration",
+    "parse_size",
+]
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+BITS_PER_BYTE = 8
+
+_DECIMAL_SUFFIXES = [("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)]
+
+_PARSE_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "k": KB,
+    "m": MB,
+    "g": GB,
+}
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with an appropriate decimal suffix."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for suffix, scale in _DECIMAL_SUFFIXES:
+        if n >= scale or scale == 1:
+            value = n / scale
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.2f}{suffix}"
+    return f"{n}B"  # pragma: no cover - unreachable
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest convenient unit."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.2f}h"
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a size such as ``"8MB"``, ``"1.5 GiB"``, or a raw number.
+
+    Returns an integer byte count.  Raises :class:`ValueError` on
+    malformed input.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    idx = len(s)
+    while idx > 0 and not (s[idx - 1].isdigit() or s[idx - 1] == "."):
+        idx -= 1
+    number, suffix = s[:idx], s[idx:]
+    if not number:
+        raise ValueError(f"cannot parse size {text!r}")
+    scale = 1 if suffix == "" else _PARSE_SUFFIXES.get(suffix)
+    if scale is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    value = float(number) * scale
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {text!r}")
+    return int(value)

@@ -1,0 +1,39 @@
+"""Argument validation helpers shared across the library.
+
+These raise early with a message naming the offending parameter, which
+keeps the simulator configuration errors readable instead of surfacing
+as deep numpy broadcasting failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """A fraction in the closed interval [0, 1]."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Alias of :func:`check_fraction`, used where the value is a probability."""
+    return check_fraction(name, value)

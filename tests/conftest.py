@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic traces and configurations.
+
+Unit/integration tests run on purpose-built small traces (a few
+thousand requests) so the whole suite stays fast; the full paper-scale
+traces are exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.traces.record import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+import numpy as np
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """8k requests, 20 clients — enough structure for cache dynamics."""
+    config = SyntheticTraceConfig(
+        n_requests=8_000,
+        n_clients=20,
+        p_new=0.45,
+        p_self=0.2,
+        client_activity_alpha=0.3,
+        uniform_doc_frac=0.35,
+        recency_bias=0.15,
+        name="small",
+    )
+    return generate_trace(config, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A hand-checkable 2-client trace.
+
+    Layout (doc, size, version):
+      t0 client0 doc0 (100)   compulsory miss
+      t1 client0 doc0 (100)   local browser hit
+      t2 client1 doc0 (100)   proxy hit (or remote-browser without proxy)
+      t3 client1 doc1 (200)   compulsory miss
+      t4 client0 doc1 (200)   proxy hit / remote hit
+      t5 client0 doc2 (300)   compulsory miss
+    """
+    return Trace(
+        timestamps=np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]),
+        clients=np.array([0, 0, 1, 1, 0, 0]),
+        docs=np.array([0, 0, 0, 1, 1, 2]),
+        sizes=np.array([100, 100, 100, 200, 200, 300]),
+        versions=np.zeros(6, dtype=np.int64),
+        name="tiny",
+    )
+
+
+@pytest.fixture()
+def roomy_config() -> SimulationConfig:
+    """Caches big enough to never evict in the tiny trace."""
+    return SimulationConfig(proxy_capacity=10_000, browser_capacity=10_000)

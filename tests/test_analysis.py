@@ -1,0 +1,175 @@
+"""Workload analysis: popularity, locality, sizes, client skew."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_trace,
+    client_activity,
+    concentration,
+    fit_zipf,
+    gini_coefficient,
+    popularity_counts,
+    size_stats,
+    stack_distance_cdf,
+    stack_distances,
+    temporal_locality_score,
+)
+from repro.traces.record import Trace
+
+
+def build(docs, sizes=None, clients=None, versions=None):
+    n = len(docs)
+    return Trace(
+        timestamps=np.arange(n, dtype=float),
+        clients=np.array(clients or [0] * n),
+        docs=np.array(docs),
+        sizes=np.array(sizes or [100] * n),
+        versions=np.array(versions or [0] * n),
+        name="a",
+    )
+
+
+# -- popularity -----------------------------------------------------------
+
+
+def test_popularity_counts_sorted():
+    t = build([0, 1, 0, 2, 0, 1])
+    assert popularity_counts(t).tolist() == [3, 2, 1]
+
+
+def test_fit_zipf_recovers_synthetic_alpha():
+    # build a trace with exact Zipf counts ~ rank^-1
+    docs = []
+    for rank in range(1, 60):
+        docs.extend([rank] * max(1, int(120 / rank)))
+    t = build(docs)
+    fit = fit_zipf(t)
+    assert fit.alpha == pytest.approx(1.0, abs=0.15)
+    assert fit.r_squared > 0.95
+    assert fit.predicted_count(1) > fit.predicted_count(10)
+
+
+def test_fit_zipf_degenerate():
+    fit = fit_zipf(build([0]))
+    assert fit.alpha == 0.0
+    with pytest.raises(ValueError):
+        fit.predicted_count(0)
+
+
+def test_concentration():
+    # doc 0 gets 9 of 10 references; top-10% of 2 docs = 1 doc
+    t = build([0] * 9 + [1])
+    assert concentration(t, 0.5) == pytest.approx(0.9)
+    with pytest.raises(ValueError):
+        concentration(t, 1.5)
+
+
+def test_concentration_empty():
+    assert concentration(Trace.empty(), 0.1) == 0.0
+
+
+# -- stack distances ----------------------------------------------------------
+
+
+def test_stack_distances_simple():
+    # A B A: re-ref of A has distance 1 (B touched in between)
+    assert stack_distances(build([0, 1, 0])).tolist() == [1]
+
+
+def test_stack_distances_immediate_rereference():
+    assert stack_distances(build([0, 0])).tolist() == [0]
+
+
+def test_stack_distances_classic_sequence():
+    # A B C B A: distances: B->1 (C), A->2 (B, C distinct)
+    assert stack_distances(build([0, 1, 2, 1, 0])).tolist() == [1, 2]
+
+
+def test_stack_distance_counts_distinct_docs_only():
+    # A B B B A: only B between the As -> distance 1
+    assert stack_distances(build([0, 1, 1, 1, 0])).tolist() == [0, 0, 1]
+
+
+def test_version_bump_is_fresh_document():
+    t = build([0, 0, 0], versions=[0, 1, 1])
+    # first (0,v0); (0,v1) is new; (0,v1) re-ref distance 0
+    assert stack_distances(t).tolist() == [0]
+
+
+def test_stack_distance_cdf_monotone():
+    rng = np.random.default_rng(0)
+    t = build(rng.integers(0, 50, size=500).tolist())
+    cdf = stack_distance_cdf(t, points=[1, 8, 64])
+    assert 0 <= cdf[1] <= cdf[8] <= cdf[64] <= 1
+
+
+def test_temporal_locality_score_bounds():
+    t = build([0, 1, 0, 1] * 10)
+    assert temporal_locality_score(t, window=4) == 1.0
+    assert temporal_locality_score(Trace.empty()) == 0.0
+
+
+# -- sizes --------------------------------------------------------------------
+
+
+def test_size_stats_basic():
+    t = build([0, 1, 2, 3], sizes=[100, 200, 300, 400])
+    st = size_stats(t)
+    assert st.mean == 250
+    assert st.median == 250
+    assert st.max == 400
+    assert st.cv > 0
+
+
+def test_size_popularity_anticorrelation_detected():
+    # popular doc 0 small, unpopular docs big
+    docs = [0] * 30 + [1, 2, 3]
+    sizes = [10] * 30 + [10_000, 20_000, 30_000]
+    st = size_stats(build(docs, sizes=sizes))
+    assert st.size_popularity_correlation < -0.5
+
+
+def test_size_stats_empty():
+    st = size_stats(Trace.empty())
+    assert st.mean == 0.0
+
+
+# -- clients ---------------------------------------------------------------------
+
+
+def test_client_activity_sorted():
+    t = build([0] * 4, clients=[0, 0, 0, 1])
+    assert client_activity(t).tolist() == [3, 1]
+
+
+def test_gini_extremes():
+    assert gini_coefficient(np.array([5, 5, 5, 5])) == pytest.approx(0.0, abs=1e-9)
+    skewed = gini_coefficient(np.array([0, 0, 0, 100]))
+    assert skewed == pytest.approx(0.75, abs=0.01)
+    assert gini_coefficient(np.array([])) == 0.0
+    with pytest.raises(ValueError):
+        gini_coefficient(np.array([-1, 2]))
+
+
+# -- full report -------------------------------------------------------------------
+
+
+def test_analyze_trace_renders(small_trace):
+    analysis = analyze_trace(small_trace, stack_points=[16, 256])
+    text = analysis.render()
+    assert "Zipf alpha" in text
+    assert "client activity Gini" in text
+    assert analysis.zipf.alpha > 0.3  # preferential attachment is Zipf-ish
+    assert analysis.activity_gini > 0.2  # Dirichlet(0.3) is skewed
+    assert analysis.sizes.size_popularity_correlation < 0.1
+
+
+def test_cli_analyze(capsys, small_trace, tmp_path):
+    from repro.cli import main
+    from repro.traces.squid import write_squid_log
+
+    path = tmp_path / "a.log"
+    write_squid_log(small_trace, path)
+    assert main(["analyze", "--log", str(path)]) == 0
+    assert "Zipf alpha" in capsys.readouterr().out

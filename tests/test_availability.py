@@ -1,0 +1,89 @@
+"""Client churn (holder availability) in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import HitLocation, Organization, SimulationConfig, simulate
+from repro.traces.record import Trace
+
+
+def build(rows):
+    return Trace(
+        timestamps=np.arange(len(rows), dtype=float),
+        clients=np.array([r[0] for r in rows]),
+        docs=np.array([r[1] for r in rows]),
+        sizes=np.array([r[2] for r in rows]),
+        versions=np.zeros(len(rows), dtype=np.int64),
+        name="hand",
+    )
+
+
+REMOTE_TRACE = build([(0, 0, 100), (1, 1, 200), (1, 0, 100)])
+
+
+def test_full_availability_default():
+    config = SimulationConfig(proxy_capacity=250, browser_capacity=1000)
+    r = simulate(REMOTE_TRACE, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 1
+    assert r.holder_unavailable == 0
+
+
+def test_zero_availability_kills_all_remote_hits():
+    config = SimulationConfig(
+        proxy_capacity=250, browser_capacity=1000, holder_availability=0.0
+    )
+    r = simulate(REMOTE_TRACE, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 0
+    assert r.holder_unavailable == 1
+    assert r.by_location[HitLocation.ORIGIN].misses == 3
+
+
+def test_churn_is_deterministic_per_seed(small_trace):
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1).with_(
+        holder_availability=0.5, availability_seed=7
+    )
+    a = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, base)
+    b = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, base)
+    assert a.holder_unavailable == b.holder_unavailable
+    assert a.hit_ratio == b.hit_ratio
+    other = simulate(
+        small_trace,
+        Organization.BROWSERS_AWARE_PROXY,
+        base.with_(availability_seed=8),
+    )
+    assert other.holder_unavailable != 0
+
+
+def test_churn_monotone_on_real_workload(small_trace):
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    results = []
+    for avail in (1.0, 0.5, 0.0):
+        r = simulate(
+            small_trace,
+            Organization.BROWSERS_AWARE_PROXY,
+            base.with_(holder_availability=avail),
+        )
+        results.append(r)
+    remotes = [r.by_location_remote_hits() for r in results]
+    assert remotes[0] > remotes[1] > remotes[2] == 0
+    hit_ratios = [r.hit_ratio for r in results]
+    assert hit_ratios == sorted(hit_ratios, reverse=True)
+    # even with every holder offline, BAPS equals PLB
+    plb = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, base)
+    assert results[-1].hit_ratio == pytest.approx(plb.hit_ratio, abs=1e-9)
+
+
+def test_churn_with_consistency_mode(small_trace):
+    from repro.consistency import FixedTTLPolicy
+
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.1).with_(
+        holder_availability=0.5, consistency=FixedTTLPolicy(3600.0)
+    )
+    r = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.holder_unavailable > 0
+    assert r.n_requests == len(small_trace)
+
+
+def test_availability_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(proxy_capacity=1, browser_capacity=1, holder_availability=1.5)

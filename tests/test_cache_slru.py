@@ -1,0 +1,111 @@
+"""Segmented LRU behaviour."""
+
+import pytest
+
+from repro.cache import SLRUCache
+
+
+def test_new_objects_enter_probation():
+    c = SLRUCache(100)
+    c.put(1, 40)
+    assert c.segment_of(1) == "probation"
+
+
+def test_hit_promotes_to_protected():
+    c = SLRUCache(100)
+    c.put(1, 40)
+    c.get(1)
+    assert c.segment_of(1) == "protected"
+
+
+def test_eviction_prefers_probation():
+    c = SLRUCache(100)
+    c.put(1, 40)
+    c.get(1)           # 1 protected
+    c.put(2, 40)       # 2 probation
+    evicted = c.put(3, 40)
+    assert evicted == [2]
+    assert 1 in c and 3 in c
+
+
+def test_scan_resistance():
+    """A burst of one-touch objects must not evict the popular one."""
+    c = SLRUCache(200)
+    c.put(100, 50)
+    c.get(100)  # protect it
+    for k in range(20):
+        c.put(k, 50)  # scan of cold objects
+    assert 100 in c
+    assert c.segment_of(100) == "protected"
+
+
+def test_protected_overflow_demotes():
+    c = SLRUCache(100, protected_fraction=0.5)  # protected <= 50
+    c.put(1, 40)
+    c.get(1)  # protected_used = 40
+    c.put(2, 40)
+    c.get(2)  # promoting 2 overflows protection -> 1 demoted
+    assert c.segment_of(2) == "protected"
+    assert c.segment_of(1) == "probation"
+
+
+def test_protected_hit_refreshes_recency():
+    c = SLRUCache(120, protected_fraction=0.7)  # protected <= 84
+    c.put(1, 40)
+    c.get(1)
+    c.put(2, 40)
+    c.get(2)          # both protected (80 <= 84)
+    c.get(1)          # 1 is now protected-MRU
+    c.put(3, 40)
+    c.get(3)          # overflow: demote protected-LRU = 2
+    assert c.segment_of(2) == "probation"
+    assert c.segment_of(1) == "protected"
+
+
+def test_refresh_size_accounting_in_protected():
+    c = SLRUCache(200, protected_fraction=0.5)
+    c.put(1, 40)
+    c.get(1)
+    c.put(1, 90, version=1)  # refresh grows the protected object
+    assert c.segment_of(1) == "protected"
+    assert c._protected_used == 90
+    c.check_invariants()
+
+
+def test_probation_then_protected_eviction():
+    c = SLRUCache(80)
+    c.put(1, 40)
+    c.get(1)          # protected
+    c.put(2, 40)      # probation
+    evicted = c.put(3, 80)  # needs the whole cache
+    assert set(evicted) == {1, 2}
+    assert list(c) == [3]
+
+
+def test_invalid_fraction():
+    with pytest.raises(ValueError):
+        SLRUCache(100, protected_fraction=1.5)
+
+
+def test_registered_in_policies():
+    from repro.cache import POLICIES, make_cache
+
+    assert POLICIES["slru"] is SLRUCache
+    assert isinstance(make_cache("slru", 10), SLRUCache)
+
+
+def test_invariants_under_churn():
+    c = SLRUCache(300, protected_fraction=0.6)
+    for i in range(300):
+        c.put(i % 17, (i * 13) % 70 + 5, version=i)
+        if i % 2:
+            c.get((i * 5) % 17)
+        if i % 13 == 0:
+            c.invalidate((i + 3) % 17)
+        c.check_invariants()
+        # segment bookkeeping agrees with the entry table
+        assert set(c._probation) | set(c._protected) == set(c._entries)
+        assert not (set(c._probation) & set(c._protected))
+        assert c._protected_used == sum(
+            c._entries[k].size for k in c._protected
+        )

@@ -1,0 +1,101 @@
+"""CLI and experiment-runner plumbing."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig2", "fig8", "security"):
+        assert name in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "fig99" in err
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("nope")
+
+
+def test_all_experiments_registry_complete():
+    expected = {
+        "table1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "overhead",
+        "memory-hit",
+        "index-space",
+        "staleness",
+        "security",
+        "ablation-replacement",
+        "ablation-index",
+        "hierarchy",
+        "consistency",
+        "prefetch",
+        "availability",
+    }
+    assert set(ALL_EXPERIMENTS) == expected
+
+
+def test_simulate_with_log(tmp_path, capsys, small_trace):
+    from repro.traces.squid import write_squid_log
+
+    path = tmp_path / "access.log"
+    write_squid_log(small_trace, path)
+    assert main(["simulate", "--log", str(path), "--proxy-frac", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "hit ratio" in out
+    assert "remote-browser share" in out
+
+
+def test_simulate_empty_log(tmp_path, capsys):
+    path = tmp_path / "empty.log"
+    path.write_text("# nothing cacheable\n")
+    assert main(["simulate", "--log", str(path)]) == 1
+
+
+def test_parse_command(tmp_path, capsys, small_trace):
+    from repro.traces.squid import write_squid_log
+
+    path = tmp_path / "access.log"
+    write_squid_log(small_trace, path)
+    assert main(["parse", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Max Hit Ratio" in out
+
+
+@pytest.mark.slow
+def test_simulate_paper_trace(capsys):
+    assert main(
+        ["simulate", "--trace", "CAnetII", "-o", "proxy-cache-only", "--proxy-frac", "0.05"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "proxy-cache-only" in out
+
+
+@pytest.mark.slow
+def test_traces_command_prints_table1(capsys):
+    assert main(["traces"]) == 0
+    out = capsys.readouterr().out
+    assert "NLANR-uc" in out
+    assert "Max Hit Ratio" in out
+
+
+@pytest.mark.slow
+def test_run_command_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "BU-95" in out

@@ -1,0 +1,100 @@
+"""SimulationConfig and the paper's sizing rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    SimulationConfig,
+    average_browser_capacity,
+    minimum_browser_capacity,
+)
+from repro.traces.record import Trace
+
+
+def test_minimum_browser_capacity_default():
+    # aggregate of all browsers == proxy cache
+    assert minimum_browser_capacity(1_000_000, 100) == 10_000
+
+
+def test_minimum_browser_capacity_divisor():
+    assert minimum_browser_capacity(1_000_000, 100, divisor=10) == 1_000
+    assert minimum_browser_capacity(0, 5) == 1  # floor of 1 byte
+
+
+def test_minimum_browser_capacity_validation():
+    with pytest.raises(ValueError):
+        minimum_browser_capacity(100, 0)
+    with pytest.raises(ValueError):
+        minimum_browser_capacity(-1, 10)
+    with pytest.raises(ValueError):
+        minimum_browser_capacity(100, 10, divisor=0)
+
+
+def test_average_browser_capacity():
+    t = Trace(
+        timestamps=np.arange(4, dtype=float),
+        clients=np.array([0, 0, 1, 1]),
+        docs=np.array([0, 1, 2, 2]),
+        sizes=np.array([100, 200, 400, 400]),
+        versions=np.zeros(4, dtype=np.int64),
+    )
+    # footprints: client0 = 300, client1 = 400 -> mean 350
+    assert average_browser_capacity(t, 0.1) == 35
+    assert average_browser_capacity(t, 1.0) == 350
+    with pytest.raises(ValueError):
+        average_browser_capacity(t, 0.0)
+
+
+def test_relative_constructor_minimum(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.10, browser_sizing="minimum")
+    expected_proxy = int(0.10 * small_trace.infinite_cache_bytes())
+    assert config.proxy_capacity == expected_proxy
+    assert config.browser_capacity == minimum_browser_capacity(
+        expected_proxy, small_trace.n_clients
+    )
+
+
+def test_relative_constructor_average(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.10, browser_sizing="average")
+    assert config.browser_capacity == average_browser_capacity(small_trace, 0.10)
+    custom = SimulationConfig.relative(
+        small_trace, proxy_frac=0.10, browser_sizing="average", browser_frac=0.25
+    )
+    assert custom.browser_capacity == average_browser_capacity(small_trace, 0.25)
+
+
+def test_relative_constructor_validation(small_trace):
+    with pytest.raises(ValueError):
+        SimulationConfig.relative(small_trace, proxy_frac=0.0)
+    with pytest.raises(ValueError):
+        SimulationConfig.relative(small_trace, proxy_frac=0.1, browser_sizing="huge")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(proxy_capacity=-1, browser_capacity=10)
+    with pytest.raises(ValueError):
+        SimulationConfig(proxy_capacity=10, browser_capacity=10, memory_fraction=1.5)
+    with pytest.raises(ValueError):
+        # browser memory override without the tiered model enabled
+        SimulationConfig(
+            proxy_capacity=10, browser_capacity=10, browser_memory_fraction=0.5
+        )
+
+
+def test_with_override(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.10)
+    tweaked = config.with_(memory_fraction=0.1)
+    assert tweaked.memory_fraction == 0.1
+    assert tweaked.proxy_capacity == config.proxy_capacity
+    assert config.memory_fraction is None  # original untouched
+
+
+def test_tiered_requires_lru(small_trace):
+    from repro.core import Organization, Simulator
+
+    config = SimulationConfig.relative(
+        small_trace, proxy_frac=0.1, memory_fraction=0.1, proxy_policy="lfu"
+    )
+    with pytest.raises(ValueError, match="LRU"):
+        Simulator(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, config)

@@ -1,0 +1,183 @@
+"""Expiration-based consistency: policies and engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.consistency import (
+    AdaptiveTTLPolicy,
+    AlwaysValidatePolicy,
+    ConsistencyStats,
+    FixedTTLPolicy,
+)
+from repro.core import HitLocation, Organization, SimulationConfig, simulate
+from repro.traces.record import Trace
+
+
+def build(rows):
+    """rows: (t, client, doc, size, version)."""
+    return Trace(
+        timestamps=np.array([float(r[0]) for r in rows]),
+        clients=np.array([r[1] for r in rows]),
+        docs=np.array([r[2] for r in rows]),
+        sizes=np.array([r[3] for r in rows]),
+        versions=np.array([r[4] if len(r) > 4 else 0 for r in rows]),
+        name="hand",
+    )
+
+
+# -- policies -----------------------------------------------------------------
+
+
+def test_fixed_ttl():
+    p = FixedTTLPolicy(ttl=100.0)
+    assert p.expires_at(50.0, 0.0) == 150.0
+    assert "fixed-ttl" in p.name()
+    with pytest.raises(ValueError):
+        FixedTTLPolicy(ttl=-1)
+
+
+def test_adaptive_ttl_scales_with_age():
+    p = AdaptiveTTLPolicy(factor=0.5, min_ttl=10.0, max_ttl=1000.0)
+    # young document: clamped to min
+    assert p.expires_at(now=100.0, last_modified=99.0) == pytest.approx(110.0)
+    # old document: half its age
+    assert p.expires_at(now=1000.0, last_modified=0.0) == pytest.approx(1500.0)
+    # ancient document: clamped to max
+    assert p.expires_at(now=10_000.0, last_modified=0.0) == pytest.approx(11_000.0)
+
+
+def test_adaptive_ttl_validation():
+    with pytest.raises(ValueError):
+        AdaptiveTTLPolicy(factor=1.5)
+    with pytest.raises(ValueError):
+        AdaptiveTTLPolicy(min_ttl=100, max_ttl=10)
+
+
+def test_always_validate():
+    p = AlwaysValidatePolicy()
+    assert p.expires_at(42.0, 0.0) == 42.0
+
+
+def test_stats_ratio():
+    s = ConsistencyStats(validations=4, validated_hits=3)
+    assert s.validation_hit_ratio == 0.75
+    assert ConsistencyStats().validation_hit_ratio == 0.0
+
+
+# -- engine integration ------------------------------------------------------------
+
+
+def _config(policy, **kw):
+    return SimulationConfig(
+        proxy_capacity=100_000, browser_capacity=100_000, consistency=policy, **kw
+    )
+
+
+def test_fresh_copy_served_without_validation():
+    t = build([(0, 0, 1, 100, 0), (10, 0, 1, 100, 0)])
+    r = simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, _config(FixedTTLPolicy(100.0)))
+    assert r.by_location[HitLocation.LOCAL_BROWSER].hits == 1
+    assert r.consistency_stats.validations == 0
+
+
+def test_stale_delivery_counted():
+    # version changes at t=10, but the copy is still fresh-by-TTL at
+    # t=20 -> served anyway, counted as a stale delivery.
+    t = build([(0, 0, 1, 100, 0), (20, 0, 1, 120, 1)])
+    r = simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, _config(FixedTTLPolicy(100.0)))
+    assert r.by_location[HitLocation.LOCAL_BROWSER].hits == 1
+    assert r.consistency_stats.stale_deliveries == 1
+    assert r.consistency_stats.stale_bytes == 120
+
+
+def test_expired_copy_validates_then_hits():
+    t = build([(0, 0, 1, 100, 0), (200, 0, 1, 100, 0)])
+    r = simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, _config(FixedTTLPolicy(100.0)))
+    cs = r.consistency_stats
+    assert cs.validations == 1
+    assert cs.validated_hits == 1
+    assert r.by_location[HitLocation.LOCAL_BROWSER].hits == 1
+    assert r.overhead.validation_time > 0
+
+
+def test_expired_changed_copy_goes_to_origin():
+    t = build([(0, 0, 1, 100, 0), (200, 0, 1, 120, 1)])
+    r = simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, _config(FixedTTLPolicy(100.0)))
+    cs = r.consistency_stats
+    assert cs.validations == 1
+    assert cs.validation_misses == 1
+    assert r.by_location[HitLocation.ORIGIN].misses == 2
+    assert r.hit_ratio == 0.0
+
+
+def test_validation_refreshes_ttl():
+    # validate at t=200, then a hit at t=250 is inside the renewed TTL
+    t = build([(0, 0, 1, 100, 0), (200, 0, 1, 100, 0), (250, 0, 1, 100, 0)])
+    r = simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, _config(FixedTTLPolicy(100.0)))
+    assert r.consistency_stats.validations == 1
+    assert r.hits == 2
+
+
+def test_always_validate_never_stale():
+    t = build([(0, 0, 1, 100, 0), (20, 0, 1, 120, 1), (40, 0, 1, 120, 1)])
+    r = simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, _config(AlwaysValidatePolicy()))
+    cs = r.consistency_stats
+    assert cs.stale_deliveries == 0
+    assert cs.validations == 2  # every re-access validates
+    assert r.hits == 1  # only the final (unchanged) access hits
+
+
+def test_remote_browser_hits_stay_exact():
+    # proxy too small to hold doc after the second fetch; remote hit
+    # still requires an exact version match under consistency mode.
+    t = build([(0, 0, 1, 100, 0), (1, 1, 2, 200, 0), (2, 1, 1, 100, 0)])
+    config = SimulationConfig(
+        proxy_capacity=250,
+        browser_capacity=100_000,
+        consistency=FixedTTLPolicy(1_000.0),
+    )
+    r = simulate(t, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 1
+    assert r.consistency_stats.stale_deliveries == 0
+
+
+def test_default_mode_unchanged(small_trace):
+    """consistency=None must reproduce the original engine exactly."""
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    r = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, base)
+    assert r.consistency_stats.validations == 0
+    assert r.consistency_stats.stale_deliveries == 0
+    assert r.overhead.validation_time == 0.0
+
+
+def test_consistency_tradeoff_on_real_workload(small_trace):
+    """Longer TTLs trade validations for stale deliveries."""
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    short = simulate(
+        small_trace,
+        Organization.PROXY_AND_LOCAL_BROWSER,
+        base.with_(consistency=FixedTTLPolicy(60.0)),
+    )
+    long_ = simulate(
+        small_trace,
+        Organization.PROXY_AND_LOCAL_BROWSER,
+        base.with_(consistency=FixedTTLPolicy(86_400.0)),
+    )
+    assert short.consistency_stats.validations > long_.consistency_stats.validations
+    assert (
+        short.consistency_stats.stale_deliveries
+        <= long_.consistency_stats.stale_deliveries
+    )
+
+
+def test_adaptive_ttl_on_real_workload(small_trace):
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    r = simulate(
+        small_trace,
+        Organization.PROXY_AND_LOCAL_BROWSER,
+        base.with_(consistency=AdaptiveTTLPolicy()),
+    )
+    # everything accounted: hits + misses == requests, and the
+    # validation machinery actually engaged
+    assert r.n_requests == len(small_trace)
+    assert r.consistency_stats.validations > 0

@@ -1,0 +1,123 @@
+"""DES block cipher — FIPS vectors and mode round-trips."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.security.des import DES, des_decrypt_block, des_encrypt_block
+
+
+def test_classic_test_vector():
+    # The canonical worked example (used in countless DES tutorials).
+    key = bytes.fromhex("133457799BBCDFF1")
+    plaintext = bytes.fromhex("0123456789ABCDEF")
+    expected = bytes.fromhex("85E813540F0AB405")
+    assert des_encrypt_block(key, plaintext) == expected
+    assert des_decrypt_block(key, expected) == plaintext
+
+
+def test_all_zero_vector():
+    key = bytes(8)
+    ct = des_encrypt_block(key, bytes(8))
+    assert ct == bytes.fromhex("8CA64DE9C1B123A7")
+
+
+def test_block_roundtrip_many_keys():
+    for seed in range(5):
+        key = bytes([seed * 17 % 256] * 8)
+        block = bytes([(seed * 31 + i) % 256 for i in range(8)])
+        assert des_decrypt_block(key, des_encrypt_block(key, block)) == block
+
+
+def test_ecb_roundtrip():
+    d = DES(b"testkey!")
+    msg = b"The quick brown fox jumps over the lazy dog"
+    assert d.decrypt_ecb(d.encrypt_ecb(msg)) == msg
+
+
+def test_ecb_empty_message():
+    d = DES(b"testkey!")
+    assert d.decrypt_ecb(d.encrypt_ecb(b"")) == b""
+
+
+def test_cbc_roundtrip():
+    d = DES(b"testkey!")
+    msg = b"x" * 1000
+    iv = b"12345678"
+    assert d.decrypt_cbc(d.encrypt_cbc(msg, iv), iv) == msg
+
+
+def test_cbc_differs_from_ecb_on_repeating_blocks():
+    d = DES(b"testkey!")
+    msg = b"ABCDEFGH" * 4
+    ecb = d.encrypt_ecb(msg)
+    cbc = d.encrypt_cbc(msg, b"00000000")
+    # ECB leaks block repetition; CBC must not.
+    assert ecb[:8] == ecb[8:16]
+    assert cbc[:8] != cbc[8:16]
+
+
+def test_cbc_wrong_iv_fails_or_garbles():
+    d = DES(b"testkey!")
+    msg = b"sensitive document content.."
+    ct = d.encrypt_cbc(msg, b"ivivivIV")
+    try:
+        out = d.decrypt_cbc(ct, b"WRONGiv!")
+    except ValueError:
+        return  # padding failure is acceptable
+    assert out != msg
+
+
+def test_wrong_key_fails_or_garbles():
+    msg = b"peer-to-peer web document sharing"
+    ct = DES(b"key-one!").encrypt_ecb(msg)
+    try:
+        out = DES(b"key-two!").decrypt_ecb(ct)
+    except ValueError:
+        return
+    assert out != msg
+
+
+def test_key_length_validation():
+    with pytest.raises(ValueError):
+        DES(b"short")
+    with pytest.raises(ValueError):
+        DES(b"much too long key")
+
+
+def test_block_length_validation():
+    d = DES(b"testkey!")
+    with pytest.raises(ValueError):
+        d.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        d.decrypt_ecb(b"notamultipleof8!!")
+    with pytest.raises(ValueError):
+        d.decrypt_ecb(b"")
+    with pytest.raises(ValueError):
+        d.encrypt_cbc(b"msg", b"shortiv")
+
+
+def test_padding_tamper_detected():
+    d = DES(b"testkey!")
+    ct = bytearray(d.encrypt_ecb(b"hello"))
+    ct[-1] ^= 0xFF
+    with pytest.raises(ValueError):
+        d.decrypt_ecb(bytes(ct))
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=8, max_size=8), msg=st.binary(max_size=200))
+def test_ecb_roundtrip_property(key, msg):
+    d = DES(key)
+    assert d.decrypt_ecb(d.encrypt_ecb(msg)) == msg
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=8, max_size=8),
+    iv=st.binary(min_size=8, max_size=8),
+    msg=st.binary(max_size=200),
+)
+def test_cbc_roundtrip_property(key, iv, msg):
+    d = DES(key)
+    assert d.decrypt_cbc(d.encrypt_cbc(msg, iv), iv) == msg

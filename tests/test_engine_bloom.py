@@ -1,0 +1,112 @@
+"""Bloom-summary browser index: unit tests and engine integration."""
+
+import pytest
+
+from repro.core import Organization, SimulationConfig, simulate
+from repro.index.engine_bloom import BloomBrowserIndex
+
+
+def make_index(n=4, **kw):
+    kw.setdefault("expected_docs_per_client", 64)
+    kw.setdefault("rebuild_threshold", 0.5)
+    return BloomBrowserIndex(n, **kw)
+
+
+def test_insert_then_lookup():
+    idx = make_index()
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    hit = idx.lookup(doc=7, exclude_client=0, now=1.0)
+    assert hit is not None
+    assert hit.client == 1
+    assert hit.entry.version == 0
+    assert hit.entry.size == 100
+
+
+def test_lookup_excludes_requester():
+    idx = make_index()
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    assert idx.lookup(doc=7, exclude_client=1, now=1.0) is None
+
+
+def test_eviction_stays_visible_until_rebuild():
+    idx = make_index(rebuild_threshold=1.0)
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    idx.record_evict(client=1, doc=7, now=1.0)
+    # the filter cannot forget: the ghost is still claimed...
+    ghost = idx.lookup(doc=7, exclude_client=0, now=2.0)
+    assert ghost is not None
+    # ...until the client sends a fresh summary.
+    idx.rebuild(1, now=3.0)
+    assert idx.lookup(doc=7, exclude_client=0, now=4.0) is None
+
+
+def test_rebuild_threshold_triggers():
+    idx = make_index(rebuild_threshold=0.05)
+    # enough churn forces an automatic rebuild
+    for d in range(30):
+        idx.record_insert(client=0, doc=d, version=0, size=10, now=float(d))
+        idx.record_evict(client=0, doc=d, now=float(d) + 0.5)
+    assert idx.rebuilds > 0
+    assert idx.update_messages == idx.rebuilds
+
+
+def test_refresh_does_not_count_as_churn():
+    idx = make_index(rebuild_threshold=1.0)
+    idx.record_insert(client=0, doc=1, version=0, size=10, now=0.0)
+    before = idx._changes_since_rebuild[0]
+    idx.record_insert(client=0, doc=1, version=1, size=12, now=1.0, replace=True)
+    assert idx._changes_since_rebuild[0] == before
+
+
+def test_counters_and_footprint():
+    idx = make_index()
+    idx.record_insert(client=0, doc=1, version=0, size=10, now=0.0)
+    idx.record_insert(client=2, doc=2, version=0, size=10, now=0.0)
+    assert idx.n_entries == 2
+    assert idx.n_insert_events == 2
+    assert idx.footprint_bytes() > 0
+    assert idx.is_stale is True
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BloomBrowserIndex(0)
+    with pytest.raises(ValueError):
+        BloomBrowserIndex(2, rebuild_threshold=1.5)
+
+
+# -- engine integration ----------------------------------------------------
+
+
+def test_bloom_index_in_engine_close_to_exact(small_trace):
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.10, browser_sizing="minimum")
+    exact = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, base)
+    bloom = simulate(
+        small_trace, Organization.BROWSERS_AWARE_PROXY, base.with_(index_kind="bloom")
+    )
+    # Bloom summaries lose at most a sliver of hit ratio...
+    assert bloom.hit_ratio > exact.hit_ratio - 0.02
+    # ...still find remote hits...
+    assert bloom.by_location_remote_hits() > 0
+    # ...with fewer update messages than per-event invalidation...
+    assert bloom.overhead.index_update_messages < exact.overhead.index_update_messages
+    # ...at the cost of validated-and-rejected false hits.
+    assert bloom.index_false_hits > 0
+    assert exact.index_false_hits == 0
+
+
+def test_bloom_index_config_rejects_periodic_policy(small_trace):
+    from repro.index.staleness import PeriodicUpdatePolicy
+
+    with pytest.raises(ValueError, match="rebuild policy"):
+        SimulationConfig.relative(
+            small_trace,
+            proxy_frac=0.1,
+            index_kind="bloom",
+            index_update_policy=PeriodicUpdatePolicy(),
+        )
+
+
+def test_unknown_index_kind_rejected(small_trace):
+    with pytest.raises(ValueError, match="index_kind"):
+        SimulationConfig.relative(small_trace, proxy_frac=0.1, index_kind="oracle")

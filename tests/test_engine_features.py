@@ -1,0 +1,114 @@
+"""Engine features beyond the core paper: index-entry TTLs and
+heterogeneous browser capacities."""
+
+import numpy as np
+import pytest
+
+from repro.core import HitLocation, Organization, SimulationConfig, Simulator, simulate
+from repro.traces.record import Trace
+
+
+def build(rows):
+    return Trace(
+        timestamps=np.array([float(r[0]) for r in rows]),
+        clients=np.array([r[1] for r in rows]),
+        docs=np.array([r[2] for r in rows]),
+        sizes=np.array([r[3] for r in rows]),
+        versions=np.zeros(len(rows), dtype=np.int64),
+        name="hand",
+    )
+
+
+# -- index entry TTL -----------------------------------------------------------
+
+
+def test_fresh_index_entry_shared():
+    t = build([(0.0, 0, 0, 100), (1.0, 1, 1, 200), (2.0, 1, 0, 100)])
+    config = SimulationConfig(
+        proxy_capacity=250, browser_capacity=1000, index_entry_ttl=10.0
+    )
+    r = simulate(t, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 1
+
+
+def test_expired_index_entry_not_shared():
+    t = build([(0.0, 0, 0, 100), (1.0, 1, 1, 200), (500.0, 1, 0, 100)])
+    config = SimulationConfig(
+        proxy_capacity=250, browser_capacity=1000, index_entry_ttl=10.0
+    )
+    r = simulate(t, Organization.BROWSERS_AWARE_PROXY, config)
+    # c0 still holds doc0, but the index entry expired at t=10
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 0
+    assert r.by_location[HitLocation.ORIGIN].misses == 3
+
+
+def test_ttl_only_reduces_sharing(small_trace):
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    with_ttl = base.with_(index_entry_ttl=60.0)
+    free = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, base)
+    gated = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, with_ttl)
+    assert gated.by_location_remote_hits() <= free.by_location_remote_hits()
+
+
+def test_ttl_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(proxy_capacity=1, browser_capacity=1, index_entry_ttl=0.0)
+
+
+# -- heterogeneous browser capacities -------------------------------------------
+
+
+def test_per_client_capacities_applied():
+    t = build([(0.0, 0, 0, 100), (1.0, 1, 1, 100)])
+    config = SimulationConfig(
+        proxy_capacity=1000,
+        browser_capacity=0,  # ignored when capacities given
+        browser_capacities=(500, 50),
+    )
+    sim = Simulator(t, Organization.PROXY_AND_LOCAL_BROWSER, config)
+    assert sim.browsers[0].capacity == 500
+    assert sim.browsers[1].capacity == 50
+
+
+def test_capacities_must_cover_all_clients():
+    t = build([(0.0, 0, 0, 100), (1.0, 2, 1, 100)])  # clients 0..2
+    config = SimulationConfig(
+        proxy_capacity=1000, browser_capacity=0, browser_capacities=(10, 10)
+    )
+    with pytest.raises(ValueError, match="covers 2 clients"):
+        Simulator(t, Organization.PROXY_AND_LOCAL_BROWSER, config)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        SimulationConfig(
+            proxy_capacity=1, browser_capacity=1, browser_capacities=(10, -1)
+        )
+
+
+def test_zero_capacity_client_never_hits_locally():
+    t = build([(0.0, 0, 0, 100), (1.0, 0, 0, 100), (2.0, 1, 0, 100), (3.0, 1, 0, 100)])
+    config = SimulationConfig(
+        proxy_capacity=0, browser_capacity=0, browser_capacities=(1000, 0)
+    )
+    r = simulate(t, Organization.LOCAL_BROWSER_ONLY, config)
+    # client0 hits its own cache once; client1 (0 B) never does
+    assert r.by_location[HitLocation.LOCAL_BROWSER].hits == 1
+
+
+def test_heterogeneity_richer_clients_share_more(small_trace):
+    """Give half the clients 4x the cache: aggregate capacity constant,
+    remote sharing should still function."""
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1, browser_sizing="minimum")
+    n = small_trace.n_clients
+    uniform = base.browser_capacity
+    caps = tuple(
+        int(uniform * 1.6) if i % 2 == 0 else int(uniform * 0.4) for i in range(n)
+    )
+    het = simulate(
+        small_trace,
+        Organization.BROWSERS_AWARE_PROXY,
+        base.with_(browser_capacities=caps),
+    )
+    assert het.by_location_remote_hits() > 0
+    assert 0 < het.hit_ratio < 1

@@ -1,0 +1,141 @@
+"""Ethernet/bus model (paper §5) and latency model (paper §4.2)."""
+
+import pytest
+
+from repro.network import EthernetModel, MemoryDiskModel, SharedBus, WANModel
+from repro.network.latency import AccessKind
+from repro.network.topology import ServiceTimeModel
+
+
+# -- EthernetModel ----------------------------------------------------------
+
+
+def test_transfer_time_components():
+    m = EthernetModel(bandwidth_bps=10e6, connection_setup=0.1)
+    # 10 Mbps: 1,250,000 bytes/s
+    assert m.serialization_time(1_250_000) == pytest.approx(1.0)
+    assert m.transfer_time(0) == pytest.approx(0.1)
+    assert m.transfer_time(1_250_000) == pytest.approx(1.1)
+
+
+def test_paper_example_8kb_document():
+    m = EthernetModel()
+    # 8 KB over 10 Mbps = 6.55 ms wire + 100 ms setup
+    assert m.transfer_time(8192) == pytest.approx(0.1 + 8192 * 8 / 10e6)
+
+
+def test_ethernet_validation():
+    with pytest.raises(ValueError):
+        EthernetModel(bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        EthernetModel(connection_setup=-1)
+    with pytest.raises(ValueError):
+        EthernetModel().serialization_time(-5)
+
+
+# -- SharedBus ---------------------------------------------------------------
+
+
+def test_bus_no_contention_when_idle():
+    bus = SharedBus(EthernetModel(bandwidth_bps=10e6, connection_setup=0.0))
+    t = bus.submit(arrival=0.0, n_bytes=1_250_000)  # 1 s service
+    assert t.wait == 0.0
+    assert t.finish == pytest.approx(1.0)
+    t2 = bus.submit(arrival=5.0, n_bytes=1_250_000)
+    assert t2.wait == 0.0
+
+
+def test_bus_fcfs_contention():
+    bus = SharedBus(EthernetModel(bandwidth_bps=10e6, connection_setup=0.0))
+    bus.submit(arrival=0.0, n_bytes=1_250_000)  # busy until 1.0
+    t2 = bus.submit(arrival=0.25, n_bytes=1_250_000)
+    assert t2.start == pytest.approx(1.0)
+    assert t2.wait == pytest.approx(0.75)
+    assert bus.stats.total_contention_time == pytest.approx(0.75)
+    assert bus.stats.contention_fraction == pytest.approx(0.75 / 2.75)
+
+
+def test_bus_rejects_out_of_order_arrivals():
+    bus = SharedBus()
+    bus.submit(arrival=10.0, n_bytes=100)
+    with pytest.raises(ValueError):
+        bus.submit(arrival=5.0, n_bytes=100)
+
+
+def test_bus_reset():
+    bus = SharedBus()
+    bus.submit(arrival=10.0, n_bytes=100)
+    bus.reset()
+    assert bus.stats.n_transfers == 0
+    bus.submit(arrival=0.0, n_bytes=100)  # order restarts
+
+
+def test_bus_stats_accumulate():
+    bus = SharedBus(EthernetModel(bandwidth_bps=1e6, connection_setup=0.0))
+    for i in range(5):
+        bus.submit(arrival=float(i * 100), n_bytes=12_500)  # 0.1 s each
+    assert bus.stats.n_transfers == 5
+    assert bus.stats.total_bytes == 5 * 12_500
+    assert bus.stats.total_service_time == pytest.approx(0.5)
+
+
+# -- MemoryDiskModel -----------------------------------------------------------
+
+
+def test_memory_time_block_granular():
+    m = MemoryDiskModel()
+    assert m.memory_time(16) == pytest.approx(2e-6)
+    assert m.memory_time(17) == pytest.approx(4e-6)  # two blocks
+    assert m.memory_time(0) == 0.0
+
+
+def test_disk_time_page_granular():
+    m = MemoryDiskModel()
+    assert m.disk_time(4096) == pytest.approx(10e-3)
+    assert m.disk_time(4097) == pytest.approx(20e-3)
+
+
+def test_memory_much_faster_than_disk():
+    m = MemoryDiskModel()
+    size = 8192
+    assert m.memory_time(size) < m.disk_time(size) / 10
+
+
+def test_access_time_dispatch():
+    m = MemoryDiskModel()
+    assert m.access_time(100, AccessKind.MEMORY) == m.memory_time(100)
+    assert m.access_time(100, AccessKind.DISK) == m.disk_time(100)
+    assert m.hit_latency(100, 200) == m.memory_time(100) + m.disk_time(200)
+
+
+# -- WAN / ServiceTimeModel ------------------------------------------------------
+
+
+def test_wan_fetch_time():
+    w = WANModel(connection_setup=0.5, bandwidth_bps=1e6)
+    assert w.fetch_time(125_000) == pytest.approx(0.5 + 1.0)
+
+
+def test_service_time_ordering():
+    """local hit < proxy hit < remote hit < origin miss for a typical
+    document — the premise of the whole caching hierarchy."""
+    s = ServiceTimeModel()
+    n = 8192
+    local = s.local_hit(n)
+    proxy = s.proxy_hit(n)
+    remote = s.remote_browser_hit(n, contention=0.01)
+    origin = s.origin_miss(n)
+    assert local < proxy <= remote < origin
+
+
+def test_remote_hit_contention_added():
+    s = ServiceTimeModel()
+    base = s.remote_browser_hit(1000, contention=0.0)
+    assert s.remote_browser_hit(1000, contention=0.5) == pytest.approx(base + 0.5)
+    with pytest.raises(ValueError):
+        s.remote_browser_hit(1000, contention=-0.1)
+
+
+def test_memory_hit_faster_than_disk_hit():
+    s = ServiceTimeModel()
+    assert s.local_hit(8192, AccessKind.MEMORY) < s.local_hit(8192, AccessKind.DISK)

@@ -1,0 +1,136 @@
+"""Experiment-module smoke tests on a small trace.
+
+The full paper-scale experiments run in the benchmark harness; here we
+exercise every experiment's logic and rendering quickly by pointing the
+paper-trace loader at the small session trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablation_index,
+    ablation_replacement,
+    fig2,
+    fig3,
+    fig4_6,
+    fig7,
+    fig8,
+    hierarchy,
+    index_space,
+    memory_hit,
+    overhead,
+    security_overhead,
+    staleness,
+)
+
+
+@pytest.fixture(autouse=True)
+def patch_traces(monkeypatch, small_trace):
+    """Redirect every experiment module's trace loader to small_trace."""
+    modules = (
+        fig2,
+        fig3,
+        fig4_6,
+        fig7,
+        fig8,
+        hierarchy,
+        index_space,
+        memory_hit,
+        overhead,
+        security_overhead,
+        staleness,
+        ablation_index,
+        ablation_replacement,
+    )
+    for mod in modules:
+        monkeypatch.setattr(mod, "load_paper_trace", lambda name, cache=True: small_trace)
+    # fig8's scaling driver re-filters clients itself, nothing to patch
+
+
+def test_fig2_small():
+    result = fig2.run(fractions=(0.05, 0.2))
+    text = result.render()
+    assert "browsers-aware-proxy-server" in text
+    assert result.baps_dominates()
+
+
+def test_fig3_small():
+    result = fig3.run(fractions=(0.05, 0.2))
+    assert result.remote_share_at(0.05) >= 0
+    assert "remote-browsers" in result.render()
+
+
+def test_fig4_6_small():
+    result = fig4_6.run(5, fractions=(0.05, 0.2))
+    assert result.figure == 5
+    assert result.baps_wins_everywhere()
+    assert "Figure 5" in result.render()
+    with pytest.raises(ValueError):
+        fig4_6.run(9)
+
+
+def test_fig7_small():
+    result = fig7.run(fractions=(0.05,))
+    assert "limit case" in result.render()
+    assert result.mean_hit_gain() >= 0
+
+
+def test_fig8_small():
+    result = fig8.run(trace_names=("small",), client_fractions=(0.5, 1.0))
+    assert "small" in result.results
+    assert "client scaling" in result.render()
+
+
+def test_overhead_small():
+    result = overhead.run(trace_names=("small",))
+    assert 0 <= result.max_communication_fraction() < 1
+    assert "comm/total" in result.render()
+
+
+def test_memory_hit_small():
+    result = memory_hit.run(baps_frac=0.05, plb_frac=0.1)
+    assert len(result.variants) == 2
+    assert "memory byte hit ratio" in result.render()
+    with pytest.raises(KeyError):
+        result.variant("nonexistent")
+
+
+def test_index_space_small():
+    result = index_space.run()
+    assert result.measured_peak_entries > 0
+    assert "browser index space" in result.render()
+
+
+def test_staleness_small():
+    result = staleness.run(thresholds=(0.05, 0.25))
+    assert result.degradation(0.05) < 0.05
+    assert "delay threshold" in result.render()
+
+
+def test_security_small():
+    result = security_overhead.run()
+    assert result.live_transfer_seconds > 0
+    assert result.crypto_fraction_of_total < 0.05
+    assert "security overhead" in result.render()
+
+
+def test_ablation_replacement_small():
+    result = ablation_replacement.run(policies=("lru", "fifo"))
+    assert set(result.results) == {"lru", "fifo"}
+    assert result.results["lru"].hit_ratio >= result.results["fifo"].hit_ratio - 0.01
+    assert "replacement policy" in result.render()
+
+
+def test_ablation_index_small():
+    result = ablation_index.run(n_probe=2_000)
+    assert result.bloom_false_positive_rate < 0.05
+    assert result.exact.hit_ratio >= result.periodic.hit_ratio - 0.01
+    assert "index maintenance" in result.render()
+
+
+def test_hierarchy_small():
+    result = hierarchy.run(n_leaves=2)
+    assert len(result.results) == 5
+    assert "cooperative proxies" in result.render()

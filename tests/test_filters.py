@@ -1,0 +1,80 @@
+"""Trace filtering / client sub-setting tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces.filters import cacheable_only, head, select_clients
+from repro.traces.record import Trace
+
+
+@pytest.fixture()
+def trace():
+    return Trace(
+        timestamps=np.arange(10, dtype=float),
+        clients=np.array([0, 0, 0, 0, 1, 1, 2, 2, 2, 3]),
+        docs=np.arange(10),
+        sizes=np.array([10, 20, 0, 40, 50, 60, 70, 80, 90, 5_000]),
+        versions=np.zeros(10, dtype=np.int64),
+        name="f",
+    )
+
+
+def test_select_fraction_by_id(trace):
+    sub = select_clients(trace, fraction=0.5)
+    assert sub.n_clients == 2
+    assert len(sub) == 6  # clients 0 and 1
+
+
+def test_select_fraction_by_activity(trace):
+    sub = select_clients(trace, fraction=0.25, order="activity")
+    # busiest client is 0 (4 requests)
+    assert len(sub) == 4
+
+
+def test_select_explicit_ids(trace):
+    sub = select_clients(trace, client_ids=[2, 3], renumber=False)
+    assert set(np.unique(sub.clients)) == {2, 3}
+
+
+def test_select_renumbers_by_default(trace):
+    sub = select_clients(trace, client_ids=[2, 3])
+    assert set(np.unique(sub.clients)) == {0, 1}
+
+
+def test_select_validation(trace):
+    with pytest.raises(ValueError):
+        select_clients(trace)
+    with pytest.raises(ValueError):
+        select_clients(trace, fraction=0.5, client_ids=[1])
+    with pytest.raises(ValueError):
+        select_clients(trace, fraction=0.0)
+    with pytest.raises(ValueError):
+        select_clients(trace, fraction=1.5)
+    with pytest.raises(ValueError):
+        select_clients(trace, client_ids=[])
+    with pytest.raises(ValueError):
+        select_clients(trace, fraction=0.5, order="zodiac")
+
+
+def test_select_full_fraction_keeps_everything(trace):
+    sub = select_clients(trace, fraction=1.0)
+    assert len(sub) == len(trace)
+
+
+def test_head(trace):
+    assert len(head(trace, 3)) == 3
+    assert len(head(trace, 100)) == 10
+    assert len(head(trace, 0)) == 0
+    with pytest.raises(ValueError):
+        head(trace, -1)
+
+
+def test_cacheable_only_drops_zero_and_giant(trace):
+    sub = cacheable_only(trace, min_size=1, max_size=1000)
+    assert len(sub) == 8
+    assert (sub.sizes > 0).all()
+    assert sub.sizes.max() <= 1000
+
+
+def test_cacheable_only_default_keeps_positive(trace):
+    assert len(cacheable_only(trace)) == 9

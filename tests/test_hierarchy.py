@@ -1,0 +1,164 @@
+"""Cooperative proxy hierarchy substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import HitLocation
+from repro.hierarchy import HierarchyConfig, ICPModel, ICPStats, simulate_hierarchy
+from repro.traces.record import Trace
+
+
+def build(rows):
+    return Trace(
+        timestamps=np.arange(len(rows), dtype=float),
+        clients=np.array([r[0] for r in rows]),
+        docs=np.array([r[1] for r in rows]),
+        sizes=np.array([r[2] for r in rows]),
+        versions=np.zeros(len(rows), dtype=np.int64),
+        name="hand",
+    )
+
+
+# -- ICP model --------------------------------------------------------------
+
+
+def test_icp_round_costs():
+    icp = ICPModel(query_latency=0.002, timeout=0.05)
+    assert icp.round_cost(3, any_hit=True) == pytest.approx(0.004)
+    assert icp.round_cost(3, any_hit=False) == pytest.approx(0.05)
+    assert icp.round_cost(0, any_hit=True) == 0.0
+
+
+def test_icp_accounting():
+    icp = ICPModel()
+    stats = ICPStats()
+    icp.account(stats, 3, any_hit=True)
+    icp.account(stats, 3, any_hit=False)
+    assert stats.queries_sent == 6
+    assert stats.query_rounds == 2
+    assert stats.hits == 1 and stats.misses == 1
+    assert stats.total_overhead_time == pytest.approx(
+        icp.round_cost(3, True) + icp.round_cost(3, False)
+    )
+
+
+def test_icp_validation():
+    with pytest.raises(ValueError):
+        ICPModel(timeout=0)
+    with pytest.raises(ValueError):
+        ICPModel(query_latency=-1)
+
+
+# -- config --------------------------------------------------------------------
+
+
+def test_config_partitioning():
+    cfg = HierarchyConfig(n_leaves=3, leaf_capacity=100)
+    assert [cfg.leaf_of(c, 9) for c in range(6)] == [0, 1, 2, 0, 1, 2]
+    blocks = HierarchyConfig(n_leaves=3, leaf_capacity=100, partition="blocks")
+    assert [blocks.leaf_of(c, 9) for c in range(9)] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HierarchyConfig(n_leaves=0, leaf_capacity=1)
+    with pytest.raises(ValueError):
+        HierarchyConfig(n_leaves=1, leaf_capacity=1, siblings=True)
+    with pytest.raises(ValueError):
+        HierarchyConfig(n_leaves=2, leaf_capacity=1, partition="random")
+
+
+def test_total_capacity():
+    cfg = HierarchyConfig(n_leaves=4, leaf_capacity=100, parent_capacity=50)
+    assert cfg.total_proxy_capacity == 450
+
+
+# -- simulator -------------------------------------------------------------------
+
+
+def test_leaf_hit():
+    # clients 0 and 2 share leaf 0 under interleave with 2 leaves
+    t = build([(0, 5, 100), (2, 5, 100)])
+    r = simulate_hierarchy(t, HierarchyConfig(n_leaves=2, leaf_capacity=1000))
+    assert r.by_location[HitLocation.PROXY].hits == 1
+    assert r.by_location[HitLocation.ORIGIN].misses == 1
+
+
+def test_no_cooperation_means_miss_across_leaves():
+    # clients 0 and 1 are on different leaves; without siblings the
+    # second request misses.
+    t = build([(0, 5, 100), (1, 5, 100)])
+    r = simulate_hierarchy(t, HierarchyConfig(n_leaves=2, leaf_capacity=1000))
+    assert r.by_location[HitLocation.ORIGIN].misses == 2
+
+
+def test_sibling_hit():
+    t = build([(0, 5, 100), (1, 5, 100)])
+    r = simulate_hierarchy(
+        t, HierarchyConfig(n_leaves=2, leaf_capacity=1000, siblings=True)
+    )
+    assert r.by_location[HitLocation.SIBLING_PROXY].hits == 1
+
+
+def test_sibling_fetch_cached_at_requesting_leaf():
+    t = build([(0, 5, 100), (1, 5, 100), (1, 5, 100)])
+    r = simulate_hierarchy(
+        t, HierarchyConfig(n_leaves=2, leaf_capacity=1000, siblings=True)
+    )
+    # third request hits leaf 1's own cache now
+    assert r.by_location[HitLocation.PROXY].hits == 1
+
+
+def test_sibling_fetch_not_cached_when_disabled():
+    t = build([(0, 5, 100), (1, 5, 100), (1, 5, 100)])
+    r = simulate_hierarchy(
+        t,
+        HierarchyConfig(
+            n_leaves=2, leaf_capacity=1000, siblings=True, cache_sibling_fetches=False
+        ),
+    )
+    assert r.by_location[HitLocation.SIBLING_PROXY].hits == 2
+
+
+def test_parent_hit():
+    t = build([(0, 5, 100), (1, 5, 100)])
+    r = simulate_hierarchy(
+        t, HierarchyConfig(n_leaves=2, leaf_capacity=1000, parent_capacity=1000)
+    )
+    assert r.by_location[HitLocation.PARENT_PROXY].hits == 1
+
+
+def test_browser_in_front_of_leaf():
+    t = build([(0, 5, 100), (0, 5, 100)])
+    r = simulate_hierarchy(
+        t, HierarchyConfig(n_leaves=2, leaf_capacity=1000, browser_capacity=1000)
+    )
+    assert r.by_location[HitLocation.LOCAL_BROWSER].hits == 1
+
+
+def test_icp_stats_collected(small_trace):
+    from repro.hierarchy import HierarchySimulator
+
+    cfg = HierarchyConfig(n_leaves=4, leaf_capacity=200_000, siblings=True)
+    sim = HierarchySimulator(small_trace, cfg)
+    r = sim.run()
+    assert sim.icp_stats.query_rounds > 0
+    assert sim.icp_stats.queries_sent == 3 * sim.icp_stats.query_rounds
+    assert r.n_requests == len(small_trace)
+
+
+def test_hierarchy_conservation(small_trace):
+    cfg = HierarchyConfig(
+        n_leaves=4, leaf_capacity=100_000, parent_capacity=200_000, siblings=True
+    )
+    r = simulate_hierarchy(small_trace, cfg)
+    total_hits = sum(s.hits for loc, s in r.by_location.items() if loc is not HitLocation.ORIGIN)
+    assert total_hits + r.by_location[HitLocation.ORIGIN].misses == len(small_trace)
+
+
+def test_cooperation_never_hurts_hit_ratio(small_trace):
+    base = HierarchyConfig(n_leaves=4, leaf_capacity=100_000)
+    coop = HierarchyConfig(n_leaves=4, leaf_capacity=100_000, siblings=True)
+    r_base = simulate_hierarchy(small_trace, base)
+    r_coop = simulate_hierarchy(small_trace, coop)
+    assert r_coop.hit_ratio >= r_base.hit_ratio

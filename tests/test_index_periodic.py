@@ -1,0 +1,106 @@
+"""Browser index — periodic (stale) update mode."""
+
+from repro.index import BrowserIndex, PeriodicUpdatePolicy, UpdateMode
+from repro.index.staleness import ClientUpdateState, StalenessStats
+
+
+def make_index(threshold=0.5, n=3, **kw):
+    return BrowserIndex(
+        n_clients=n,
+        mode=UpdateMode.PERIODIC,
+        policy=PeriodicUpdatePolicy(threshold=threshold, **kw),
+    )
+
+
+def test_pending_updates_invisible_until_flush():
+    idx = make_index(threshold=0.9)
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    # below threshold: not yet visible
+    assert idx.lookup(doc=7, exclude_client=0, now=1.0) is None
+    idx.flush(1, now=2.0)
+    assert idx.lookup(doc=7, exclude_client=0, now=3.0) is not None
+
+
+def test_threshold_triggers_flush():
+    # with min_docs=1 the first pending change crosses a 50% threshold
+    # immediately.
+    idx = make_index(threshold=0.5, min_docs=1)
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    assert idx.lookup(doc=7, exclude_client=0, now=1.0) is not None
+
+
+def test_insert_evict_coalesce_in_batch():
+    idx = make_index(threshold=0.99)
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    idx.record_evict(client=1, doc=7, now=1.0)
+    idx.flush(1, now=2.0)
+    assert idx.lookup(doc=7, exclude_client=0, now=3.0) is None
+    assert idx.n_entries == 0
+
+
+def test_stale_eviction_produces_visible_ghost():
+    idx = make_index(threshold=0.9)
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    idx.flush(1, now=1.0)
+    idx.record_evict(client=1, doc=7, now=2.0)  # pending, not flushed
+    ghost = idx.lookup(doc=7, exclude_client=0, now=3.0)
+    assert ghost is not None  # the stale index still names client 1
+    idx.flush(1, now=4.0)
+    assert idx.lookup(doc=7, exclude_client=0, now=5.0) is None
+
+
+def test_max_interval_forces_flush():
+    idx = BrowserIndex(
+        n_clients=2,
+        mode=UpdateMode.PERIODIC,
+        policy=PeriodicUpdatePolicy(threshold=1.0, max_interval=10.0),
+    )
+    idx.record_insert(client=0, doc=1, version=0, size=10, now=0.0)
+    assert idx.lookup(doc=1, exclude_client=1, now=1.0) is None
+    # next change past the interval flushes the batch
+    idx.record_insert(client=0, doc=2, version=0, size=10, now=15.0)
+    assert idx.lookup(doc=1, exclude_client=1, now=16.0) is not None
+
+
+def test_flush_counters():
+    idx = make_index(threshold=0.99)
+    idx.record_insert(client=1, doc=7, version=0, size=100, now=0.0)
+    idx.record_insert(client=1, doc=8, version=0, size=100, now=0.0)
+    n = idx.flush(1, now=1.0)
+    assert n == 2
+    assert idx.stats.flushes == 1
+    assert idx.stats.flushed_items == 2
+    assert idx.flush(1, now=2.0) == 0  # nothing pending
+
+
+def test_flush_all():
+    idx = make_index(threshold=0.99)
+    idx.record_insert(client=0, doc=1, version=0, size=10, now=0.0)
+    idx.record_insert(client=2, doc=2, version=0, size=10, now=0.0)
+    idx.flush_all(now=1.0)
+    assert idx.n_entries == 2
+
+
+def test_false_hit_and_miss_counters():
+    idx = make_index()
+    idx.record_false_hit()
+    idx.record_false_miss()
+    assert idx.stats.false_hits == 1
+    assert idx.stats.false_misses == 1
+
+
+def test_policy_should_flush_logic():
+    policy = PeriodicUpdatePolicy(threshold=0.10)
+    state = ClientUpdateState(pending_changes=0, cached_docs=100)
+    assert not policy.should_flush(state, now=0.0)
+    state.pending_changes = 9
+    assert not policy.should_flush(state, now=0.0)
+    state.pending_changes = 10
+    assert policy.should_flush(state, now=0.0)
+
+
+def test_staleness_stats_merge():
+    a = StalenessStats(false_hits=1, false_misses=2, flushes=3, flushed_items=4)
+    b = StalenessStats(false_hits=10, false_misses=20, flushes=30, flushed_items=40)
+    m = a.merged(b)
+    assert (m.false_hits, m.false_misses, m.flushes, m.flushed_items) == (11, 22, 33, 44)

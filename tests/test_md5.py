@@ -1,0 +1,93 @@
+"""MD5 (RFC 1321) — cross-checked against hashlib."""
+
+import hashlib
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.index.signatures import url_signature
+from repro.security.md5 import MD5, md5_digest, md5_hexdigest
+
+# RFC 1321 appendix A.5 test suite.
+RFC_VECTORS = {
+    b"": "d41d8cd98f00b204e9800998ecf8427e",
+    b"a": "0cc175b9c0f1b6a831c399e269772661",
+    b"abc": "900150983cd24fb0d6963f7d28e17f72",
+    b"message digest": "f96b697d7cb7938d525a2f31aaf161d0",
+    b"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789": (
+        "d174ab98d277d9f5a5611c2c9f419d9f"
+    ),
+    b"1234567890" * 8: "57edf4a22be3c955ac49da2e2107b67a",
+}
+
+
+@pytest.mark.parametrize("message,expected", sorted(RFC_VECTORS.items()))
+def test_rfc1321_vectors(message, expected):
+    assert md5_hexdigest(message) == expected
+
+
+def test_digest_is_16_bytes():
+    assert len(md5_digest(b"anything")) == 16
+
+
+def test_string_input_encodes_utf8():
+    assert md5_digest("héllo") == hashlib.md5("héllo".encode()).digest()
+
+
+def test_incremental_equals_oneshot():
+    m = MD5()
+    m.update(b"hello ")
+    m.update(b"world")
+    assert m.digest() == md5_digest(b"hello world")
+
+
+def test_digest_idempotent_and_continuable():
+    m = MD5(b"abc")
+    first = m.digest()
+    assert m.digest() == first
+    m.update(b"def")
+    assert m.digest() == hashlib.md5(b"abcdef").digest()
+
+
+def test_copy_independent():
+    m = MD5(b"abc")
+    clone = m.copy()
+    m.update(b"XYZ")
+    assert clone.digest() == hashlib.md5(b"abc").digest()
+
+
+def test_block_boundary_lengths():
+    for n in (54, 55, 56, 57, 63, 64, 65, 119, 120, 128):
+        data = bytes(range(256))[:n] * 1
+        assert md5_digest(data) == hashlib.md5(data).digest(), n
+
+
+def test_rejects_non_bytes():
+    m = MD5()
+    with pytest.raises(TypeError):
+        m.update("not bytes")  # type: ignore[arg-type]
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(max_size=600))
+def test_matches_hashlib_property(data):
+    assert md5_digest(data) == hashlib.md5(data).digest()
+
+
+@settings(max_examples=30, deadline=None)
+@given(chunks=st.lists(st.binary(max_size=120), max_size=8))
+def test_incremental_matches_hashlib_property(chunks):
+    ours = MD5()
+    ref = hashlib.md5()
+    for chunk in chunks:
+        ours.update(chunk)
+        ref.update(chunk)
+    assert ours.hexdigest() == ref.hexdigest()
+
+
+def test_url_signature_is_md5_of_url():
+    url = "http://example.com/index.html"
+    assert url_signature(url) == hashlib.md5(url.encode()).digest()
+    assert len(url_signature(url)) == 16

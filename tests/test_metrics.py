@@ -1,0 +1,128 @@
+"""Direct unit tests for result/overhead bookkeeping."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.core.events import HitLocation
+from repro.core.metrics import HitBreakdown, SimulationResult
+from repro.core.overhead import OverheadReport
+from repro.network.ethernet import BusStats
+
+
+# -- CacheStats ----------------------------------------------------------------
+
+
+def test_cache_stats_counting():
+    s = CacheStats()
+    s.record_hit(100)
+    s.record_miss(50)
+    s.record_tier_hit(30, memory=True)
+    s.record_tier_hit(20, memory=False)
+    assert s.requests == 4
+    assert s.hits == 3 and s.misses == 1
+    assert s.hit_bytes == 150
+    assert s.memory_hits == 1 and s.disk_hits == 1
+    assert s.hit_ratio == pytest.approx(0.75)
+    assert s.byte_hit_ratio == pytest.approx(150 / 200)
+
+
+def test_cache_stats_empty_ratios():
+    s = CacheStats()
+    assert s.hit_ratio == 0.0
+    assert s.byte_hit_ratio == 0.0
+
+
+def test_cache_stats_merged():
+    a = CacheStats(hits=1, misses=2, hit_bytes=10, miss_bytes=20, memory_hits=1)
+    b = CacheStats(hits=3, misses=4, hit_bytes=30, miss_bytes=40, disk_hits=2)
+    m = a.merged(b)
+    assert (m.hits, m.misses, m.hit_bytes, m.miss_bytes) == (4, 6, 40, 60)
+    assert (m.memory_hits, m.disk_hits) == (1, 2)
+
+
+# -- SimulationResult --------------------------------------------------------------
+
+
+def test_result_recording_and_ratios():
+    r = SimulationResult(trace_name="t", organization="o")
+    r.record(HitLocation.LOCAL_BROWSER, 100)
+    r.record(HitLocation.PROXY, 200)
+    r.record(HitLocation.REMOTE_BROWSER, 300)
+    r.record(HitLocation.ORIGIN, 400)
+    assert r.n_requests == 4
+    assert r.hits == 3
+    assert r.hit_ratio == pytest.approx(0.75)
+    assert r.byte_hit_ratio == pytest.approx(600 / 1000)
+    assert r.by_location_remote_hits() == 1
+
+
+def test_result_tier_recording():
+    r = SimulationResult(trace_name="t", organization="o")
+    r.record(HitLocation.PROXY, 100, memory=True)
+    r.record(HitLocation.LOCAL_BROWSER, 100, memory=False)
+    r.record(HitLocation.ORIGIN, 100)
+    assert r.memory_byte_hit_ratio == pytest.approx(100 / 300)
+    assert r.disk_byte_hit_ratio == pytest.approx(100 / 300)
+
+
+def test_breakdown_percentages():
+    bd = HitBreakdown(local_browser=0.1, proxy=0.2, remote_browser=0.05)
+    assert bd.total == pytest.approx(0.35)
+    pct = bd.as_percentages()
+    assert pct["remote-browsers"] == pytest.approx(5.0)
+
+
+def test_result_summary_keys():
+    r = SimulationResult(trace_name="t", organization="o")
+    r.record(HitLocation.PROXY, 10)
+    s = r.summary()
+    assert set(s) == {
+        "hit_ratio",
+        "byte_hit_ratio",
+        "local_share",
+        "proxy_share",
+        "remote_share",
+        "communication_fraction",
+    }
+
+
+def test_empty_result_ratios():
+    r = SimulationResult(trace_name="t", organization="o")
+    assert r.hit_ratio == 0.0
+    assert r.memory_byte_hit_ratio == 0.0
+    assert r.breakdown().total == 0.0
+
+
+# -- OverheadReport --------------------------------------------------------------------
+
+
+def test_overhead_totals_and_fractions():
+    o = OverheadReport(
+        local_hit_time=1.0,
+        proxy_hit_time=2.0,
+        remote_transfer_time=3.0,
+        remote_contention_time=1.0,
+        remote_storage_time=0.5,
+        origin_miss_time=10.0,
+        security_time=0.5,
+        validation_time=2.0,
+    )
+    assert o.remote_communication_time == pytest.approx(4.0)
+    assert o.total_service_time == pytest.approx(20.0)
+    assert o.communication_fraction == pytest.approx(4.0 / 20.0)
+    assert o.contention_fraction_of_communication == pytest.approx(0.25)
+    assert o.security_fraction_of_communication == pytest.approx(0.125)
+
+
+def test_overhead_zero_guards():
+    o = OverheadReport()
+    assert o.communication_fraction == 0.0
+    assert o.contention_fraction_of_communication == 0.0
+    assert o.security_fraction_of_communication == 0.0
+
+
+def test_overhead_absorb_bus():
+    o = OverheadReport()
+    o.absorb_bus(BusStats(total_service_time=5.0, total_contention_time=1.5))
+    assert o.remote_transfer_time == 5.0
+    assert o.remote_contention_time == 1.5

@@ -1,0 +1,125 @@
+"""Mutual-anonymity variants (HPL-2001-204): shortcut response and
+crowds-style forwarding."""
+
+import pytest
+
+from repro.security import CrowdsStyleForwarder, ShortcutResponseProtocol
+from repro.security.anonymity import AnonymityError, PeerEndpoint
+
+DOC = b"a shared cached document " * 10
+
+
+@pytest.fixture(scope="module")
+def peers():
+    return [PeerEndpoint.create(f"peer{i}", seed=100 + i, bits=256) for i in range(5)]
+
+
+# -- shortcut response -----------------------------------------------------------
+
+
+def test_shortcut_delivers_document(peers):
+    proto = ShortcutResponseProtocol(seed=1)
+    holder, requester = peers[0], peers[1]
+    holder.store[7] = DOC
+    assert proto.exchange(requester, holder, 7) == DOC
+
+
+def test_shortcut_proxy_never_carries_content(peers):
+    proto = ShortcutResponseProtocol(seed=1)
+    holder, requester = peers[0], peers[1]
+    holder.store[7] = DOC
+    proto.exchange(requester, holder, 7)
+    for msg in proto.transcript:
+        if proto.name in (msg.sender, msg.receiver):
+            assert DOC not in msg.payload
+
+
+def test_shortcut_identities_hidden(peers):
+    proto = ShortcutResponseProtocol(seed=1)
+    holder, requester = peers[0], peers[1]
+    holder.store[7] = DOC
+    proto.exchange(requester, holder, 7)
+    # the holder only ever talks to the proxy or the broadcast channel
+    for msg in proto.transcript:
+        if msg.sender == holder.name or msg.receiver == holder.name:
+            assert requester.name not in (msg.sender, msg.receiver)
+            assert requester.name.encode() not in msg.payload
+    # the response frame is a LAN broadcast, addressed to nobody
+    responses = [m for m in proto.transcript if m.kind == "response"]
+    assert responses and responses[0].receiver == "*broadcast*"
+
+
+def test_shortcut_broadcast_is_ciphertext(peers):
+    proto = ShortcutResponseProtocol(seed=1)
+    holder, requester = peers[0], peers[1]
+    holder.store[7] = DOC
+    proto.exchange(requester, holder, 7)
+    assert DOC not in proto.broadcasts[0]
+
+
+def test_shortcut_missing_document(peers):
+    proto = ShortcutResponseProtocol(seed=1)
+    with pytest.raises(AnonymityError):
+        proto.exchange(peers[1], peers[2], 404)
+
+
+def test_shortcut_multiple_exchanges_use_distinct_tags(peers):
+    proto = ShortcutResponseProtocol(seed=1)
+    holder = peers[0]
+    holder.store[7] = DOC
+    holder.store[8] = DOC[::-1]
+    a = proto.exchange(peers[1], holder, 7)
+    b = proto.exchange(peers[2], holder, 8)
+    assert a == DOC and b == DOC[::-1]
+    tags = {f[:16] for f in proto.broadcasts}
+    assert len(tags) == 2
+
+
+# -- crowds-style forwarding ---------------------------------------------------------
+
+
+def test_crowds_delivers_document(peers):
+    peers[0].store[9] = DOC
+    crowd = CrowdsStyleForwarder(peers=peers, forward_probability=0.5, seed=3)
+    doc, hops = crowd.route(peers[2], peers[0], 9)
+    assert doc == DOC
+    assert hops >= 0
+
+
+def test_crowds_submitter_varies_with_seed(peers):
+    peers[0].store[9] = DOC
+    submitters = set()
+    for seed in range(12):
+        crowd = CrowdsStyleForwarder(peers=peers, forward_probability=0.8, seed=seed)
+        crowd.route(peers[2], peers[0], 9)
+        submitters.add(crowd.predecessor_of_submit())
+    # the holder cannot pin down the initiator: multiple distinct
+    # predecessors appear across runs
+    assert len(submitters) >= 2
+
+
+def test_crowds_zero_forwarding_submits_directly(peers):
+    peers[0].store[9] = DOC
+    crowd = CrowdsStyleForwarder(peers=peers, forward_probability=0.0, seed=1)
+    doc, hops = crowd.route(peers[3], peers[0], 9)
+    assert hops == 0
+    assert crowd.predecessor_of_submit() == peers[3].name
+
+
+def test_crowds_validation(peers):
+    with pytest.raises(ValueError):
+        CrowdsStyleForwarder(peers=peers, forward_probability=1.5)
+    with pytest.raises(AnonymityError):
+        CrowdsStyleForwarder(peers=peers[:1])
+    crowd = CrowdsStyleForwarder(peers=peers, seed=1)
+    with pytest.raises(AnonymityError):
+        crowd.route(peers[1], peers[0], 404)
+    with pytest.raises(AnonymityError):
+        CrowdsStyleForwarder(peers=peers, seed=1).predecessor_of_submit()
+
+
+def test_crowds_path_bounded(peers):
+    peers[0].store[9] = DOC
+    crowd = CrowdsStyleForwarder(peers=peers, forward_probability=0.99, seed=5)
+    _, hops = crowd.route(peers[1], peers[0], 9)
+    assert hops <= 65

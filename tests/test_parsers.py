@@ -1,0 +1,133 @@
+"""Log-format parsers: Squid/NLANR, BU, CA*netII."""
+
+import numpy as np
+import pytest
+
+from repro.traces.bu import parse_bu_log, write_bu_log
+from repro.traces.canet import concatenate, parse_canet_log, write_canet_log
+from repro.traces.squid import parse_squid_log, write_squid_log
+
+SQUID_LOG = """\
+963561600.123 45 client-a TCP_MISS/200 8192 GET http://x.example/a - DIRECT/x text/html
+963561601.000 10 client-b TCP_HIT/200 512 GET http://x.example/b - NONE/- image/gif
+963561602.500 99 client-a TCP_MISS/304 100 GET http://x.example/a - DIRECT/x text/html
+963561603.000 12 client-a TCP_MISS/200 0 GET http://x.example/zero - DIRECT/x text/html
+963561604.000 12 client-c TCP_MISS/200 400 POST http://x.example/form - DIRECT/x text/html
+963561605.000 12 client-b TCP_MISS/404 99 GET http://x.example/missing - DIRECT/x text/html
+963561606.000 12 client-b TCP_MISS/200 9000 GET http://x.example/a - DIRECT/x text/html
+"""
+
+
+def test_parse_squid_basic():
+    t = parse_squid_log(SQUID_LOG, name="sq")
+    # kept: lines 1,2,3,7 (GET, 2xx/3xx, size>0)
+    assert len(t) == 4
+    assert t.n_clients == 2  # client-a, client-b
+    assert t.n_docs == 2  # /a and /b
+
+
+def test_parse_squid_version_bump_on_size_change():
+    t = parse_squid_log(SQUID_LOG)
+    # doc /a appears with sizes 8192, 100, 9000 -> versions 0, 1, 2
+    a_rows = [(r.size, r.version) for r in t if t.url_of(r.doc).endswith("/a")]
+    assert a_rows == [(8192, 0), (100, 1), (9000, 2)]
+
+
+def test_parse_squid_skips_malformed_lines():
+    junk = "this is not a log line\n963561600.1 10\n" + SQUID_LOG
+    assert len(parse_squid_log(junk)) == 4
+
+
+def test_parse_squid_strict_raises():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_squid_log("garbage line\n", strict=True)
+
+
+def test_parse_squid_comments_and_blanks_ignored():
+    assert len(parse_squid_log("# comment\n\n")) == 0
+
+
+def test_squid_roundtrip(tmp_path, small_trace):
+    path = tmp_path / "access.log"
+    write_squid_log(small_trace, path)
+    back = parse_squid_log(path, name="rt")
+    assert len(back) == len(small_trace)
+    assert back.n_clients == small_trace.n_clients
+    assert back.n_docs == small_trace.n_docs
+    assert np.array_equal(back.sizes, small_trace.sizes)
+    # version structure is re-derived from size changes and must match
+    # the original versions' hit/miss semantics
+    assert np.array_equal(back.versions > 0, small_trace.versions > 0)
+
+
+BU_LOG = """\
+beaker s1 794397473.5 http://cs-www.bu.edu/ 2009 0.5
+beaker s1 794397500.0 http://cs-www.bu.edu/faculty 4000 0.3
+piper  s2 794397510.0 http://cs-www.bu.edu/ 2009 0.1
+piper 794397520.0 http://cs-www.bu.edu/five-field 100 0.1
+beaker s1 794397530.0 ftp://not-http/ 50 0.1
+beaker s1 794397540.0 http://cs-www.bu.edu/zero 0 0.1
+"""
+
+
+def test_parse_bu_basic():
+    t = parse_bu_log(BU_LOG)
+    assert len(t) == 4  # ftp and zero-size dropped; 5-field line kept
+    assert t.n_clients == 2
+    assert t.n_docs == 3
+
+
+def test_bu_strict():
+    with pytest.raises(ValueError):
+        parse_bu_log("one two\n", strict=True)
+
+
+def test_bu_roundtrip(tmp_path, small_trace):
+    path = tmp_path / "bu.log"
+    write_bu_log(small_trace, path)
+    back = parse_bu_log(path)
+    assert len(back) == len(small_trace)
+    assert back.n_clients == small_trace.n_clients
+    assert np.array_equal(back.sizes, small_trace.sizes)
+
+
+def test_canet_is_squid_format():
+    t = parse_canet_log(SQUID_LOG, name="canet")
+    assert len(t) == 4
+
+
+def test_canet_roundtrip(tmp_path, small_trace):
+    path = tmp_path / "canet.log"
+    write_canet_log(small_trace, path)
+    assert len(parse_canet_log(path)) == len(small_trace)
+
+
+def test_concatenate_two_days(tmp_path, small_trace):
+    """The paper concatenates two CA*netII days; ids unify by URL."""
+    p1 = tmp_path / "day1.log"
+    p2 = tmp_path / "day2.log"
+    write_canet_log(small_trace, p1)
+    write_canet_log(small_trace, p2)
+    day1 = parse_canet_log(p1, name="d1")
+    day2 = parse_canet_log(p2, name="d2")
+    both = concatenate([day1, day2])
+    assert len(both) == 2 * len(small_trace)
+    # same URL universe -> doc count does not double
+    assert both.n_docs == day1.n_docs
+    assert (np.diff(both.timestamps) >= 0).all()
+
+
+def test_concatenate_single():
+    t = parse_squid_log(SQUID_LOG)
+    assert concatenate([t]) is t
+    with pytest.raises(ValueError):
+        concatenate([])
+
+
+def test_concatenate_rederives_versions():
+    t = parse_squid_log(SQUID_LOG)
+    both = concatenate([t, t])
+    # doc /a sizes across the join: 8192,100,9000,8192,100,9000
+    # -> versions 0,1,2,3,4,5 (every size change is a new version)
+    a_vers = [r.version for r in both if both.url_of(r.doc).endswith("/a")]
+    assert a_vers == [0, 1, 2, 3, 4, 5]

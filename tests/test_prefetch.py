@@ -1,0 +1,191 @@
+"""PPM predictor, prefetch engine, and the embedded-objects workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import HitLocation
+from repro.prefetch import PPMPredictor, PrefetchConfig, simulate_prefetch
+from repro.traces.record import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+# -- PPM predictor ------------------------------------------------------------
+
+
+def test_learns_simple_chain():
+    p = PPMPredictor(order=2)
+    for _ in range(5):
+        for doc in (1, 2, 3):
+            p.observe(0, doc)
+    preds = p.predict(0, threshold=0.5)  # history ends ... 2, 3
+    assert preds
+    assert preds[0].doc == 1  # after (2,3) comes 1 in the loop
+
+
+def test_higher_order_beats_lower():
+    p = PPMPredictor(order=2)
+    # after (1,2) always 3; after plain 2 it is 3 or 4 evenly
+    for _ in range(10):
+        p.observe(0, 1)
+        p.observe(0, 2)
+        p.observe(0, 3)
+        p.observe(0, 9)
+        p.observe(0, 2)
+        p.observe(0, 4)
+        p.observe(0, 9)
+    p.observe(0, 1)
+    p.observe(0, 2)
+    preds = p.predict(0, threshold=0.6, max_predictions=1)
+    assert preds and preds[0].doc == 3
+    assert preds[0].order == 2
+
+
+def test_no_history_no_predictions():
+    p = PPMPredictor()
+    assert p.predict(0) == []
+
+
+def test_threshold_filters():
+    p = PPMPredictor(order=1)
+    for doc in (2, 3, 2, 4, 2, 5):  # after 2: 3/4/5 once each
+        p.observe(0, doc)
+    p.observe(0, 2)
+    assert p.predict(0, threshold=0.5) == []
+    assert len(p.predict(0, threshold=0.3, max_predictions=5)) == 3
+
+
+def test_clients_learn_separately():
+    p = PPMPredictor(order=1)
+    for _ in range(5):
+        p.observe(0, 1)
+        p.observe(0, 2)
+    p.observe(1, 1)
+    assert p.predict(1, threshold=0.5)  # shared model, per-client history
+    # client 1's history is just [1]; prediction uses context (1,) -> 2
+    assert p.predict(1, threshold=0.5)[0].doc == 2
+
+
+def test_bounded_contexts():
+    p = PPMPredictor(order=1, max_contexts=3)
+    for doc in range(50):
+        p.observe(0, doc)
+    assert p.n_contexts <= 3
+    assert p.footprint_entries() <= 3 * 50
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PPMPredictor(order=0)
+    p = PPMPredictor()
+    p.observe(0, 1)
+    with pytest.raises(ValueError):
+        p.predict(0, threshold=1.5)
+
+
+# -- embedded objects in the generator -----------------------------------------
+
+
+def test_embedded_objects_follow_pages():
+    config = SyntheticTraceConfig(
+        n_requests=4_000,
+        n_clients=5,
+        p_new=0.2,
+        embedded_per_page_mean=3.0,
+    )
+    trace = generate_trace(config, seed=1)
+    # sequential structure: the same (doc -> next doc) transition must
+    # repeat often (pages drag their embedded objects behind them)
+    transitions: dict[tuple[int, int], int] = {}
+    per_client: dict[int, int] = {}
+    for _, c, d, _, _ in trace.iter_rows():
+        prev = per_client.get(c)
+        if prev is not None:
+            transitions[(prev, d)] = transitions.get((prev, d), 0) + 1
+        per_client[c] = d
+    repeated = sum(1 for v in transitions.values() if v >= 3)
+    assert repeated > 20
+
+
+def test_embedded_disabled_is_bit_identical():
+    config = SyntheticTraceConfig(n_requests=3_000, n_clients=5)
+    assert config.embedded_per_page_mean == 0.0
+    a = generate_trace(config, seed=9)
+    b = generate_trace(config, seed=9)
+    assert np.array_equal(a.docs, b.docs)
+    assert np.array_equal(a.sizes, b.sizes)
+
+
+def test_embedded_validation():
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(embedded_per_page_mean=-1.0)
+
+
+# -- prefetch engine --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def page_trace():
+    return generate_trace(
+        SyntheticTraceConfig(
+            n_requests=8_000,
+            n_clients=10,
+            p_new=0.15,
+            p_self=0.2,
+            embedded_per_page_mean=3.0,
+            client_activity_alpha=0.5,
+        ),
+        seed=3,
+    )
+
+
+def test_prefetch_improves_hit_ratio(page_trace):
+    base = PrefetchConfig(
+        proxy_capacity=2_000_000,
+        browser_capacity=200_000,
+        max_prefetches_per_request=0,  # disabled = plain PLB
+    )
+    on = PrefetchConfig(
+        proxy_capacity=2_000_000,
+        browser_capacity=200_000,
+        confidence_threshold=0.4,
+        max_prefetches_per_request=2,
+    )
+    r_off, s_off = simulate_prefetch(page_trace, base)
+    r_on, s_on = simulate_prefetch(page_trace, on)
+    assert s_off.issued == 0
+    assert s_on.issued > 0
+    assert s_on.precision > 0.3  # page structure is predictable
+    assert r_on.hit_ratio > r_off.hit_ratio + 0.02
+
+
+def test_prefetch_accounting_consistent(page_trace):
+    config = PrefetchConfig(
+        proxy_capacity=2_000_000, browser_capacity=200_000, confidence_threshold=0.4
+    )
+    r, s = simulate_prefetch(page_trace, config)
+    assert r.n_requests == len(page_trace)
+    assert s.useful <= s.issued
+    assert s.wan_fetches <= s.issued
+    assert 0.0 <= s.precision <= 1.0
+    # prefetch WAN traffic shows up in the overhead report
+    assert r.overhead.origin_miss_time > 0
+
+
+def test_prefetch_wasted_on_random_workload():
+    """Without sequential structure PPM precision collapses — the
+    documented failure mode of prefetching."""
+    trace = generate_trace(
+        SyntheticTraceConfig(n_requests=6_000, n_clients=10), seed=4
+    )
+    config = PrefetchConfig(
+        proxy_capacity=2_000_000, browser_capacity=100_000, confidence_threshold=0.3
+    )
+    _, s = simulate_prefetch(trace, config)
+    assert s.precision < 0.3
+
+
+def test_prefetch_config_validation():
+    with pytest.raises(ValueError):
+        PrefetchConfig(proxy_capacity=-1, browser_capacity=0)
+    with pytest.raises(ValueError):
+        PrefetchConfig(proxy_capacity=1, browser_capacity=1, confidence_threshold=2.0)

@@ -1,0 +1,99 @@
+"""End-to-end secure transfer protocol and the §6 overhead model."""
+
+import pytest
+
+from repro.security.anonymity import PeerEndpoint
+from repro.security.protocols import SecureTransferProtocol, SecurityOverheadModel
+from repro.security.watermark import WatermarkError
+
+DOC = b"<html>a very reusable document</html>" * 20
+
+
+@pytest.fixture()
+def setup():
+    protocol = SecureTransferProtocol(seed=77)
+    holder = PeerEndpoint.create("holder", seed=1, bits=256)
+    requester = PeerEndpoint.create("requester", seed=2, bits=256)
+    protocol.publish(holder, 7, DOC)
+    return protocol, holder, requester
+
+
+def test_publish_stores_and_watermarks(setup):
+    protocol, holder, _ = setup
+    assert holder.store[7] == DOC
+    mark = protocol.publish(holder, 8, b"another")
+    assert len(mark.digest) == 16
+
+
+def test_transfer_roundtrip(setup):
+    protocol, holder, requester = setup
+    doc, record = protocol.transfer(requester, holder, 7)
+    assert doc == DOC
+    assert record.verified
+    assert record.doc_bytes == len(DOC)
+    assert record.crypto_seconds > 0
+
+
+def test_transfer_detects_tampering(setup):
+    protocol, holder, requester = setup
+    holder.store[7] = DOC[:-4] + b"EVIL"
+    with pytest.raises(WatermarkError):
+        protocol.transfer(requester, holder, 7)
+
+
+def test_transfer_unpublished_doc(setup):
+    protocol, holder, requester = setup
+    with pytest.raises(KeyError):
+        protocol.transfer(requester, holder, 404)
+
+
+# -- overhead model -----------------------------------------------------------
+
+
+def test_transfer_cost_scales_with_size():
+    m = SecurityOverheadModel()
+    assert m.transfer_cost(100_000) > m.transfer_cost(1_000) > 0
+
+
+def test_transfer_cost_has_fixed_rsa_floor():
+    m = SecurityOverheadModel()
+    floor = 2 * m.rsa_private_seconds + 3 * m.rsa_public_seconds
+    assert m.transfer_cost(0) == pytest.approx(floor)
+
+
+def test_transfer_cost_components():
+    m = SecurityOverheadModel(
+        md5_bytes_per_second=1e6,
+        des_bytes_per_second=1e6,
+        rsa_private_seconds=0.0,
+        rsa_public_seconds=0.0,
+    )
+    # 2 MD5 passes + 4 DES passes over 1 MB at 1 MB/s = 6 s
+    assert m.transfer_cost(1_000_000) == pytest.approx(6.0)
+
+
+def test_overhead_trivial_relative_to_lan_transfer():
+    """The paper's claim: crypto cost per remote hit is small compared
+    to the 10 Mbps network transfer it protects (for era hardware)."""
+    m = SecurityOverheadModel()
+    doc = 8_192
+    lan_seconds = 0.1 + doc * 8 / 10e6
+    assert m.transfer_cost(doc) < 0.2 * lan_seconds
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        SecurityOverheadModel(md5_bytes_per_second=0)
+    with pytest.raises(ValueError):
+        SecurityOverheadModel(rsa_private_seconds=-1)
+    m = SecurityOverheadModel()
+    with pytest.raises(ValueError):
+        m.transfer_cost(-1)
+
+
+def test_measured_model_is_positive():
+    m = SecurityOverheadModel.measured(sample_bytes=4096, key_bits=128)
+    assert m.md5_bytes_per_second > 0
+    assert m.des_bytes_per_second > 0
+    assert m.rsa_private_seconds > 0
+    assert m.rsa_public_seconds > 0

@@ -1,0 +1,47 @@
+"""Consolidated report export (``baps report``)."""
+
+from repro.cli import main
+from repro.experiments.export import RESULTS_ORDER, collect_report
+
+
+def test_collect_report_with_tables(tmp_path):
+    (tmp_path / "table1.txt").write_text("TABLE-ONE-ROWS")
+    (tmp_path / "fig2.txt").write_text("FIG-TWO-ROWS")
+    (tmp_path / "custom_extra.txt").write_text("EXTRA-ROWS")
+    text = collect_report(tmp_path)
+    assert "TABLE-ONE-ROWS" in text
+    assert "FIG-TWO-ROWS" in text
+    assert "EXTRA-ROWS" in text  # unknown tables still included
+    assert "Table 1" in text
+    # table1 comes before fig2 (presentation order)
+    assert text.index("TABLE-ONE-ROWS") < text.index("FIG-TWO-ROWS")
+    # missing artifacts are listed, not silently dropped
+    assert "Not yet generated" in text
+    assert "fig8" in text
+
+
+def test_collect_report_empty_dir(tmp_path):
+    text = collect_report(tmp_path / "nowhere")
+    assert "Not yet generated" in text
+    for name in RESULTS_ORDER:
+        assert name in text
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig7.txt").write_text("LIMIT-CASE")
+    out = tmp_path / "report.md"
+    code = main(
+        ["report", "--results-dir", str(results), "--output", str(out)]
+    )
+    assert code == 0
+    assert "LIMIT-CASE" in out.read_text()
+
+
+def test_cli_report_stdout(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig7.txt").write_text("LIMIT-CASE")
+    assert main(["report", "--results-dir", str(results)]) == 0
+    assert "LIMIT-CASE" in capsys.readouterr().out

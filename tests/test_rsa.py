@@ -1,0 +1,114 @@
+"""RSA key generation, signatures, and primality testing."""
+
+import pytest
+
+from repro.security.md5 import md5_digest
+from repro.security.rsa import (
+    RSAKeyPair,
+    generate_keypair,
+    is_probable_prime,
+    rsa_decrypt_int,
+    rsa_encrypt_int,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair() -> RSAKeyPair:
+    return generate_keypair(bits=256, seed=7)
+
+
+def test_keypair_shape(keypair):
+    assert keypair.bits in (255, 256)
+    assert keypair.e == 65537
+    assert keypair.max_message_bytes >= 16  # must fit an MD5 digest
+
+
+def test_deterministic_generation():
+    a = generate_keypair(bits=256, seed=11)
+    b = generate_keypair(bits=256, seed=11)
+    assert (a.n, a.e, a.d) == (b.n, b.e, b.d)
+    c = generate_keypair(bits=256, seed=12)
+    assert c.n != a.n
+
+
+def test_encrypt_decrypt_roundtrip(keypair):
+    m = 123456789
+    c = rsa_encrypt_int(m, keypair.public)
+    assert c != m
+    assert rsa_decrypt_int(c, keypair) == m
+
+
+def test_sign_verify(keypair):
+    digest = md5_digest(b"web document")
+    sig = keypair.sign(digest)
+    assert keypair.verify(digest, sig)
+
+
+def test_verify_rejects_tampered_digest(keypair):
+    sig = keypair.sign(md5_digest(b"original"))
+    assert not keypair.verify(md5_digest(b"tampered"), sig)
+
+
+def test_verify_rejects_tampered_signature(keypair):
+    digest = md5_digest(b"original")
+    sig = keypair.sign(digest)
+    assert not keypair.verify(digest, sig + 1)
+    assert not keypair.verify(digest, -1)
+    assert not keypair.verify(digest, keypair.n + 5)
+
+
+def test_recover_roundtrip(keypair):
+    digest = md5_digest(b"doc")
+    sig = keypair.sign(digest)
+    assert keypair.recover(sig) == digest.lstrip(b"\x00") or keypair.recover(sig) == digest
+
+
+def test_sign_rejects_oversized_message(keypair):
+    too_big = b"\xff" * (keypair.max_message_bytes + 8)
+    with pytest.raises(ValueError):
+        keypair.sign(too_big)
+
+
+def test_encrypt_range_checks(keypair):
+    with pytest.raises(ValueError):
+        rsa_encrypt_int(-1, keypair.public)
+    with pytest.raises(ValueError):
+        rsa_encrypt_int(keypair.n, keypair.public)
+    with pytest.raises(ValueError):
+        rsa_decrypt_int(keypair.n + 1, keypair)
+
+
+def test_different_keys_cannot_verify():
+    a = generate_keypair(bits=256, seed=1)
+    b = generate_keypair(bits=256, seed=2)
+    digest = md5_digest(b"doc")
+    sig = a.sign(digest)
+    assert not b.verify(digest, sig)
+
+
+def test_generate_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        generate_keypair(bits=32)
+
+
+# -- Miller-Rabin -----------------------------------------------------------
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 101, 7919, 104729]
+SMALL_COMPOSITES = [0, 1, 4, 9, 15, 100, 561, 1105, 7917, 104730]
+CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+
+@pytest.mark.parametrize("p", SMALL_PRIMES)
+def test_primes_accepted(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("c", SMALL_COMPOSITES + CARMICHAELS)
+def test_composites_rejected(c):
+    assert not is_probable_prime(c)
+
+
+def test_large_known_prime():
+    # 2^127 - 1 is a Mersenne prime.
+    assert is_probable_prime(2**127 - 1)
+    assert not is_probable_prime(2**127 - 3)

@@ -1,0 +1,102 @@
+"""Cross-organization invariants on a realistic synthetic trace.
+
+These encode the paper's qualitative claims as machine-checked
+properties of the simulator.
+"""
+
+import pytest
+
+from repro.core import Organization, SimulationConfig, simulate
+from repro.traces.stats import compute_stats
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    small_trace = request.getfixturevalue("small_trace")
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.10, browser_sizing="minimum")
+    return {
+        org: simulate(small_trace, org, config) for org in Organization
+    }
+
+
+def test_baps_dominates_all_other_organizations(results):
+    baps = results[Organization.BROWSERS_AWARE_PROXY]
+    for org, r in results.items():
+        if org is Organization.BROWSERS_AWARE_PROXY:
+            continue
+        assert baps.hit_ratio >= r.hit_ratio - 1e-12, org
+        assert baps.byte_hit_ratio >= r.byte_hit_ratio - 1e-12, org
+
+
+def test_baps_strictly_beats_plb(results):
+    baps = results[Organization.BROWSERS_AWARE_PROXY]
+    plb = results[Organization.PROXY_AND_LOCAL_BROWSER]
+    assert baps.hit_ratio > plb.hit_ratio
+    assert baps.by_location_remote_hits() > 0
+
+
+def test_plb_at_least_proxy_only(results):
+    assert (
+        results[Organization.PROXY_AND_LOCAL_BROWSER].hit_ratio
+        >= results[Organization.PROXY_ONLY].hit_ratio - 0.01
+    )
+
+
+def test_local_only_is_lowest(results):
+    local = results[Organization.LOCAL_BROWSER_ONLY]
+    for org, r in results.items():
+        if org is Organization.LOCAL_BROWSER_ONLY:
+            continue
+        assert local.hit_ratio <= r.hit_ratio + 1e-12, org
+
+
+def test_global_browsers_beats_local_only(results):
+    assert (
+        results[Organization.GLOBAL_BROWSERS_ONLY].hit_ratio
+        > results[Organization.LOCAL_BROWSER_ONLY].hit_ratio
+    )
+
+
+def test_no_result_exceeds_max_hit_ratio(results, small_trace):
+    st = compute_stats(small_trace)
+    for org, r in results.items():
+        assert r.hit_ratio <= st.max_hit_ratio + 1e-9, org
+        assert r.byte_hit_ratio <= st.max_byte_hit_ratio + 1e-9, org
+
+
+def test_request_and_byte_totals_conserved(results, small_trace):
+    for org, r in results.items():
+        assert r.n_requests == len(small_trace), org
+        assert r.total_bytes == small_trace.total_bytes, org
+
+
+def test_exact_index_never_false_hits(results):
+    assert results[Organization.BROWSERS_AWARE_PROXY].index_false_hits == 0
+
+
+def test_bigger_caches_do_not_hurt(small_trace):
+    lo = SimulationConfig.relative(small_trace, proxy_frac=0.02, browser_sizing="minimum")
+    hi = SimulationConfig.relative(small_trace, proxy_frac=0.30, browser_sizing="minimum")
+    for org in (Organization.PROXY_AND_LOCAL_BROWSER, Organization.BROWSERS_AWARE_PROXY):
+        r_lo = simulate(small_trace, org, lo)
+        r_hi = simulate(small_trace, org, hi)
+        assert r_hi.hit_ratio > r_lo.hit_ratio, org
+
+
+def test_deterministic_simulation(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.10)
+    a = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, config)
+    b = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, config)
+    assert a.hit_ratio == b.hit_ratio
+    assert a.byte_hit_ratio == b.byte_hit_ratio
+    assert a.overhead.total_service_time == b.overhead.total_service_time
+
+
+def test_remote_hits_ride_the_shared_bus(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.10)
+    r = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, config)
+    remote = r.by_location_remote_hits()
+    if remote:
+        assert r.overhead.remote_transfer_time > 0
+        # setup time alone gives a lower bound
+        assert r.overhead.remote_transfer_time >= remote * config.lan.connection_setup

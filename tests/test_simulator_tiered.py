@@ -1,0 +1,64 @@
+"""Tiered (memory/disk) simulation accounting."""
+
+import pytest
+
+from repro.core import HitLocation, Organization, SimulationConfig, simulate
+
+
+def test_memory_byte_hit_ratio_zero_without_tiering(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    r = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, config)
+    assert not r.uses_memory_tier
+    assert r.memory_byte_hit_ratio == 0.0
+    assert r.disk_byte_hit_ratio == 0.0
+
+
+def test_memory_plus_disk_equals_byte_hit_ratio(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.1)
+    r = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.uses_memory_tier
+    assert r.memory_byte_hit_ratio + r.disk_byte_hit_ratio == pytest.approx(
+        r.byte_hit_ratio
+    )
+    assert r.memory_byte_hit_ratio > 0
+
+
+def test_larger_memory_fraction_raises_memory_hits(small_trace):
+    lo = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.05)
+    hi = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.8)
+    r_lo = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, lo)
+    r_hi = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, hi)
+    assert r_hi.memory_byte_hit_ratio > r_lo.memory_byte_hit_ratio
+    # total byte hit ratio is a capacity property, not a tier property
+    assert r_hi.byte_hit_ratio == pytest.approx(r_lo.byte_hit_ratio)
+
+
+def test_tiering_does_not_change_hit_ratios(small_trace):
+    flat = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    tiered = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.1)
+    a = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, flat)
+    b = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, tiered)
+    assert a.hit_ratio == pytest.approx(b.hit_ratio)
+    assert a.byte_hit_ratio == pytest.approx(b.byte_hit_ratio)
+
+
+def test_memory_hits_cheaper_than_disk_hits(small_trace):
+    """Total hit latency falls as the memory fraction grows."""
+    lo = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.02)
+    hi = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.9)
+    r_lo = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, lo)
+    r_hi = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, hi)
+    assert r_hi.total_hit_latency() < r_lo.total_hit_latency()
+
+
+def test_browser_memory_fraction_override(small_trace):
+    base = SimulationConfig.relative(small_trace, proxy_frac=0.1, memory_fraction=0.05)
+    boosted = SimulationConfig.relative(
+        small_trace, proxy_frac=0.1, memory_fraction=0.05, browser_memory_fraction=1.0
+    )
+    a = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, base)
+    b = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, boosted)
+    # memory-resident browsers serve every local hit from memory
+    assert b.memory_byte_hit_ratio > a.memory_byte_hit_ratio
+    local = b.by_location[HitLocation.LOCAL_BROWSER]
+    assert local.disk_hits == 0

@@ -1,0 +1,98 @@
+"""Trace statistics (Table 1 columns) on hand-built traces."""
+
+import numpy as np
+import pytest
+
+from repro.traces.record import Trace
+from repro.traces.stats import compute_stats, first_access_mask
+from repro.traces.profiles import PAPER_TRACES, get_profile, load_paper_trace
+
+
+def build(docs, sizes, versions=None, clients=None):
+    n = len(docs)
+    return Trace(
+        timestamps=np.arange(n, dtype=float),
+        clients=np.array(clients or [0] * n),
+        docs=np.array(docs),
+        sizes=np.array(sizes),
+        versions=np.array(versions or [0] * n),
+        name="hand",
+    )
+
+
+def test_first_access_mask_simple():
+    t = build(docs=[1, 2, 1, 3, 2, 1], sizes=[10] * 6)
+    mask = first_access_mask(t)
+    assert mask.tolist() == [True, True, False, True, False, False]
+
+
+def test_first_access_mask_version_change_is_new():
+    t = build(docs=[1, 1, 1], sizes=[10, 10, 12], versions=[0, 0, 1])
+    assert first_access_mask(t).tolist() == [True, False, True]
+
+
+def test_max_hit_ratio():
+    t = build(docs=[1, 2, 1, 3, 2, 1], sizes=[10] * 6)
+    st = compute_stats(t)
+    assert st.max_hit_ratio == pytest.approx(0.5)  # 3 of 6 are repeats
+    assert st.max_byte_hit_ratio == pytest.approx(0.5)
+
+
+def test_max_byte_hit_ratio_weights_sizes():
+    # big doc fetched once, small doc fetched 3 times
+    t = build(docs=[1, 2, 2, 2], sizes=[1000, 10, 10, 10])
+    st = compute_stats(t)
+    assert st.max_hit_ratio == pytest.approx(0.5)
+    assert st.max_byte_hit_ratio == pytest.approx(20 / 1030)
+
+
+def test_infinite_cache_gb():
+    t = build(docs=[1, 2], sizes=[500_000_000, 500_000_000])
+    assert compute_stats(t).infinite_cache_gb == pytest.approx(1.0)
+
+
+def test_empty_trace_stats():
+    from repro.traces.record import Trace
+
+    st = compute_stats(Trace.empty())
+    assert st.n_requests == 0
+    assert st.max_hit_ratio == 0.0
+
+
+def test_table_row_shape():
+    t = build(docs=[1], sizes=[10])
+    st = compute_stats(t)
+    assert len(st.as_row()) == len(st.headers())
+
+
+# -- calibrated paper profiles ------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(PAPER_TRACES))
+def test_paper_profiles_hit_their_targets(name):
+    """The synthetic traces must match Table 1 within ~2 points."""
+    profile = get_profile(name)
+    st = compute_stats(load_paper_trace(name))
+    assert st.max_hit_ratio == pytest.approx(profile.target_max_hit_ratio, abs=0.02)
+    assert st.max_byte_hit_ratio == pytest.approx(
+        profile.target_max_byte_hit_ratio, abs=0.02
+    )
+    assert st.n_clients == profile.config.n_clients
+
+
+def test_get_profile_aliases():
+    assert get_profile("nlanr-uc").name == "NLANR-uc"
+    assert get_profile("bu95").name == "BU-95"
+    assert get_profile("CA*netII").name == "CAnetII"
+    with pytest.raises(KeyError):
+        get_profile("nope")
+
+
+def test_load_paper_trace_memoised():
+    a = load_paper_trace("CAnetII")
+    b = load_paper_trace("CAnetII")
+    assert a is b
+    c = load_paper_trace("CAnetII", cache=False)
+    assert c is not a
+    assert np.array_equal(c.docs, a.docs)

@@ -1,0 +1,82 @@
+"""Sweep and scaling experiment drivers on the small trace."""
+
+import pytest
+
+from repro.core import Organization, run_policy_sweep, run_scaling_experiment, run_size_sweep
+from repro.core.sweep import PAPER_SIZE_FRACTIONS
+
+
+def test_policy_sweep_covers_grid(small_trace):
+    orgs = (Organization.PROXY_ONLY, Organization.BROWSERS_AWARE_PROXY)
+    sweep = run_policy_sweep(small_trace, organizations=orgs, fractions=(0.05, 0.2))
+    assert len(sweep.results) == 4
+    r = sweep.get(Organization.PROXY_ONLY, 0.05)
+    assert 0 < r.hit_ratio < 1
+
+
+def test_sweep_series_ordering(small_trace):
+    sweep = run_size_sweep(
+        small_trace, Organization.PROXY_AND_LOCAL_BROWSER, fractions=(0.02, 0.1, 0.3)
+    )
+    series = sweep.series(Organization.PROXY_AND_LOCAL_BROWSER, "hit_ratio")
+    fracs = [f for f, _ in series]
+    values = [v for _, v in series]
+    assert fracs == [0.02, 0.1, 0.3]
+    assert values == sorted(values)  # bigger cache, better hit ratio
+
+
+def test_sweep_table_renders(small_trace):
+    sweep = run_size_sweep(small_trace, Organization.PROXY_ONLY, fractions=(0.05,))
+    text = sweep.table("hit_ratio")
+    assert "proxy-cache-only" in text
+    assert "5%" in text
+
+
+def test_paper_fractions_constant():
+    assert PAPER_SIZE_FRACTIONS == (0.005, 0.05, 0.10, 0.20)
+
+
+def test_scaling_experiment(small_trace):
+    result = run_scaling_experiment(
+        small_trace, client_fractions=(0.5, 1.0), proxy_frac=0.10
+    )
+    assert len(result.points) == 2
+    full = result.points[-1]
+    assert full.client_fraction == 1.0
+    assert full.n_clients == small_trace.n_clients
+    assert full.hit_ratio_baps >= full.hit_ratio_plb
+    # increments defined relative to PLB
+    inc = result.increments("hit_ratio")
+    assert inc[-1][1] == pytest.approx(
+        (full.hit_ratio_baps - full.hit_ratio_plb) / full.hit_ratio_plb
+    )
+
+
+def test_scaling_monotonic_check(small_trace):
+    result = run_scaling_experiment(
+        small_trace, client_fractions=(0.25, 0.5, 0.75, 1.0), proxy_frac=0.10
+    )
+    # with generous slack the check must pass on this trace; the strict
+    # paper-scale assertion lives in the benchmarks
+    assert result.is_monotonic("hit_ratio", slack=0.05)
+
+
+def test_scaling_table_renders(small_trace):
+    result = run_scaling_experiment(small_trace, client_fractions=(1.0,))
+    assert "client scaling" in result.table()
+
+
+def test_zero_plb_increment_guard():
+    from repro.core.scaling import ScalingPoint
+
+    p = ScalingPoint(
+        client_fraction=1.0,
+        n_clients=1,
+        n_requests=1,
+        hit_ratio_plb=0.0,
+        hit_ratio_baps=0.5,
+        byte_hit_ratio_plb=0.0,
+        byte_hit_ratio_baps=0.5,
+    )
+    assert p.hit_ratio_increment == 0.0
+    assert p.byte_hit_ratio_increment == 0.0

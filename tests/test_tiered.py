@@ -1,0 +1,119 @@
+"""Two-tier (memory/disk) LRU cache unit tests."""
+
+import pytest
+
+from repro.cache import Tier, TieredLRUCache
+
+
+def test_new_insert_lands_in_memory():
+    c = TieredLRUCache(1000, memory_fraction=0.1)  # memory = 100
+    c.put(1, 50)
+    assert c.tier_of(1) is Tier.MEMORY
+
+
+def test_memory_overflow_demotes_lru_to_disk():
+    c = TieredLRUCache(1000, memory_fraction=0.1)
+    c.put(1, 60)
+    c.put(2, 60)  # memory now over 100 -> 1 demoted
+    assert c.tier_of(1) is Tier.DISK
+    assert c.tier_of(2) is Tier.MEMORY
+
+
+def test_disk_hit_reports_disk_then_promotes():
+    c = TieredLRUCache(1000, memory_fraction=0.1)
+    c.put(1, 60)
+    c.put(2, 60)
+    entry, tier = c.get(1)
+    assert tier is Tier.DISK  # where it was served from
+    assert c.tier_of(1) is Tier.MEMORY  # promoted afterwards
+    assert c.tier_of(2) is Tier.DISK  # demoted to make room
+
+
+def test_memory_hit_reports_memory():
+    c = TieredLRUCache(1000, memory_fraction=0.5)
+    c.put(1, 60)
+    entry, tier = c.get(1)
+    assert tier is Tier.MEMORY
+
+
+def test_full_cache_evicts_from_disk_tail():
+    c = TieredLRUCache(200, memory_fraction=0.25)  # memory 50
+    c.put(1, 50)
+    c.put(2, 50)
+    c.put(3, 50)
+    c.put(4, 50)
+    evicted = c.put(5, 50)
+    assert evicted == [1]
+    assert 1 not in c and len(c) == 4
+
+
+def test_oversized_object_rejected():
+    c = TieredLRUCache(100, memory_fraction=0.1)
+    c.put(1, 150)
+    assert 1 not in c and c.used == 0
+
+
+def test_object_larger_than_memory_tier_sits_alone_in_memory():
+    c = TieredLRUCache(1000, memory_fraction=0.01)  # memory = 10
+    c.put(1, 500)
+    assert c.tier_of(1) is Tier.MEMORY  # newly served object is hot
+    c.put(2, 400)
+    assert c.tier_of(2) is Tier.MEMORY
+    assert c.tier_of(1) is Tier.DISK
+
+
+def test_refresh_replaces_in_place():
+    c = TieredLRUCache(1000, memory_fraction=0.1)
+    c.put(1, 60, version=0)
+    c.put(1, 80, version=1)
+    entry = c.peek(1)
+    assert entry.size == 80 and entry.version == 1
+    assert c.used == 80
+
+
+def test_invalidate_fires_callback():
+    c = TieredLRUCache(1000, memory_fraction=0.1)
+    seen = []
+    c.on_evict = seen.append
+    c.put(1, 60)
+    assert c.invalidate(1)
+    assert seen == [1]
+    assert not c.invalidate(1)
+
+
+def test_eviction_fires_callback():
+    c = TieredLRUCache(100, memory_fraction=0.5)
+    seen = []
+    c.on_evict = seen.append
+    c.put(1, 60)
+    c.put(2, 60)  # 1 demoted then evicted
+    assert seen == [1]
+
+
+def test_zero_memory_fraction_everything_on_disk_after_demotion():
+    c = TieredLRUCache(200, memory_fraction=0.0)
+    c.put(1, 50)
+    # the single most recent object is allowed to remain in "memory"
+    # (it is being served); inserting another demotes it fully.
+    c.put(2, 50)
+    assert c.tier_of(1) is Tier.DISK
+
+
+def test_memory_fraction_one_never_touches_disk():
+    c = TieredLRUCache(200, memory_fraction=1.0)
+    c.put(1, 90)
+    c.put(2, 90)
+    assert c.tier_of(1) is Tier.MEMORY
+    assert c.tier_of(2) is Tier.MEMORY
+    evicted = c.put(3, 90)
+    assert evicted == [1]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        TieredLRUCache(-1, 0.1)
+    with pytest.raises(ValueError):
+        TieredLRUCache(100, 1.5)
+    c = TieredLRUCache(100, 0.1)
+    with pytest.raises(ValueError):
+        c.put(1, -1)

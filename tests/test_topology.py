@@ -1,0 +1,53 @@
+"""LANTopology and generator-spawning edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.network import EthernetModel, LANTopology, WANModel
+from repro.util.rng import make_rng, spawn_rngs
+
+
+def test_lan_topology_transfers_share_bus():
+    topo = LANTopology(n_clients=4, lan=EthernetModel(bandwidth_bps=1e6, connection_setup=0.0))
+    t1 = topo.remote_browser_transfer(0.0, 125_000)  # 1 s
+    t2 = topo.remote_browser_transfer(0.5, 125_000)
+    assert t1.wait == 0.0
+    assert t2.wait == pytest.approx(0.5)
+    assert topo.bus.stats.n_transfers == 2
+
+
+def test_lan_topology_reset():
+    topo = LANTopology(n_clients=2)
+    topo.remote_browser_transfer(10.0, 100)
+    topo.reset()
+    assert topo.bus.stats.n_transfers == 0
+    topo.remote_browser_transfer(0.0, 100)  # arrival order restarts
+
+
+def test_lan_topology_validation():
+    with pytest.raises(ValueError):
+        LANTopology(n_clients=0)
+
+
+def test_wan_validation():
+    with pytest.raises(ValueError):
+        WANModel(bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        WANModel(connection_setup=-1)
+    with pytest.raises(ValueError):
+        WANModel().fetch_time(-1)
+
+
+def test_spawn_from_existing_generator():
+    g = make_rng(3)
+    children = spawn_rngs(g, 2)
+    assert len(children) == 2
+    # children of the same parent differ from each other
+    assert children[0].random(4).tolist() != children[1].random(4).tolist()
+
+
+def test_spawn_reproducible_from_seed():
+    a = spawn_rngs(11, 3)
+    b = spawn_rngs(11, 3)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.random(5), y.random(5))

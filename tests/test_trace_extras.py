@@ -1,0 +1,76 @@
+"""Generator extras: diurnal arrival pattern; gzip log parsing; mean
+response time metric."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.core import Organization, SimulationConfig, simulate
+from repro.traces.squid import parse_squid_log, write_squid_log
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def test_diurnal_timestamps_still_monotone_and_span():
+    config = SyntheticTraceConfig(
+        n_requests=20_000, n_clients=10, duration=2 * 86_400.0, diurnal_amplitude=0.8
+    )
+    t = generate_trace(config, seed=1)
+    assert (np.diff(t.timestamps) >= 0).all()
+    assert t.timestamps[0] >= 0
+    assert t.timestamps[-1] == pytest.approx(2 * 86_400.0, rel=1e-6)
+
+
+def test_diurnal_concentrates_load():
+    flat = generate_trace(
+        SyntheticTraceConfig(n_requests=30_000, n_clients=10, diurnal_amplitude=0.0),
+        seed=2,
+    )
+    wavy = generate_trace(
+        SyntheticTraceConfig(n_requests=30_000, n_clients=10, diurnal_amplitude=0.8),
+        seed=2,
+    )
+
+    def hour_counts(trace):
+        hours = (trace.timestamps // 3600).astype(int)
+        return np.bincount(hours, minlength=24)
+
+    cv_flat = hour_counts(flat).std() / hour_counts(flat).mean()
+    cv_wavy = hour_counts(wavy).std() / hour_counts(wavy).mean()
+    assert cv_wavy > 2 * cv_flat
+
+
+def test_diurnal_validation():
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(diurnal_amplitude=1.0)
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(diurnal_amplitude=-0.1)
+
+
+def test_gzip_squid_log_roundtrip(tmp_path, small_trace):
+    plain = tmp_path / "access.log"
+    write_squid_log(small_trace, plain)
+    gz = tmp_path / "access.log.gz"
+    gz.write_bytes(gzip.compress(plain.read_bytes()))
+    back = parse_squid_log(gz, name="gz")
+    assert len(back) == len(small_trace)
+    assert back.n_clients == small_trace.n_clients
+
+
+def test_mean_response_time_reported(small_trace):
+    config = SimulationConfig.relative(small_trace, proxy_frac=0.1)
+    plb = simulate(small_trace, Organization.PROXY_AND_LOCAL_BROWSER, config)
+    none = simulate(
+        small_trace,
+        Organization.LOCAL_BROWSER_ONLY,
+        SimulationConfig(proxy_capacity=0, browser_capacity=1),
+    )
+    assert plb.mean_response_time > 0
+    # a near-cacheless configuration answers slower on average
+    assert none.mean_response_time > plb.mean_response_time
+
+
+def test_mean_response_time_empty():
+    from repro.core.metrics import SimulationResult
+
+    assert SimulationResult(trace_name="t", organization="o").mean_response_time == 0.0

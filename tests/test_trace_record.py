@@ -1,0 +1,116 @@
+"""Trace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces.record import Request, Trace
+
+
+def make_trace(**overrides):
+    data = dict(
+        timestamps=np.array([0.0, 1.0, 2.0, 3.0]),
+        clients=np.array([0, 1, 0, 2]),
+        docs=np.array([5, 5, 6, 5]),
+        sizes=np.array([100, 100, 250, 110]),
+        versions=np.array([0, 0, 0, 1]),
+        name="t",
+    )
+    data.update(overrides)
+    return Trace(**data)
+
+
+def test_len_and_getitem():
+    t = make_trace()
+    assert len(t) == 4
+    r = t[1]
+    assert isinstance(r, Request)
+    assert (r.timestamp, r.client, r.doc, r.size, r.version) == (1.0, 1, 5, 100, 0)
+    assert r.key == 5
+
+
+def test_iteration_matches_columns():
+    t = make_trace()
+    rows = list(t)
+    assert [r.doc for r in rows] == [5, 5, 6, 5]
+    assert [r.size for r in rows] == [100, 100, 250, 110]
+
+
+def test_iter_rows_tuples():
+    t = make_trace()
+    rows = list(t.iter_rows())
+    assert rows[0] == (0.0, 0, 5, 100, 0)
+    assert len(rows) == 4
+
+
+def test_basic_stats():
+    t = make_trace()
+    assert t.n_clients == 3
+    assert t.n_docs == 2
+    assert t.total_bytes == 560
+    assert t.duration == 3.0
+
+
+def test_infinite_cache_bytes_counts_unique_doc_versions():
+    t = make_trace()
+    # unique (doc, version): (5,0)=100, (6,0)=250, (5,1)=110
+    assert t.infinite_cache_bytes() == 460
+
+
+def test_client_footprint_bytes():
+    t = make_trace()
+    fp = t.client_footprint_bytes()
+    # client0: (5,0)+(6,0) = 350; client1: (5,0)=100; client2: (5,1)=110
+    assert fp.tolist() == [350, 100, 110]
+
+
+def test_take_and_renumber():
+    t = make_trace()
+    sub = t.take(np.array([False, True, False, True]))
+    assert len(sub) == 2
+    dense = sub.renumbered()
+    assert set(np.unique(dense.clients)) == {0, 1}
+    assert set(np.unique(dense.docs)) == {0}
+
+
+def test_renumber_preserves_urls():
+    t = make_trace(urls={5: "http://a/", 6: "http://b/"})
+    dense = t.renumbered()
+    urls = {dense.url_of(d) for d in np.unique(dense.docs)}
+    assert urls == {"http://a/", "http://b/"}
+
+
+def test_url_of_synthesises_when_missing():
+    t = make_trace()
+    assert "doc-5" in t.url_of(5)
+
+
+def test_from_requests_roundtrip():
+    t = make_trace()
+    rebuilt = Trace.from_requests(list(t), name="rb")
+    assert np.array_equal(rebuilt.docs, t.docs)
+    assert np.array_equal(rebuilt.sizes, t.sizes)
+
+
+def test_empty_trace():
+    t = Trace.empty()
+    assert len(t) == 0
+    assert t.n_clients == 0
+    assert t.n_docs == 0
+    assert t.total_bytes == 0
+    assert t.duration == 0.0
+    assert t.infinite_cache_bytes() == 0
+
+
+def test_column_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="length"):
+        make_trace(clients=np.array([0, 1]))
+
+
+def test_decreasing_timestamps_rejected():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        make_trace(timestamps=np.array([0.0, 2.0, 1.0, 3.0]))
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        make_trace(sizes=np.array([100, -1, 250, 110]))

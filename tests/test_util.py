@@ -1,0 +1,123 @@
+"""Utility layer: units, formatting, validation, RNG."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ascii_table,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    format_bytes,
+    format_duration,
+    make_rng,
+    parse_size,
+    percent,
+    spawn_rngs,
+)
+
+
+# -- units ------------------------------------------------------------------
+
+
+def test_format_bytes():
+    assert format_bytes(0) == "0B"
+    assert format_bytes(999) == "999B"
+    assert format_bytes(1_000) == "1KB"
+    assert format_bytes(8_000_000) == "8MB"
+    assert format_bytes(1_500_000_000) == "1.50GB"
+    assert format_bytes(-2_000) == "-2KB"
+
+
+def test_format_duration():
+    assert format_duration(2e-9).endswith("ns")
+    assert format_duration(2e-6) == "2.0us"
+    assert format_duration(0.5) == "500.0ms"
+    assert format_duration(2.0) == "2.00s"
+    assert format_duration(120) == "2.0min"
+    assert format_duration(7200) == "2.00h"
+    assert format_duration(-1).startswith("-")
+
+
+def test_parse_size():
+    assert parse_size("8MB") == 8_000_000
+    assert parse_size("1.5 GB") == 1_500_000_000
+    assert parse_size("4KiB") == 4096
+    assert parse_size("512") == 512
+    assert parse_size(1024) == 1024
+    assert parse_size(12.7) == 12
+    assert parse_size("10k") == 10_000
+
+
+def test_parse_size_errors():
+    with pytest.raises(ValueError):
+        parse_size("abc")
+    with pytest.raises(ValueError):
+        parse_size("10 parsecs")
+    with pytest.raises(ValueError):
+        parse_size(-5)
+
+
+# -- fmt ---------------------------------------------------------------------
+
+
+def test_percent():
+    assert percent(0.1234) == "12.34%"
+    assert percent(0.1234, digits=1) == "12.3%"
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bbbb"], [[1, 2], [333, 4.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert all(len(line) == len(lines[1]) for line in lines[1:])
+    assert "333" in out
+
+
+def test_ascii_table_ragged_row_rejected():
+    with pytest.raises(ValueError):
+        ascii_table(["a"], [[1, 2]])
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def test_checks():
+    assert check_positive("x", 1) == 1
+    assert check_non_negative("x", 0) == 0
+    assert check_fraction("x", 0.5) == 0.5
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", 0)
+    with pytest.raises(ValueError):
+        check_non_negative("x", -1)
+    with pytest.raises(ValueError):
+        check_fraction("x", 1.01)
+
+
+# -- rng ------------------------------------------------------------------------
+
+
+def test_make_rng_deterministic():
+    a = make_rng(5).random(4)
+    b = make_rng(5).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough():
+    g = make_rng(1)
+    assert make_rng(g) is g
+
+
+def test_spawn_rngs_independent():
+    children = spawn_rngs(7, 3)
+    assert len(children) == 3
+    draws = [c.random(8).tolist() for c in children]
+    assert draws[0] != draws[1] != draws[2]
+    again = spawn_rngs(7, 3)
+    assert draws[0] == again[0].random(8).tolist()
+
+
+def test_spawn_rngs_validation():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+    assert spawn_rngs(0, 0) == []

@@ -1,0 +1,71 @@
+"""Digital watermark (paper §6.1) — integrity protocol tests."""
+
+import pytest
+
+from repro.security.md5 import md5_digest
+from repro.security.rsa import generate_keypair
+from repro.security.watermark import (
+    Watermark,
+    WatermarkAuthority,
+    WatermarkError,
+    verify_watermark,
+)
+
+
+@pytest.fixture(scope="module")
+def authority() -> WatermarkAuthority:
+    return WatermarkAuthority(generate_keypair(bits=256, seed=99))
+
+
+DOC = b"<html><body>a cached web document</body></html>"
+
+
+def test_create_and_verify(authority):
+    mark = authority.create(DOC)
+    verify_watermark(DOC, mark, authority.public)  # must not raise
+    authority.verify(DOC, mark)
+
+
+def test_watermark_digest_matches_md5(authority):
+    mark = authority.create(DOC)
+    assert mark.digest == md5_digest(DOC)
+
+
+def test_tampered_document_detected(authority):
+    mark = authority.create(DOC)
+    with pytest.raises(WatermarkError, match="digest does not match"):
+        verify_watermark(DOC + b"!", mark, authority.public)
+
+
+def test_forged_watermark_detected(authority):
+    """A client cannot mint a watermark for its own modified content:
+    it can compute the MD5 digest but not the proxy's signature."""
+    evil_doc = DOC + b"<script>evil</script>"
+    forged = Watermark(digest=md5_digest(evil_doc), signature=12345)
+    with pytest.raises(WatermarkError, match="not produced by the proxy"):
+        verify_watermark(evil_doc, forged, authority.public)
+
+
+def test_signature_from_other_key_rejected(authority):
+    other = generate_keypair(bits=256, seed=55)
+    mark = Watermark(digest=md5_digest(DOC), signature=other.sign(md5_digest(DOC)))
+    with pytest.raises(WatermarkError):
+        verify_watermark(DOC, mark, authority.public)
+
+
+def test_watermark_digest_length_validated():
+    with pytest.raises(ValueError):
+        Watermark(digest=b"short", signature=1)
+
+
+def test_authority_requires_adequate_key():
+    with pytest.raises(ValueError):
+        WatermarkAuthority(generate_keypair(bits=96, seed=1))
+
+
+def test_watermark_transferable_between_clients(authority):
+    """The §6.1 flow: the proxy watermarks once; any later receiving
+    client can verify with only the public key."""
+    mark = authority.create(DOC)
+    public_only = authority.public  # what clients know
+    verify_watermark(DOC, mark, public_only)

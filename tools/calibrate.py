@@ -1,0 +1,56 @@
+"""Re-calibrate synthetic profile parameters to the Table 1 targets.
+
+For each paper trace profile, iteratively adjusts ``p_new`` (to match
+the target max hit ratio) and ``size_popularity_beta`` (to match the
+target max byte-hit ratio), then prints the tuned parameters to freeze
+into ``repro/traces/profiles.py``.  Run after changing any generator
+knob that affects the reference stream.
+
+Usage:  python tools/calibrate.py
+"""
+
+from dataclasses import replace
+
+from repro.traces.profiles import PAPER_TRACES
+from repro.traces.stats import compute_stats
+from repro.traces.synthetic import generate_trace
+
+
+def calibrate(profile, tolerance=0.006, max_iters=8):
+    cfg = profile.config
+    beta_lo, beta_hi = 0.0, 1.8
+    st = None
+    iteration = 0
+    for iteration in range(max_iters):
+        trace = generate_trace(cfg, seed=profile.seed)
+        st = compute_stats(trace)
+        err_hr = st.max_hit_ratio - profile.target_max_hit_ratio
+        err_bhr = st.max_byte_hit_ratio - profile.target_max_byte_hit_ratio
+        if abs(err_hr) < tolerance and abs(err_bhr) < tolerance:
+            break
+        new_p_new = min(0.95, max(0.02, cfg.p_new + err_hr))
+        if err_bhr > tolerance:
+            beta_lo = cfg.size_popularity_beta
+            new_beta = (cfg.size_popularity_beta + beta_hi) / 2
+        elif err_bhr < -tolerance:
+            beta_hi = cfg.size_popularity_beta
+            new_beta = (cfg.size_popularity_beta + beta_lo) / 2
+        else:
+            new_beta = cfg.size_popularity_beta
+        cfg = replace(cfg, p_new=new_p_new, size_popularity_beta=new_beta)
+    return cfg, st, iteration + 1
+
+
+def main() -> None:
+    for name, profile in PAPER_TRACES.items():
+        cfg, st, iters = calibrate(profile)
+        print(
+            f"{name}: p_new={cfg.p_new:.4f} beta={cfg.size_popularity_beta:.4f} "
+            f"-> maxHR={st.max_hit_ratio:.4f} (target {profile.target_max_hit_ratio}) "
+            f"maxBHR={st.max_byte_hit_ratio:.4f} "
+            f"(target {profile.target_max_byte_hit_ratio}) iters={iters}"
+        )
+
+
+if __name__ == "__main__":
+    main()
