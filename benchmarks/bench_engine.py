@@ -4,10 +4,12 @@ Unlike the table/figure benchmarks these use pytest-benchmark's normal
 multi-round timing, giving stable ops/sec numbers for the hot paths.
 """
 
+import dataclasses
+
 import numpy as np
 
 from repro.cache import LRUCache, TieredLRUCache
-from repro.core import Organization, SimulationConfig, simulate
+from repro.core import Organization, SimulationConfig, resolve_workers, run_policy_sweep, simulate
 from repro.index.bloom import BloomFilter
 from repro.security.md5 import md5_digest
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
@@ -16,6 +18,13 @@ _TRACE = generate_trace(
     SyntheticTraceConfig(n_requests=20_000, n_clients=32, name="bench"), seed=9
 )
 _CONFIG = SimulationConfig.relative(_TRACE, proxy_frac=0.10, browser_sizing="minimum")
+
+_SWEEP_ORGS = (
+    Organization.PROXY_ONLY,
+    Organization.PROXY_AND_LOCAL_BROWSER,
+    Organization.BROWSERS_AWARE_PROXY,
+)
+_SWEEP_FRACTIONS = (0.05, 0.10, 0.20)
 
 
 def test_engine_throughput_baps(benchmark):
@@ -34,6 +43,45 @@ def test_engine_throughput_plb(benchmark):
         iterations=1,
     )
     assert result.n_requests == len(_TRACE)
+
+
+def test_sweep_engine_serial(benchmark):
+    """Serial-equivalent baseline for the parallel sweep engine."""
+    sweep = benchmark.pedantic(
+        lambda: run_policy_sweep(
+            _TRACE, organizations=_SWEEP_ORGS, fractions=_SWEEP_FRACTIONS, workers=0
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert not sweep.failures
+    assert len(sweep.results) == len(_SWEEP_ORGS) * len(_SWEEP_FRACTIONS)
+
+
+def test_sweep_engine_parallel(benchmark):
+    """Same grid over a full-width process pool; asserts the results
+    are bit-identical to the serial path (the engine's core guarantee)
+    and reports the measured speedup."""
+    serial = run_policy_sweep(
+        _TRACE, organizations=_SWEEP_ORGS, fractions=_SWEEP_FRACTIONS, workers=0
+    )
+    sweep = benchmark.pedantic(
+        lambda: run_policy_sweep(
+            _TRACE,
+            organizations=_SWEEP_ORGS,
+            fractions=_SWEEP_FRACTIONS,
+            workers=resolve_workers(None),
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert not sweep.failures
+    for key, result in serial.results.items():
+        assert dataclasses.asdict(sweep.results[key]) == dataclasses.asdict(result)
+    benchmark.extra_info["speedup_vs_serial"] = round(
+        sweep.timing.speedup_vs_serial, 3
+    )
+    benchmark.extra_info["workers"] = sweep.timing.workers
 
 
 def test_trace_generation(benchmark):

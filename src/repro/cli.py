@@ -6,6 +6,7 @@ Examples::
     baps run table1                         # one experiment
     baps run fig2 fig3                      # several
     baps run all                            # the full evaluation
+    baps run fig2 --workers 4 --timing      # parallel sweep + timing report
     baps traces                             # trace characteristics only
     baps simulate --trace NLANR-uc --organization browsers-aware-proxy-server
     baps simulate --log access.log --format squid --proxy-frac 0.05
@@ -49,6 +50,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
     run_p.add_argument("experiments", nargs="+", help="experiment ids or 'all'")
+    run_p.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fan sweep cells out over N worker processes (0 = serial "
+            "in-process, -1 = all CPUs); results are bit-identical "
+            "regardless of N"
+        ),
+    )
+    run_p.add_argument(
+        "--timing",
+        action="store_true",
+        help="print the sweep timing report (cells/sec, speedup vs serial)",
+    )
 
     sub.add_parser("traces", help="print trace characteristics (Table 1)")
 
@@ -202,12 +220,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
         return 2
 
+    workers = None if args.workers < 0 else args.workers
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name)
+        result = run_experiment(name, workers=workers)
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))
         print(result.render())
+        if args.timing:
+            sweep = getattr(result, "sweep", None)
+            if sweep is not None and getattr(sweep, "timing", None) is not None:
+                print()
+                print(sweep.timing.render())
         print()
     return 0
 

@@ -15,9 +15,18 @@ Typical use::
 from repro.core.events import HitLocation
 from repro.core.config import SimulationConfig, minimum_browser_capacity, average_browser_capacity
 from repro.core.policies import Organization, ORGANIZATION_LABELS
-from repro.core.metrics import SimulationResult, HitBreakdown
+from repro.core.metrics import SimulationResult, HitBreakdown, SweepTiming
 from repro.core.simulator import Simulator, simulate
 from repro.core.overhead import OverheadReport
+from repro.core.parallel import (
+    CellEvent,
+    CellFailure,
+    SweepCell,
+    SweepRun,
+    build_cells,
+    resolve_workers,
+    run_cells,
+)
 from repro.core.scaling import ScalingResult, run_scaling_experiment
 from repro.core.sweep import SweepResult, run_policy_sweep, run_size_sweep
 
@@ -30,9 +39,17 @@ __all__ = [
     "ORGANIZATION_LABELS",
     "SimulationResult",
     "HitBreakdown",
+    "SweepTiming",
     "Simulator",
     "simulate",
     "OverheadReport",
+    "SweepCell",
+    "SweepRun",
+    "CellEvent",
+    "CellFailure",
+    "build_cells",
+    "run_cells",
+    "resolve_workers",
     "ScalingResult",
     "run_scaling_experiment",
     "SweepResult",

@@ -17,7 +17,68 @@ from repro.core.events import HitLocation
 from repro.core.overhead import OverheadReport
 from repro.index.staleness import StalenessStats
 
-__all__ = ["SimulationResult", "HitBreakdown"]
+__all__ = ["SimulationResult", "HitBreakdown", "SweepTiming"]
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Structured timing report for one sweep execution.
+
+    ``cell_seconds`` is ordered by *cell index* (submission order), not
+    completion order, so reports are deterministic under parallelism.
+    ``speedup_vs_serial`` compares wall-clock time against the sum of
+    per-cell latencies — the time a one-process replay of the same
+    cells would have taken.
+    """
+
+    workers: int
+    n_cells: int
+    wall_seconds: float
+    cell_seconds: tuple[float, ...] = ()
+
+    @property
+    def total_cell_seconds(self) -> float:
+        """Serial-equivalent time: the sum of per-cell latencies."""
+        return sum(self.cell_seconds)
+
+    @property
+    def cells_per_second(self) -> float:
+        return self.n_cells / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def mean_cell_seconds(self) -> float:
+        return self.total_cell_seconds / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def max_cell_seconds(self) -> float:
+        return max(self.cell_seconds) if self.cell_seconds else 0.0
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_cell_seconds / self.wall_seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Speedup per worker (1.0 = perfect scaling)."""
+        return self.speedup_vs_serial / max(1, self.workers)
+
+    def render(self) -> str:
+        from repro.util.fmt import ascii_table
+
+        rows = [
+            ["workers", self.workers or "in-process"],
+            ["cells", self.n_cells],
+            ["wall time", f"{self.wall_seconds:.3f}s"],
+            ["serial-equivalent time", f"{self.total_cell_seconds:.3f}s"],
+            ["cells/sec", f"{self.cells_per_second:.2f}"],
+            ["mean cell latency", f"{self.mean_cell_seconds:.3f}s"],
+            ["max cell latency", f"{self.max_cell_seconds:.3f}s"],
+            ["speedup vs serial", f"{self.speedup_vs_serial:.2f}x"],
+            ["parallel efficiency", f"{self.parallel_efficiency:.2f}"],
+        ]
+        return ascii_table(["quantity", "value"], rows, title="sweep timing")
 
 
 @dataclass(frozen=True)

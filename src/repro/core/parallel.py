@@ -1,0 +1,266 @@
+"""Parallel sweep execution engine.
+
+Every paper figure is a cross product of (organization, relative cache
+size, trace); this module fans those *cells* out over a process pool
+while keeping the results bit-identical to a one-process replay:
+
+* each cell is fully self-contained — trace, organization, config, and
+  a seed derived (via :func:`repro.util.rng.derive_seed`) from the
+  cell's *identity*, never from worker assignment or completion order;
+* results are collected keyed by cell index, so callers see submission
+  order regardless of which worker finished first;
+* ``workers=0`` executes cells in-process with no pickling at all —
+  the deterministic fallback the golden-result harness pins;
+* a crashing cell is captured as a :class:`CellFailure` carrying its
+  config and traceback instead of killing the sweep.
+
+Traces are shipped to each worker process once (pool initializer), not
+per cell, so fan-out cost is independent of the grid size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult, SweepTiming
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.traces.record import Trace
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "SweepCell",
+    "CellFailure",
+    "CellEvent",
+    "SweepRun",
+    "build_cells",
+    "run_cells",
+    "resolve_workers",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a single (trace, organization, fraction)
+    simulation with a fully resolved config and deterministic seed."""
+
+    index: int
+    trace_name: str
+    organization: Organization
+    fraction: float
+    config: SimulationConfig
+    seed: int
+
+    def describe(self) -> str:
+        return (
+            f"cell {self.index}: {self.organization.value} @ "
+            f"{self.fraction * 100:g}% on {self.trace_name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that raised: its identity, the error, and the traceback."""
+
+    cell: SweepCell
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"{self.cell.describe()} failed: {self.error}"
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """Progress callback payload, emitted once per finished cell."""
+
+    cell: SweepCell
+    ok: bool
+    elapsed: float
+    completed: int
+    total: int
+
+
+@dataclass
+class SweepRun:
+    """Everything one engine invocation produced.
+
+    ``results`` and ``failures`` are keyed/ordered by cell index, so a
+    run's output is a pure function of its cells — never of scheduling.
+    """
+
+    cells: tuple[SweepCell, ...]
+    results: dict[int, SimulationResult] = field(default_factory=dict)
+    failures: list[CellFailure] = field(default_factory=list)
+    timing: SweepTiming | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def result_for(self, cell: SweepCell) -> SimulationResult:
+        try:
+            return self.results[cell.index]
+        except KeyError:
+            for failure in self.failures:
+                if failure.cell.index == cell.index:
+                    raise KeyError(str(failure)) from None
+            raise KeyError(f"no result for {cell.describe()}") from None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``--workers`` value: ``None`` means all CPUs."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def build_cells(
+    trace_name: str,
+    organizations: Iterable[Organization],
+    fractions: Sequence[float],
+    config_for: Callable[[float], SimulationConfig],
+    base_seed: int = 0,
+) -> list[SweepCell]:
+    """Expand an (organizations x fractions) grid into sweep cells.
+
+    ``config_for(fraction)`` resolves the simulation config for one
+    relative cache size (cache capacities depend on the fraction, not
+    the organization).  Cells with stochastic behaviour
+    (``holder_availability < 1``) get an ``availability_seed`` derived
+    from the cell identity, so every cell draws an independent,
+    reproducible stream no matter how the grid is scheduled.
+    """
+    organizations = tuple(organizations)
+    cells: list[SweepCell] = []
+    for frac in fractions:
+        config = config_for(frac)
+        for org in organizations:
+            seed = derive_seed(base_seed, trace_name, org.value, repr(frac))
+            cell_config = config
+            if config.holder_availability < 1.0:
+                cell_config = config.with_(availability_seed=seed)
+            cells.append(
+                SweepCell(
+                    index=len(cells),
+                    trace_name=trace_name,
+                    organization=org,
+                    fraction=frac,
+                    config=cell_config,
+                    seed=seed,
+                )
+            )
+    return cells
+
+
+# -- worker-side execution ---------------------------------------------------
+
+#: per-process trace registry, populated once by the pool initializer.
+_WORKER_TRACES: dict[str, Trace] = {}
+
+
+def _init_worker(traces: dict[str, Trace]) -> None:
+    _WORKER_TRACES.clear()
+    _WORKER_TRACES.update(traces)
+
+
+def _execute_cell(cell: SweepCell, trace: Trace):
+    """Run one cell; never raises.  Returns
+    ``(index, ok, payload, elapsed)`` where payload is a result or an
+    ``(error, traceback)`` pair."""
+    t0 = time.perf_counter()
+    try:
+        result = simulate(trace, cell.organization, cell.config)
+    except Exception as exc:  # a crashing cell must not kill the sweep
+        elapsed = time.perf_counter() - t0
+        error = f"{type(exc).__name__}: {exc}"
+        return cell.index, False, (error, traceback.format_exc()), elapsed
+    return cell.index, True, result, time.perf_counter() - t0
+
+
+def _run_cell_in_worker(cell: SweepCell):
+    return _execute_cell(cell, _WORKER_TRACES[cell.trace_name])
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def run_cells(
+    cells: Iterable[SweepCell],
+    traces: Mapping[str, Trace],
+    workers: int | None = 0,
+    progress: Callable[[CellEvent], None] | None = None,
+) -> SweepRun:
+    """Execute sweep cells, serially or over a process pool.
+
+    ``workers=0`` replays every cell in this process, in cell order —
+    the deterministic reference path.  ``workers>=1`` fans cells out
+    over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (``workers=None`` uses every CPU).  Either way the returned
+    :class:`SweepRun` holds bit-identical results keyed by cell index;
+    only the order in which ``progress`` events fire may differ.
+    """
+    cells = tuple(cells)
+    workers = resolve_workers(workers)
+    missing = sorted({c.trace_name for c in cells} - set(traces))
+    if missing:
+        raise KeyError(f"cells reference traces not provided: {', '.join(missing)}")
+
+    run = SweepRun(cells=cells)
+    cell_seconds: dict[int, float] = {}
+    completed = 0
+    t0 = time.perf_counter()
+
+    def absorb(index: int, ok: bool, payload, elapsed: float) -> None:
+        nonlocal completed
+        completed += 1
+        cell = cells[index]
+        if ok:
+            run.results[index] = payload
+        else:
+            error, tb = payload
+            run.failures.append(CellFailure(cell=cell, error=error, traceback=tb))
+        cell_seconds[index] = elapsed
+        if progress is not None:
+            progress(
+                CellEvent(
+                    cell=cell,
+                    ok=ok,
+                    elapsed=elapsed,
+                    completed=completed,
+                    total=len(cells),
+                )
+            )
+
+    if workers == 0 or len(cells) <= 1:
+        for cell in cells:
+            absorb(*_execute_cell(cell, traces[cell.trace_name]))
+        effective_workers = 0
+    else:
+        needed = {name: traces[name] for name in {c.trace_name for c in cells}}
+        effective_workers = min(workers, len(cells))
+        with ProcessPoolExecutor(
+            max_workers=effective_workers,
+            initializer=_init_worker,
+            initargs=(needed,),
+        ) as pool:
+            futures = [pool.submit(_run_cell_in_worker, cell) for cell in cells]
+            for future in as_completed(futures):
+                absorb(*future.result())
+
+    run.failures.sort(key=lambda f: f.cell.index)
+    run.timing = SweepTiming(
+        workers=effective_workers,
+        n_cells=len(cells),
+        wall_seconds=time.perf_counter() - t0,
+        cell_seconds=tuple(cell_seconds[i] for i in range(len(cells))),
+    )
+    return run

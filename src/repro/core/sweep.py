@@ -4,17 +4,22 @@ The paper's figures plot hit/byte-hit ratios against the *relative
 cache size* (proxy cache as a percentage of the infinite cache size,
 with the browser caches scaled accordingly).  These helpers run the
 cross product and collect results keyed by (organization, fraction).
+
+Execution goes through :mod:`repro.core.parallel`: ``workers=0`` (the
+default) replays cells serially in-process, ``workers=N`` fans them out
+over a process pool.  Both paths produce bit-identical results — the
+golden-result tests in ``tests/test_golden_figures.py`` pin this.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.metrics import SimulationResult
+from repro.core.metrics import SimulationResult, SweepTiming
+from repro.core.parallel import CellEvent, CellFailure, build_cells, run_cells
 from repro.core.policies import Organization
-from repro.core.simulator import simulate
 from repro.traces.record import Trace
 from repro.util.fmt import ascii_table
 
@@ -35,9 +40,30 @@ class SweepResult:
     results: dict[tuple[Organization, float], SimulationResult] = field(
         default_factory=dict
     )
+    #: cells that raised instead of producing a result (parallel engine
+    #: failure capture); empty on a clean sweep.
+    failures: list[CellFailure] = field(default_factory=list)
+    #: execution timing of the sweep that produced this result.
+    timing: SweepTiming | None = None
 
     def get(self, organization: Organization, fraction: float) -> SimulationResult:
-        return self.results[(organization, fraction)]
+        try:
+            return self.results[(organization, fraction)]
+        except KeyError:
+            for failure in self.failures:
+                cell = failure.cell
+                if cell.organization is organization and cell.fraction == fraction:
+                    raise KeyError(
+                        f"cell ({organization.value}, {fraction:g}) failed "
+                        f"during the sweep: {failure.error}"
+                    ) from None
+            orgs = ", ".join(o.value for o in self.organizations)
+            fracs = ", ".join(f"{f:g}" for f in self.fractions)
+            raise KeyError(
+                f"no result for organization {getattr(organization, 'value', organization)!r} "
+                f"at fraction {fraction!r}; available organizations: [{orgs}]; "
+                f"available fractions: [{fracs}]"
+            ) from None
 
     def series(
         self, organization: Organization, metric: str = "hit_ratio"
@@ -45,8 +71,7 @@ class SweepResult:
         """(fraction, metric) pairs for one organization, in fraction
         order — one curve of a paper figure."""
         return [
-            (f, getattr(self.results[(organization, f)], metric))
-            for f in self.fractions
+            (f, getattr(self.get(organization, f), metric)) for f in self.fractions
         ]
 
     def table(self, metric: str = "hit_ratio", title: str | None = None) -> str:
@@ -56,7 +81,7 @@ class SweepResult:
         for org in self.organizations:
             row: list = [org.value]
             for f in self.fractions:
-                row.append(f"{getattr(self.results[(org, f)], metric) * 100:.2f}%")
+                row.append(f"{getattr(self.get(org, f), metric) * 100:.2f}%")
             rows.append(row)
         return ascii_table(headers, rows, title=title or f"{self.trace_name}: {metric}")
 
@@ -66,24 +91,39 @@ def run_policy_sweep(
     organizations: Iterable[Organization] = tuple(Organization),
     fractions: Sequence[float] = PAPER_SIZE_FRACTIONS,
     browser_sizing: str = "minimum",
+    workers: int | None = 0,
+    progress: Callable[[CellEvent], None] | None = None,
     **config_overrides,
 ) -> SweepResult:
     """Run every organization at every relative cache size.
 
     ``config_overrides`` are forwarded to
     :meth:`SimulationConfig.relative` (e.g. ``memory_fraction=0.1``).
+    ``workers`` selects the execution mode (0 = in-process serial,
+    N = process pool, None = all CPUs); the numbers are identical
+    either way.  A crashing cell is recorded in ``failures`` instead of
+    aborting the sweep.
     """
     organizations = tuple(organizations)
     fractions = tuple(fractions)
-    sweep = SweepResult(
-        trace_name=trace.name, fractions=fractions, organizations=organizations
-    )
-    for frac in fractions:
-        config = SimulationConfig.relative(
+
+    def config_for(frac: float) -> SimulationConfig:
+        return SimulationConfig.relative(
             trace, proxy_frac=frac, browser_sizing=browser_sizing, **config_overrides
         )
-        for org in organizations:
-            sweep.results[(org, frac)] = simulate(trace, org, config)
+
+    cells = build_cells(trace.name, organizations, fractions, config_for)
+    run = run_cells(cells, {trace.name: trace}, workers=workers, progress=progress)
+    sweep = SweepResult(
+        trace_name=trace.name,
+        fractions=fractions,
+        organizations=organizations,
+        failures=run.failures,
+        timing=run.timing,
+    )
+    for cell in cells:
+        if cell.index in run.results:
+            sweep.results[(cell.organization, cell.fraction)] = run.results[cell.index]
     return sweep
 
 
@@ -92,6 +132,8 @@ def run_size_sweep(
     organization: Organization,
     fractions: Sequence[float] = PAPER_SIZE_FRACTIONS,
     browser_sizing: str = "minimum",
+    workers: int | None = 0,
+    progress: Callable[[CellEvent], None] | None = None,
     **config_overrides,
 ) -> SweepResult:
     """Sweep relative cache sizes for a single organization."""
@@ -100,5 +142,7 @@ def run_size_sweep(
         organizations=(organization,),
         fractions=fractions,
         browser_sizing=browser_sizing,
+        workers=workers,
+        progress=progress,
         **config_overrides,
     )

@@ -51,6 +51,7 @@ class Fig2Result:
 def run(
     trace_name: str = "NLANR-uc",
     fractions=PAPER_SIZE_FRACTIONS,
+    workers: int | None = 0,
 ) -> Fig2Result:
     """Run all five organizations at every relative cache size."""
     trace = load_paper_trace(trace_name)
@@ -59,5 +60,6 @@ def run(
         organizations=tuple(Organization),
         fractions=fractions,
         browser_sizing="minimum",
+        workers=workers,
     )
     return Fig2Result(sweep=sweep)

@@ -57,6 +57,7 @@ class Fig3Result:
 def run(
     trace_name: str = "NLANR-uc",
     fractions=PAPER_SIZE_FRACTIONS,
+    workers: int | None = 0,
 ) -> Fig3Result:
     trace = load_paper_trace(trace_name)
     sweep = run_size_sweep(
@@ -64,6 +65,7 @@ def run(
         Organization.BROWSERS_AWARE_PROXY,
         fractions=fractions,
         browser_sizing="minimum",
+        workers=workers,
     )
     hit_b = {}
     byte_b = {}

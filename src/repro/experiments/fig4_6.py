@@ -82,7 +82,9 @@ class PairResult:
         return sum(gains) / len(gains)
 
 
-def run(figure: int = 4, fractions=PAPER_SIZE_FRACTIONS) -> PairResult:
+def run(
+    figure: int = 4, fractions=PAPER_SIZE_FRACTIONS, workers: int | None = 0
+) -> PairResult:
     """Run one of Figures 4/5/6 by figure number."""
     if figure not in FIGURE_TRACES:
         raise ValueError(f"figure must be one of {sorted(FIGURE_TRACES)}, got {figure}")
@@ -92,5 +94,6 @@ def run(figure: int = 4, fractions=PAPER_SIZE_FRACTIONS) -> PairResult:
         organizations=_PAIR,
         fractions=fractions,
         browser_sizing="average",
+        workers=workers,
     )
     return PairResult(figure=figure, sweep=sweep)

@@ -67,12 +67,13 @@ class Fig7Result:
         )
 
 
-def run(fractions=PAPER_SIZE_FRACTIONS) -> Fig7Result:
+def run(fractions=PAPER_SIZE_FRACTIONS, workers: int | None = 0) -> Fig7Result:
     trace = load_paper_trace("CAnetII")
     sweep = run_policy_sweep(
         trace,
         organizations=_PAIR,
         fractions=fractions,
         browser_sizing="average",
+        workers=workers,
     )
     return Fig7Result(sweep=sweep)

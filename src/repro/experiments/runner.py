@@ -1,7 +1,14 @@
-"""Run every experiment by name — used by the CLI and integration tests."""
+"""Run every experiment by name — used by the CLI and integration tests.
+
+Sweep-based experiments accept a ``workers`` argument and execute their
+cells through :mod:`repro.core.parallel`; :func:`run_experiment`
+forwards it to any runner that takes it and falls back to the serial
+path for the rest.
+"""
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable
 
 from repro.experiments import (
@@ -26,14 +33,15 @@ from repro.experiments import (
 
 __all__ = ["ALL_EXPERIMENTS", "run_experiment"]
 
-#: experiment id -> zero-argument runner (paper defaults).
-ALL_EXPERIMENTS: dict[str, Callable[[], Any]] = {
+#: experiment id -> runner with paper defaults; sweep-based runners also
+#: accept ``workers``.
+ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "table1": table1.run,
     "fig2": fig2.run,
     "fig3": fig3.run,
-    "fig4": lambda: fig4_6.run(4),
-    "fig5": lambda: fig4_6.run(5),
-    "fig6": lambda: fig4_6.run(6),
+    "fig4": lambda workers=0: fig4_6.run(4, workers=workers),
+    "fig5": lambda workers=0: fig4_6.run(5, workers=workers),
+    "fig6": lambda workers=0: fig4_6.run(6, workers=workers),
     "fig7": fig7.run,
     "fig8": fig8.run,
     "overhead": overhead.run,
@@ -50,11 +58,28 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Any]] = {
 }
 
 
-def run_experiment(name: str):
-    """Run one experiment by id; returns its result object."""
+def _accepts_workers(runner: Callable[..., Any]) -> bool:
+    try:
+        params = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return False
+    return "workers" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
+def run_experiment(name: str, workers: int | None = 0):
+    """Run one experiment by id; returns its result object.
+
+    ``workers`` is forwarded to sweep-based experiments (0 = serial
+    in-process, N = process pool, None = all CPUs); experiments without
+    a parallelisable grid ignore it.
+    """
     try:
         runner = ALL_EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(ALL_EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    if workers != 0 and _accepts_workers(runner):
+        return runner(workers=workers)
     return runner()

@@ -20,6 +20,7 @@ from repro.traces.profiles import (
     PAPER_TRACES,
     get_profile,
     load_paper_trace,
+    small_paper_trace,
 )
 from repro.traces.stats import TraceStats, compute_stats
 from repro.traces.filters import select_clients, head, cacheable_only
@@ -36,6 +37,7 @@ __all__ = [
     "PAPER_TRACES",
     "get_profile",
     "load_paper_trace",
+    "small_paper_trace",
     "TraceStats",
     "compute_stats",
     "select_clients",

@@ -17,12 +17,18 @@ within about two points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.traces.record import Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 
-__all__ = ["TraceProfile", "PAPER_TRACES", "get_profile", "load_paper_trace"]
+__all__ = [
+    "TraceProfile",
+    "PAPER_TRACES",
+    "get_profile",
+    "load_paper_trace",
+    "small_paper_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,16 @@ class TraceProfile:
     def generate(self) -> Trace:
         """Generate this profile's trace (deterministic)."""
         return generate_trace(self.config, seed=self.seed)
+
+    def scaled(self, n_requests: int, n_clients: int | None = None) -> "TraceProfile":
+        """This profile at a different request count (same seed and
+        workload knobs) — the basis of the small-profile golden tests,
+        which pin scaled-down figure numbers without paying for the
+        full 60k–150k-request traces."""
+        overrides: dict = {"n_requests": n_requests}
+        if n_clients is not None:
+            overrides["n_clients"] = n_clients
+        return replace(self, config=replace(self.config, **overrides))
 
 
 # Knobs shared by all five calibrated profiles (see DESIGN.md §3):
@@ -225,3 +241,18 @@ def load_paper_trace(name: str, cache: bool = True) -> Trace:
     if cache:
         _TRACE_CACHE[profile.name] = trace
     return trace
+
+
+#: request count of the scaled-down profiles used by the golden-result
+#: regression tests and ``tools/make_goldens.py``.
+SMALL_PROFILE_REQUESTS = 6_000
+
+
+def small_paper_trace(name: str, n_requests: int = SMALL_PROFILE_REQUESTS) -> Trace:
+    """A scaled-down paper trace for golden/regression tests.
+
+    Same generator seed and workload knobs as the full profile, just
+    fewer requests — deterministic and byte-identical across runs, so
+    figure numbers computed from it can be pinned in checked-in JSON.
+    """
+    return get_profile(name).scaled(n_requests).generate()

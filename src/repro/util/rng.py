@@ -8,9 +8,11 @@ the same simulation outcome, and the same benchmark rows.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["make_rng", "spawn_rngs", "derive_seed"]
 
 
 def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -39,3 +41,18 @@ def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random
     else:
         children = np.random.SeedSequence(seed).spawn(n)
     return [np.random.default_rng(c) for c in children]
+
+
+def derive_seed(*components: object) -> int:
+    """Derive a stable 63-bit seed from arbitrary hashable components.
+
+    The derivation is a content hash (SHA-256 over the ``repr`` of the
+    components), so it is identical across processes, platforms, and
+    Python invocations — unlike ``hash()``, which is randomised per
+    interpreter.  Parallel sweep cells use this to seed their stochastic
+    draws from ``(base_seed, trace, organization, fraction)`` alone,
+    making results independent of worker count and completion order.
+    """
+    payload = "\x1f".join(repr(c) for c in components).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,130 @@
+"""Golden-result regression tests.
+
+Small-profile versions of fig2, fig3, and table1 are re-run here and
+compared against checked-in golden JSON generated once from the serial
+engine (``PYTHONPATH=src python tools/make_goldens.py``).  Tolerance is
+1e-9 — effectively bit-exact for these ratios — so neither the
+parallel execution path, the simulator, nor the synthetic trace
+generator can silently change the paper's numbers.
+
+If a change *intentionally* alters results, regenerate the goldens and
+call it out in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import Organization, run_policy_sweep, run_size_sweep
+from repro.core.sweep import PAPER_SIZE_FRACTIONS
+from repro.traces.profiles import PAPER_TRACES, small_paper_trace
+from repro.traces.stats import compute_stats
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_small.json"
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing - regenerate with "
+        "`PYTHONPATH=src python tools/make_goldens.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def fig_trace(golden):
+    return small_paper_trace(golden["_meta"]["fig_trace"])
+
+
+def assert_close(measured: float, pinned: float, what: str) -> None:
+    assert abs(measured - pinned) <= TOLERANCE, (
+        f"{what}: measured {measured!r} drifted from golden {pinned!r} "
+        f"(|diff| = {abs(measured - pinned):.3e} > {TOLERANCE:g}); if this "
+        "change is intentional, regenerate tests/golden/ via "
+        "tools/make_goldens.py"
+    )
+
+
+def check_fig2(sweep, pinned: dict) -> None:
+    seen = set()
+    for (org, frac), result in sweep.results.items():
+        key = f"{org.value}@{frac:g}"
+        assert key in pinned, f"cell {key} not in golden file"
+        assert_close(result.hit_ratio, pinned[key]["hit_ratio"], f"fig2 {key} HR")
+        assert_close(
+            result.byte_hit_ratio, pinned[key]["byte_hit_ratio"], f"fig2 {key} BHR"
+        )
+        seen.add(key)
+    assert seen == set(pinned), "sweep grid does not cover the golden grid"
+
+
+def test_fig2_golden_serial(golden, fig_trace):
+    sweep = run_policy_sweep(
+        fig_trace,
+        organizations=tuple(Organization),
+        fractions=PAPER_SIZE_FRACTIONS,
+        browser_sizing="minimum",
+        workers=0,
+    )
+    assert not sweep.failures
+    check_fig2(sweep, golden["fig2"][golden["_meta"]["fig_trace"]])
+
+
+def test_fig2_golden_parallel(golden, fig_trace):
+    """The process-pool path must reproduce the serially-pinned
+    figures exactly — the engine's central guarantee."""
+    sweep = run_policy_sweep(
+        fig_trace,
+        organizations=tuple(Organization),
+        fractions=PAPER_SIZE_FRACTIONS,
+        browser_sizing="minimum",
+        workers=2,
+    )
+    assert not sweep.failures
+    assert sweep.timing is not None and sweep.timing.workers == 2
+    check_fig2(sweep, golden["fig2"][golden["_meta"]["fig_trace"]])
+
+
+def test_fig3_golden(golden, fig_trace):
+    sweep = run_size_sweep(
+        fig_trace,
+        Organization.BROWSERS_AWARE_PROXY,
+        fractions=PAPER_SIZE_FRACTIONS,
+        browser_sizing="minimum",
+        workers=0,
+    )
+    pinned = golden["fig3"][golden["_meta"]["fig_trace"]]
+    assert set(pinned) == {f"{f:g}" for f in PAPER_SIZE_FRACTIONS}
+    for frac in PAPER_SIZE_FRACTIONS:
+        result = sweep.get(Organization.BROWSERS_AWARE_PROXY, frac)
+        cell = pinned[f"{frac:g}"]
+        for kind, breakdown in (
+            ("hit", result.breakdown()),
+            ("byte", result.byte_breakdown()),
+        ):
+            for share in ("local_browser", "proxy", "remote_browser"):
+                assert_close(
+                    getattr(breakdown, share),
+                    cell[kind][share],
+                    f"fig3 {frac:g} {kind}/{share}",
+                )
+
+
+@pytest.mark.parametrize("trace_name", sorted(PAPER_TRACES))
+def test_table1_golden(golden, trace_name):
+    pinned = golden["table1"][trace_name]
+    stats = compute_stats(small_paper_trace(trace_name))
+    assert stats.n_requests == pinned["n_requests"]
+    assert stats.n_clients == pinned["n_clients"]
+    assert stats.n_docs == pinned["n_docs"]
+    assert_close(stats.max_hit_ratio, pinned["max_hit_ratio"], f"{trace_name} max HR")
+    assert_close(
+        stats.max_byte_hit_ratio,
+        pinned["max_byte_hit_ratio"],
+        f"{trace_name} max BHR",
+    )

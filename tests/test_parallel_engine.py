@@ -1,0 +1,214 @@
+"""The parallel sweep engine: determinism, failure capture, progress.
+
+The engine's contract is that ``workers=0``, ``workers=1``, and
+``workers=4`` produce *bit-identical* ``SimulationResult``s — the
+comparison here is on ``dataclasses.asdict`` of the whole result, not
+just the headline ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CellEvent,
+    Organization,
+    SimulationConfig,
+    build_cells,
+    resolve_workers,
+    run_cells,
+    run_policy_sweep,
+)
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.util.rng import derive_seed
+
+ORGS = (Organization.PROXY_AND_LOCAL_BROWSER, Organization.BROWSERS_AWARE_PROXY)
+FRACTIONS = (0.05, 0.2)
+
+
+def result_fingerprint(result) -> dict:
+    """The full state of a SimulationResult, for exact comparison."""
+    return dataclasses.asdict(result)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_sweep_bit_identical_across_worker_counts(small_trace, workers):
+    serial = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=0
+    )
+    parallel = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=workers
+    )
+    assert not serial.failures and not parallel.failures
+    assert set(serial.results) == set(parallel.results)
+    for key in serial.results:
+        assert result_fingerprint(serial.results[key]) == result_fingerprint(
+            parallel.results[key]
+        ), f"cell {key} diverged at workers={workers}"
+
+
+def test_sweep_with_availability_draws_is_deterministic(small_trace):
+    """Cells with stochastic holder-availability draws get identity-derived
+    seeds, so repeated runs — at any worker count — agree exactly."""
+    kwargs = dict(
+        organizations=ORGS,
+        fractions=FRACTIONS,
+        holder_availability=0.5,
+    )
+    first = run_policy_sweep(small_trace, workers=0, **kwargs)
+    again = run_policy_sweep(small_trace, workers=0, **kwargs)
+    pooled = run_policy_sweep(small_trace, workers=2, **kwargs)
+    for key in first.results:
+        assert result_fingerprint(first.results[key]) == result_fingerprint(
+            again.results[key]
+        )
+        assert result_fingerprint(first.results[key]) == result_fingerprint(
+            pooled.results[key]
+        )
+    # distinct cells draw from distinct streams
+    baps = [
+        first.results[(Organization.BROWSERS_AWARE_PROXY, f)] for f in FRACTIONS
+    ]
+    assert all(r.holder_unavailable > 0 for r in baps)
+
+
+def test_synthetic_trace_generation_byte_identical():
+    config = SyntheticTraceConfig(n_requests=5_000, n_clients=16, name="twice")
+    a = generate_trace(config, seed=7)
+    b = generate_trace(config, seed=7)
+    for column in ("timestamps", "clients", "docs", "sizes", "versions"):
+        assert getattr(a, column).tobytes() == getattr(b, column).tobytes(), column
+    c = generate_trace(config, seed=8)
+    assert c.docs.tobytes() != a.docs.tobytes()
+
+
+def _poisoned_cells(trace):
+    """A 2x1 grid plus one cell whose config crashes the simulator
+    (tiered memory model with a non-LRU policy raises ValueError)."""
+    good = SimulationConfig(proxy_capacity=20_000, browser_capacity=5_000)
+    cells = build_cells(trace.name, ORGS, (0.1,), lambda f: good)
+    bad_config = good.with_(memory_fraction=0.5, proxy_policy="fifo")
+    cells.append(dataclasses.replace(cells[0], index=len(cells), config=bad_config))
+    return cells
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_crashing_cell_reports_instead_of_killing_sweep(small_trace, workers):
+    cells = _poisoned_cells(small_trace)
+    run = run_cells(cells, {small_trace.name: small_trace}, workers=workers)
+    assert sorted(run.results) == [0, 1]
+    assert len(run.failures) == 1 and not run.ok
+    failure = run.failures[0]
+    assert failure.cell.index == 2
+    assert "ValueError" in failure.error
+    assert "tiered memory model" in failure.error
+    assert "Traceback" in failure.traceback
+    with pytest.raises(KeyError, match="failed"):
+        run.result_for(cells[2])
+    # successful cells are still reachable
+    assert run.result_for(cells[0]).n_requests == len(small_trace)
+
+
+def test_progress_events(small_trace):
+    events: list[CellEvent] = []
+    run = run_cells(
+        _poisoned_cells(small_trace),
+        {small_trace.name: small_trace},
+        workers=0,
+        progress=events.append,
+    )
+    assert len(events) == 3
+    assert [e.completed for e in events] == [1, 2, 3]
+    assert all(e.total == 3 for e in events)
+    assert [e.ok for e in events] == [True, True, False]
+    assert all(e.elapsed >= 0 for e in events)
+    assert run.timing is not None
+    assert run.timing.n_cells == 3
+    assert len(run.timing.cell_seconds) == 3
+    assert run.timing.total_cell_seconds == pytest.approx(
+        sum(run.timing.cell_seconds)
+    )
+    assert run.timing.cells_per_second > 0
+    assert "sweep timing" in run.timing.render()
+
+
+def test_run_cells_rejects_unknown_trace(small_trace):
+    cells = build_cells(
+        "elsewhere",
+        ORGS,
+        (0.1,),
+        lambda f: SimulationConfig(proxy_capacity=1_000, browser_capacity=500),
+    )
+    with pytest.raises(KeyError, match="elsewhere"):
+        run_cells(cells, {small_trace.name: small_trace}, workers=0)
+
+
+def test_resolve_workers():
+    assert resolve_workers(0) == 0
+    assert resolve_workers(3) == 3
+    assert resolve_workers(None) >= 1
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_derive_seed_stable_and_distinct():
+    a = derive_seed(0, "NLANR-uc", "proxy-cache-only", "0.05")
+    assert a == derive_seed(0, "NLANR-uc", "proxy-cache-only", "0.05")
+    assert 0 <= a < 2**63
+    others = {
+        derive_seed(0, "NLANR-uc", "proxy-cache-only", "0.1"),
+        derive_seed(0, "NLANR-uc", "browsers-aware-proxy-server", "0.05"),
+        derive_seed(1, "NLANR-uc", "proxy-cache-only", "0.05"),
+        derive_seed(0, "BU-95", "proxy-cache-only", "0.05"),
+    }
+    assert a not in others and len(others) == 4
+
+
+def test_cell_seeds_are_identity_derived(small_trace):
+    """Seeds depend only on cell identity — rebuilding the grid in any
+    shape assigns the same seed to the same (trace, org, fraction)."""
+    config = SimulationConfig(proxy_capacity=1_000, browser_capacity=500)
+    full = build_cells(small_trace.name, ORGS, FRACTIONS, lambda f: config)
+    just_one = build_cells(
+        small_trace.name, (Organization.BROWSERS_AWARE_PROXY,), (0.2,), lambda f: config
+    )
+    by_identity = {(c.organization, c.fraction): c.seed for c in full}
+    assert (
+        by_identity[(Organization.BROWSERS_AWARE_PROXY, 0.2)] == just_one[0].seed
+    )
+
+
+def test_sweep_timing_attached_and_ordered(small_trace):
+    sweep = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=0
+    )
+    timing = sweep.timing
+    assert timing is not None
+    assert timing.workers == 0
+    assert timing.n_cells == len(ORGS) * len(FRACTIONS)
+    assert timing.mean_cell_seconds > 0
+    assert timing.max_cell_seconds >= timing.mean_cell_seconds
+    assert timing.speedup_vs_serial == pytest.approx(
+        timing.total_cell_seconds / timing.wall_seconds
+    )
+
+
+def test_numpy_results_pickle_roundtrip(small_trace):
+    """SimulationResults cross process boundaries; a pickle round trip
+    must preserve every field (guards against unpicklable additions)."""
+    import pickle
+
+    sweep = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=(0.1,), workers=0
+    )
+    result = sweep.get(Organization.BROWSERS_AWARE_PROXY, 0.1)
+    clone = pickle.loads(pickle.dumps(result))
+    assert result_fingerprint(clone) == result_fingerprint(result)
+
+
+def test_small_trace_columns_are_numpy(small_trace):
+    # the worker initializer ships traces by pickle; sanity-check the payload
+    assert isinstance(small_trace.docs, np.ndarray)

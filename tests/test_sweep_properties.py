@@ -1,0 +1,118 @@
+"""Property tests for sweep invariants.
+
+Randomised over organization subsets and fraction grids (hypothesis):
+``SweepResult.series()`` ordering always matches ``fractions``, every
+(org, fraction) cell is present, and — LRU's stack property — the hit
+ratio is monotone non-decreasing in the cache fraction on a fixed
+trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Organization, run_policy_sweep
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+#: small but structured: enough reuse for caches to matter, fast enough
+#: for randomised sweeps (each example runs a full grid).
+_TRACE = generate_trace(
+    SyntheticTraceConfig(
+        n_requests=1_500,
+        n_clients=8,
+        p_new=0.4,
+        p_self=0.2,
+        client_activity_alpha=0.3,
+        uniform_doc_frac=0.35,
+        recency_bias=0.15,
+        name="prop",
+    ),
+    seed=13,
+)
+
+_FRACTION_PALETTE = (0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5)
+
+fractions_strategy = st.lists(
+    st.sampled_from(_FRACTION_PALETTE), min_size=1, max_size=4, unique=True
+).map(tuple)
+
+organizations_strategy = st.lists(
+    st.sampled_from(tuple(Organization)), min_size=1, max_size=3, unique=True
+).map(tuple)
+
+
+@settings(max_examples=10, deadline=None)
+@given(organizations=organizations_strategy, fractions=fractions_strategy)
+def test_sweep_grid_complete_and_series_ordered(organizations, fractions):
+    sweep = run_policy_sweep(
+        _TRACE, organizations=organizations, fractions=fractions, workers=0
+    )
+    assert not sweep.failures
+    # every (org, fraction) cell is present
+    assert set(sweep.results) == {
+        (org, frac) for org in organizations for frac in fractions
+    }
+    # series() follows the caller's fraction order, whatever it was
+    for org in organizations:
+        series = sweep.series(org, "hit_ratio")
+        assert [f for f, _ in series] == list(fractions)
+        assert all(0.0 <= value <= 1.0 for _, value in series)
+        # byte metric is available over the same axis
+        byte_series = sweep.series(org, "byte_hit_ratio")
+        assert [f for f, _ in byte_series] == list(fractions)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    fractions=st.lists(
+        st.sampled_from(_FRACTION_PALETTE), min_size=2, max_size=5, unique=True
+    ).map(lambda fs: tuple(sorted(fs)))
+)
+def test_lru_hit_ratio_monotone_in_cache_fraction(fractions):
+    """LRU's stack property: a strictly larger cache never hits less on
+    the same trace."""
+    sweep = run_policy_sweep(
+        _TRACE,
+        organizations=(Organization.PROXY_ONLY,),
+        fractions=fractions,
+        proxy_policy="lru",
+        workers=0,
+    )
+    values = [v for _, v in sweep.series(Organization.PROXY_ONLY, "hit_ratio")]
+    assert all(b >= a for a, b in zip(values, values[1:])), (
+        f"hit ratio not monotone over {fractions}: {values}"
+    )
+
+
+def test_get_unknown_key_names_available_cells(small_trace):
+    sweep = run_policy_sweep(
+        small_trace,
+        organizations=(Organization.PROXY_ONLY,),
+        fractions=(0.05, 0.2),
+        workers=0,
+    )
+    with pytest.raises(KeyError) as exc:
+        sweep.get(Organization.BROWSERS_AWARE_PROXY, 0.5)
+    message = str(exc.value)
+    assert "browsers-aware-proxy-server" in message  # what was asked for
+    assert "proxy-cache-only" in message  # what is available
+    assert "0.05" in message and "0.2" in message
+    # a known organization at an unknown fraction is equally helpful
+    with pytest.raises(KeyError, match="available fractions"):
+        sweep.get(Organization.PROXY_ONLY, 0.07)
+
+
+def test_failed_cell_get_reports_the_failure(small_trace):
+    sweep = run_policy_sweep(
+        small_trace,
+        organizations=(Organization.PROXY_ONLY, Organization.PROXY_AND_LOCAL_BROWSER),
+        fractions=(0.1,),
+        workers=0,
+        memory_fraction=0.5,
+        proxy_policy="fifo",  # tiered model + non-LRU -> every cell raises
+    )
+    assert len(sweep.failures) == 2
+    with pytest.raises(KeyError, match="tiered memory model"):
+        sweep.get(Organization.PROXY_ONLY, 0.1)

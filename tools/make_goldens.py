@@ -1,0 +1,119 @@
+"""Regenerate the golden-result JSON for tests/test_golden_figures.py.
+
+Runs small-profile versions of fig2, fig3, and table1 through the
+**serial** engine (``workers=0``) and writes the resulting hit/byte-hit
+ratios to ``tests/golden/golden_small.json``.  The golden tests then
+re-run the same cells — serially and through the process pool — and
+assert the numbers match to 1e-9, so neither the engine nor the trace
+generator can silently drift.
+
+Only regenerate when a change *intentionally* alters simulation
+results (e.g. a calibration fix), and say so in the commit:
+
+    PYTHONPATH=src python tools/make_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import Organization, run_policy_sweep, run_size_sweep  # noqa: E402
+from repro.core.sweep import PAPER_SIZE_FRACTIONS  # noqa: E402
+from repro.traces.profiles import (  # noqa: E402
+    PAPER_TRACES,
+    SMALL_PROFILE_REQUESTS,
+    small_paper_trace,
+)
+from repro.traces.stats import compute_stats  # noqa: E402
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "tests" / "golden" / "golden_small.json"
+
+#: the trace the small-profile fig2/fig3 goldens replay (the paper's
+#: Figure 2/3 trace).
+FIG_TRACE = "NLANR-uc"
+
+
+def build_goldens() -> dict:
+    trace = small_paper_trace(FIG_TRACE)
+
+    fig2_sweep = run_policy_sweep(
+        trace,
+        organizations=tuple(Organization),
+        fractions=PAPER_SIZE_FRACTIONS,
+        browser_sizing="minimum",
+        workers=0,
+    )
+    assert not fig2_sweep.failures, fig2_sweep.failures
+    fig2 = {
+        f"{org.value}@{frac:g}": {
+            "hit_ratio": result.hit_ratio,
+            "byte_hit_ratio": result.byte_hit_ratio,
+        }
+        for (org, frac), result in sorted(
+            fig2_sweep.results.items(), key=lambda kv: (kv[0][1], kv[0][0].value)
+        )
+    }
+
+    fig3_sweep = run_size_sweep(
+        trace,
+        Organization.BROWSERS_AWARE_PROXY,
+        fractions=PAPER_SIZE_FRACTIONS,
+        browser_sizing="minimum",
+        workers=0,
+    )
+    assert not fig3_sweep.failures, fig3_sweep.failures
+    fig3 = {}
+    for frac in PAPER_SIZE_FRACTIONS:
+        result = fig3_sweep.get(Organization.BROWSERS_AWARE_PROXY, frac)
+        hit, byte = result.breakdown(), result.byte_breakdown()
+        fig3[f"{frac:g}"] = {
+            "hit": {
+                "local_browser": hit.local_browser,
+                "proxy": hit.proxy,
+                "remote_browser": hit.remote_browser,
+            },
+            "byte": {
+                "local_browser": byte.local_browser,
+                "proxy": byte.proxy,
+                "remote_browser": byte.remote_browser,
+            },
+        }
+
+    table1 = {}
+    for name in PAPER_TRACES:
+        stats = compute_stats(small_paper_trace(name))
+        table1[name] = {
+            "n_requests": stats.n_requests,
+            "n_clients": stats.n_clients,
+            "n_docs": stats.n_docs,
+            "max_hit_ratio": stats.max_hit_ratio,
+            "max_byte_hit_ratio": stats.max_byte_hit_ratio,
+        }
+
+    return {
+        "_meta": {
+            "generator": "tools/make_goldens.py (workers=0 serial engine)",
+            "n_requests": SMALL_PROFILE_REQUESTS,
+            "fig_trace": FIG_TRACE,
+            "tolerance": 1e-9,
+        },
+        "fig2": {FIG_TRACE: fig2},
+        "fig3": {FIG_TRACE: fig3},
+        "table1": table1,
+    }
+
+
+def main() -> int:
+    goldens = build_goldens()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Serial-vs-parallel smoke sweep — run by CI.
+
+Replays a fig2-scale grid (all five organizations x the paper's four
+relative cache sizes) twice: once in-process (``workers=0``) and once
+over a process pool sized to the machine.  Exits non-zero unless the
+two runs are bit-identical; prints both timing reports and the
+measured speedup.
+
+    PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import Organization, resolve_workers, run_policy_sweep  # noqa: E402
+from repro.core.sweep import PAPER_SIZE_FRACTIONS  # noqa: E402
+from repro.traces.profiles import get_profile  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool width for the parallel run (default: all CPUs)")
+    parser.add_argument("--requests", type=int, default=30_000,
+                        help="trace length (default 30k: fig2 scale, CI-friendly)")
+    parser.add_argument("--trace", default="NLANR-uc")
+    args = parser.parse_args(argv)
+
+    workers = resolve_workers(args.workers)
+    trace = get_profile(args.trace).scaled(args.requests).generate()
+    grid = dict(
+        organizations=tuple(Organization),
+        fractions=PAPER_SIZE_FRACTIONS,
+        browser_sizing="minimum",
+    )
+    print(f"smoke sweep: {trace.name}, {len(trace):,} requests, "
+          f"{len(grid['organizations']) * len(grid['fractions'])} cells")
+
+    serial = run_policy_sweep(trace, workers=0, **grid)
+    parallel = run_policy_sweep(trace, workers=workers, **grid)
+
+    for sweep, label in ((serial, "serial"), (parallel, f"parallel x{workers}")):
+        if sweep.failures:
+            print(f"FAIL: {label} run had cell failures:")
+            for failure in sweep.failures:
+                print(f"  {failure}")
+            return 1
+        print()
+        print(f"-- {label}")
+        print(sweep.timing.render())
+
+    diverged = [
+        key
+        for key in serial.results
+        if dataclasses.asdict(serial.results[key])
+        != dataclasses.asdict(parallel.results[key])
+    ]
+    if diverged:
+        print(f"FAIL: {len(diverged)} cells diverged between serial and parallel:")
+        for org, frac in diverged:
+            print(f"  ({org.value}, {frac:g})")
+        return 1
+
+    speedup = parallel.timing.speedup_vs_serial
+    print()
+    print(f"OK: all {len(serial.results)} cells bit-identical; "
+          f"parallel speedup vs serial {speedup:.2f}x on {workers} workers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
