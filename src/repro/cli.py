@@ -7,6 +7,8 @@ Examples::
     baps run fig2 fig3                      # several
     baps run all                            # the full evaluation
     baps run fig2 --workers 4 --timing      # parallel sweep + timing report
+    baps run fig2 --retries 2 --cell-timeout 300 --journal fig2.jsonl
+    baps run fig2 --resume fig2.jsonl       # skip already-completed cells
     baps traces                             # trace characteristics only
     baps simulate --trace NLANR-uc --organization browsers-aware-proxy-server
     baps simulate --log access.log --format squid --proxy-frac 0.05
@@ -66,6 +68,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="print the sweep timing report (cells/sec, speedup vs serial)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "extra attempts per sweep cell after a crash or timeout "
+            "(capped exponential backoff between attempts; results are "
+            "attempt-independent)"
+        ),
+    )
+    run_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; an overrunning cell is retried or quarantined",
+    )
+    run_p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help=(
+            "append a JSONL run journal (one record per attempt plus "
+            "completed-cell results) usable later with --resume"
+        ),
+    )
+    run_p.add_argument(
+        "--resume",
+        metavar="PATH",
+        help=(
+            "restore cells already completed in a prior run's journal "
+            "instead of re-simulating them (bit-identical results)"
+        ),
     )
 
     sub.add_parser("traces", help="print trace characteristics (Table 1)")
@@ -221,9 +257,19 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     workers = None if args.workers < 0 else args.workers
+    options = None
+    if any((args.retries, args.cell_timeout, args.journal, args.resume)):
+        from repro.core.parallel import EngineOptions
+
+        options = EngineOptions(
+            retries=args.retries,
+            cell_timeout=args.cell_timeout,
+            journal=args.journal,
+            resume=args.resume,
+        )
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name, workers=workers)
+        result = run_experiment(name, workers=workers, options=options)
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))
         print(result.render())

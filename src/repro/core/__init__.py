@@ -18,9 +18,18 @@ from repro.core.policies import Organization, ORGANIZATION_LABELS
 from repro.core.metrics import SimulationResult, HitBreakdown, SweepTiming
 from repro.core.simulator import Simulator, simulate
 from repro.core.overhead import OverheadReport
+from repro.core.faults import FaultPlan, InjectedFault
+from repro.core.journal import (
+    JournalWriter,
+    load_completed_results,
+    result_from_jsonable,
+    result_to_jsonable,
+)
 from repro.core.parallel import (
     CellEvent,
     CellFailure,
+    CellTimeout,
+    EngineOptions,
     SweepCell,
     SweepRun,
     build_cells,
@@ -47,6 +56,14 @@ __all__ = [
     "SweepRun",
     "CellEvent",
     "CellFailure",
+    "CellTimeout",
+    "EngineOptions",
+    "FaultPlan",
+    "InjectedFault",
+    "JournalWriter",
+    "load_completed_results",
+    "result_to_jsonable",
+    "result_from_jsonable",
     "build_cells",
     "run_cells",
     "resolve_workers",

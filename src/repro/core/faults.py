@@ -1,0 +1,112 @@
+"""Deterministic fault injection for the sweep engine.
+
+The paper treats peers as transient: holders go offline, indices lie,
+round trips are wasted.  Our own execution layer gets the same
+treatment — the recovery paths in :mod:`repro.core.parallel` (retry,
+pool rebuild, quarantine, resume) are only trustworthy if they can be
+exercised on demand.  A :class:`FaultPlan` injects failures at exact
+(cell, attempt) coordinates so every recovery path has a reproducible
+test:
+
+* ``raise`` — the cell raises mid-execution (a transient crash; the
+  retry path must absorb it);
+* ``kill``  — the worker process hard-exits (``os._exit``), breaking
+  the process pool (the pool-rebuild path must requeue survivors);
+* ``hang``  — the cell sleeps past its deadline (the per-cell timeout
+  path must reclaim it).
+
+Faults are keyed by *attempt number*, so "fail on attempt 0 only"
+models a transient error that a single retry cures, while "fail on
+every attempt" models a poisoned cell that must be quarantined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InjectedFault", "FaultPlan", "InjectedFailure", "WorkerKilled"]
+
+#: recognised fault kinds.
+FAULT_KINDS = ("raise", "kill", "hang")
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by a ``raise`` fault (and by a ``kill`` fault when the
+    engine runs in-process, where exiting would take down the caller)."""
+
+
+class WorkerKilled(InjectedFailure):
+    """The in-process stand-in for a worker hard-exit."""
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Fail one cell on one specific attempt."""
+
+    cell_index: int
+    kind: str = "raise"
+    attempt: int = 0
+    #: how long a ``hang`` fault sleeps (must exceed the cell timeout
+    #: to trigger it; irrelevant for other kinds).
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.cell_index < 0:
+            raise ValueError(f"cell_index must be >= 0, got {self.cell_index}")
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+
+    def describe(self) -> str:
+        return f"{self.kind} cell {self.cell_index} on attempt {self.attempt}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of injected faults for one engine run.
+
+    Ships to worker processes with the trace registry, so injection
+    behaves identically in-process and across the pool.
+    """
+
+    faults: tuple[InjectedFault, ...] = ()
+
+    def fault_for(self, cell_index: int, attempt: int) -> InjectedFault | None:
+        for fault in self.faults:
+            if fault.cell_index == cell_index and fault.attempt == attempt:
+                return fault
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI fault spec: ``kind:cell[@attempt]``, comma-joined.
+
+        ``"kill:3"`` kills the worker running cell 3 on attempt 0;
+        ``"raise:1@0,raise:1@1"`` crashes cell 1 on its first two
+        attempts; ``"hang:2"`` makes cell 2 overrun its timeout.
+        """
+        faults = []
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, _, rest = chunk.partition(":")
+            if not rest:
+                raise ValueError(
+                    f"bad fault spec {chunk!r}: expected kind:cell[@attempt]"
+                )
+            cell_str, _, attempt_str = rest.partition("@")
+            faults.append(
+                InjectedFault(
+                    cell_index=int(cell_str),
+                    kind=kind.strip(),
+                    attempt=int(attempt_str) if attempt_str else 0,
+                )
+            )
+        return cls(faults=tuple(faults))

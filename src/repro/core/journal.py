@@ -1,0 +1,256 @@
+"""JSONL run journal: durable per-attempt records and resume support.
+
+A sweep that dies halfway — machine reboot, OOM kill, ctrl-C — used to
+discard every completed cell.  The journal makes sweep execution
+*restartable*: the engine appends one JSON line per event as it runs,
+and a later invocation pointed at the journal (``--resume``) replays
+completed cells from their recorded results instead of re-simulating
+them.  Restored results are bit-identical to fresh ones: every counter
+of :class:`~repro.core.metrics.SimulationResult` round-trips through
+JSON exactly (Python serialises floats by ``repr``, which is lossless).
+
+Record kinds (each line is one JSON object with a ``kind`` field):
+
+* ``run`` — header: engine settings and grid size, written once;
+* ``attempt`` — one per execution attempt: cell identity (index,
+  trace, organization, fraction, seed), attempt number, elapsed
+  seconds, outcome (``ok`` / ``error`` / ``timeout`` / ``pool-crash``
+  / ``resumed``), and the error string for failures;
+* ``result`` — the full serialised :class:`SimulationResult` of a
+  completed cell (what resume restores).
+
+Cells are identified for resume by ``(trace, organization, fraction,
+seed)`` — never by grid position — so a journal survives grid
+reordering and a resumed run can safely add or drop cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+from repro.cache.stats import CacheStats
+from repro.consistency.policies import ConsistencyStats
+from repro.core.events import HitLocation
+from repro.core.metrics import SimulationResult
+from repro.core.overhead import OverheadReport
+from repro.index.staleness import StalenessStats
+
+__all__ = [
+    "JournalWriter",
+    "result_to_jsonable",
+    "result_from_jsonable",
+    "read_journal",
+    "load_completed_results",
+    "cell_key",
+    "config_digest",
+]
+
+JOURNAL_VERSION = 1
+
+#: identity of a cell as recorded in the journal: what resume matches on.
+CellKey = tuple[str, str, float, int, str]
+
+
+def config_digest(config) -> str:
+    """A short stable fingerprint of a :class:`SimulationConfig`.
+
+    Part of the resume identity: two cells at the same grid coordinate
+    but different configurations (say, ``minimum`` vs ``average``
+    browser sizing) must never satisfy each other's resume lookup.
+    ``repr`` of the frozen config dataclass is deterministic — every
+    field is a number, string, tuple, or nested frozen dataclass.
+    """
+    return hashlib.sha1(repr(config).encode("utf-8")).hexdigest()[:12]
+
+
+def cell_key(
+    trace_name: str, organization: str, fraction: float, seed: int, digest: str = ""
+) -> CellKey:
+    return (trace_name, organization, float(fraction), int(seed), digest)
+
+
+# -- SimulationResult <-> JSON ----------------------------------------------
+
+
+def _from_fields(cls, data: dict):
+    """Build a dataclass from a dict, ignoring unknown keys so old
+    journals stay readable after the schema grows."""
+    names = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def result_to_jsonable(result: SimulationResult) -> dict[str, Any]:
+    """Serialise a result to plain JSON types, losslessly."""
+    return {
+        "trace_name": result.trace_name,
+        "organization": result.organization,
+        "n_requests": result.n_requests,
+        "total_bytes": result.total_bytes,
+        "by_location": {
+            loc.name: dataclasses.asdict(stats)
+            for loc, stats in result.by_location.items()
+        },
+        "overhead": dataclasses.asdict(result.overhead),
+        "index_stats": dataclasses.asdict(result.index_stats),
+        "consistency_stats": dataclasses.asdict(result.consistency_stats),
+        "index_lookups": result.index_lookups,
+        "index_false_hits": result.index_false_hits,
+        "holder_unavailable": result.holder_unavailable,
+        "index_peak_entries": result.index_peak_entries,
+        "index_peak_footprint_bytes": result.index_peak_footprint_bytes,
+        "uses_memory_tier": result.uses_memory_tier,
+    }
+
+
+def result_from_jsonable(data: dict[str, Any]) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_jsonable` output."""
+    result = SimulationResult(
+        trace_name=data["trace_name"],
+        organization=data["organization"],
+        n_requests=data["n_requests"],
+        total_bytes=data["total_bytes"],
+        by_location={
+            HitLocation[name]: _from_fields(CacheStats, stats)
+            for name, stats in data["by_location"].items()
+        },
+        overhead=_from_fields(OverheadReport, data["overhead"]),
+        index_stats=_from_fields(StalenessStats, data["index_stats"]),
+        consistency_stats=_from_fields(ConsistencyStats, data["consistency_stats"]),
+        index_lookups=data["index_lookups"],
+        index_false_hits=data["index_false_hits"],
+        holder_unavailable=data["holder_unavailable"],
+        index_peak_entries=data["index_peak_entries"],
+        index_peak_footprint_bytes=data["index_peak_footprint_bytes"],
+        uses_memory_tier=data["uses_memory_tier"],
+    )
+    # locations absent from an old journal keep fresh zero counters.
+    for loc in HitLocation:
+        result.by_location.setdefault(loc, CacheStats())
+    return result
+
+
+# -- writing ----------------------------------------------------------------
+
+
+class JournalWriter:
+    """Appends journal records as JSON lines, flushing after each so a
+    killed run leaves every finished attempt on disk."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] = self.path.open("a", encoding="utf-8")
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def write_header(
+        self,
+        n_cells: int,
+        workers: int,
+        retries: int,
+        cell_timeout: float | None,
+    ) -> None:
+        self._write(
+            {
+                "kind": "run",
+                "version": JOURNAL_VERSION,
+                "n_cells": n_cells,
+                "workers": workers,
+                "retries": retries,
+                "cell_timeout": cell_timeout,
+            }
+        )
+
+    def write_attempt(
+        self,
+        cell,
+        attempt: int,
+        outcome: str,
+        elapsed: float,
+        error: str | None = None,
+    ) -> None:
+        """One line per execution attempt (``cell`` is a SweepCell)."""
+        self._write(
+            {
+                "kind": "attempt",
+                "cell": cell.index,
+                "trace": cell.trace_name,
+                "organization": cell.organization.value,
+                "fraction": cell.fraction,
+                "seed": cell.seed,
+                "config": config_digest(cell.config),
+                "attempt": attempt,
+                "outcome": outcome,
+                "elapsed": elapsed,
+                "error": error,
+            }
+        )
+
+    def write_result(self, cell, result: SimulationResult) -> None:
+        self._write(
+            {
+                "kind": "result",
+                "cell": cell.index,
+                "trace": cell.trace_name,
+                "organization": cell.organization.value,
+                "fraction": cell.fraction,
+                "seed": cell.seed,
+                "config": config_digest(cell.config),
+                "result": result_to_jsonable(result),
+            }
+        )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- reading ----------------------------------------------------------------
+
+
+def read_journal(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield journal records; skips blank and truncated trailing lines
+    (a crash mid-write must not make the journal unreadable)."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def load_completed_results(path: str | Path) -> dict[CellKey, SimulationResult]:
+    """The resume set: completed cells keyed by identity.
+
+    Later records win, so a journal that was itself produced by a
+    resumed run (containing both ``resumed`` re-records and fresh
+    results) loads cleanly.
+    """
+    completed: dict[CellKey, SimulationResult] = {}
+    for record in read_journal(path):
+        if record.get("kind") != "result":
+            continue
+        key = cell_key(
+            record["trace"],
+            record["organization"],
+            record["fraction"],
+            record["seed"],
+            record.get("config", ""),
+        )
+        completed[key] = result_from_jsonable(record["result"])
+    return completed

@@ -29,12 +29,29 @@ class SweepTiming:
     ``speedup_vs_serial`` compares wall-clock time against the sum of
     per-cell latencies — the time a one-process replay of the same
     cells would have taken.
+
+    ``workers`` is the *effective* pool width the engine actually used;
+    ``requested_workers`` preserves what the caller asked for, so a
+    multi-worker request that fell back to serial (e.g. a 1-cell grid)
+    reports the fallback instead of silently claiming ``workers=0`` was
+    requested.
     """
 
     workers: int
     n_cells: int
     wall_seconds: float
     cell_seconds: tuple[float, ...] = ()
+    #: pool width the caller requested; ``None`` means "same as used".
+    requested_workers: int | None = None
+
+    @property
+    def fell_back_to_serial(self) -> bool:
+        """True when a multi-worker request executed in-process."""
+        return (
+            self.requested_workers is not None
+            and self.requested_workers > 0
+            and self.workers == 0
+        )
 
     @property
     def total_cell_seconds(self) -> float:
@@ -67,8 +84,11 @@ class SweepTiming:
     def render(self) -> str:
         from repro.util.fmt import ascii_table
 
+        used = self.workers or "in-process"
+        if self.fell_back_to_serial:
+            used = f"in-process ({self.requested_workers} requested)"
         rows = [
-            ["workers", self.workers or "in-process"],
+            ["workers", used],
             ["cells", self.n_cells],
             ["wall time", f"{self.wall_seconds:.3f}s"],
             ["serial-equivalent time", f"{self.total_cell_seconds:.3f}s"],

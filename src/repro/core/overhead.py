@@ -33,6 +33,9 @@ class OverheadReport:
     security_time: float = 0.0
     #: If-Modified-Since revalidation round trips (consistency mode).
     validation_time: float = 0.0
+    #: §5 wasted round trips: a false index hit or an offline holder
+    #: costs a LAN connection setup before the request escalates.
+    wasted_round_trip_time: float = 0.0
     index_update_messages: int = 0
 
     @property
@@ -51,6 +54,7 @@ class OverheadReport:
             + self.origin_miss_time
             + self.security_time
             + self.validation_time
+            + self.wasted_round_trip_time
         )
 
     @property

@@ -127,7 +127,17 @@ class Simulator:
         config = self.config
         if config.index_kind == "bloom":
             avg_doc = max(1, int(self.trace.sizes.mean())) if len(self.trace) else 1
-            expected = max(8, config.browser_capacity // avg_doc)
+            # Size filters from the capacities actually deployed: with
+            # heterogeneous ``browser_capacities`` the uniform
+            # ``browser_capacity`` may be wildly off, skewing the bloom
+            # false-positive rate for fig-8-style runs.
+            capacities = self._browser_capacities(n_clients)
+            mean_capacity = (
+                int(sum(capacities) / len(capacities))
+                if capacities
+                else config.browser_capacity
+            )
+            expected = max(8, mean_capacity // avg_doc)
             return BloomBrowserIndex(
                 n_clients,
                 expected_docs_per_client=expected,
@@ -253,6 +263,7 @@ class Simulator:
                     # client churn: the holder is unreachable — a wasted
                     # round trip, then the request escalates.
                     result.holder_unavailable += 1
+                    overhead.wasted_round_trip_time += lan.connection_setup
                     offline = True
                     hit = None
                 if hit is not None:
@@ -277,6 +288,7 @@ class Simulator:
                         # Stale index: wasted round trip, then fall through.
                         index.record_false_hit()
                         result.index_false_hits += 1
+                        overhead.wasted_round_trip_time += lan.connection_setup
                 elif index.is_stale and not offline:
                     # Was this a lost opportunity?  Check the truth.
                     if self._truth_holds(d, v, exclude=c):
@@ -395,6 +407,7 @@ class Simulator:
                 offline = False
                 if hit is not None and not self._holder_online():
                     result.holder_unavailable += 1
+                    overhead.wasted_round_trip_time += lan.connection_setup
                     offline = True
                     hit = None
                 if hit is not None:
@@ -420,6 +433,7 @@ class Simulator:
                     else:
                         index.record_false_hit()
                         result.index_false_hits += 1
+                        overhead.wasted_round_trip_time += lan.connection_setup
                 elif index.is_stale and not offline and self._truth_holds(d, v, exclude=c):
                     index.record_false_miss()
                 if served:

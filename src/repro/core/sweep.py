@@ -18,7 +18,13 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.metrics import SimulationResult, SweepTiming
-from repro.core.parallel import CellEvent, CellFailure, build_cells, run_cells
+from repro.core.parallel import (
+    CellEvent,
+    CellFailure,
+    EngineOptions,
+    build_cells,
+    run_cells,
+)
 from repro.core.policies import Organization
 from repro.traces.record import Trace
 from repro.util.fmt import ascii_table
@@ -40,11 +46,16 @@ class SweepResult:
     results: dict[tuple[Organization, float], SimulationResult] = field(
         default_factory=dict
     )
-    #: cells that raised instead of producing a result (parallel engine
-    #: failure capture); empty on a clean sweep.
+    #: cells that failed for good — crashed, timed out, or were
+    #: quarantined after repeated worker deaths; empty on a clean sweep.
     failures: list[CellFailure] = field(default_factory=list)
     #: execution timing of the sweep that produced this result.
     timing: SweepTiming | None = None
+    #: execution attempts per (organization, fraction); 0 = restored
+    #: from a resume journal without re-simulating.
+    attempts: dict[tuple[Organization, float], int] = field(default_factory=dict)
+    #: process-pool crashes the engine survived while producing this.
+    pool_crashes: int = 0
 
     def get(self, organization: Organization, fraction: float) -> SimulationResult:
         try:
@@ -93,6 +104,7 @@ def run_policy_sweep(
     browser_sizing: str = "minimum",
     workers: int | None = 0,
     progress: Callable[[CellEvent], None] | None = None,
+    options: EngineOptions | None = None,
     **config_overrides,
 ) -> SweepResult:
     """Run every organization at every relative cache size.
@@ -102,7 +114,8 @@ def run_policy_sweep(
     ``workers`` selects the execution mode (0 = in-process serial,
     N = process pool, None = all CPUs); the numbers are identical
     either way.  A crashing cell is recorded in ``failures`` instead of
-    aborting the sweep.
+    aborting the sweep; ``options`` adds the engine's fault-tolerance
+    layer (retries, per-cell timeout, attempt journal, resume).
     """
     organizations = tuple(organizations)
     fractions = tuple(fractions)
@@ -113,17 +126,22 @@ def run_policy_sweep(
         )
 
     cells = build_cells(trace.name, organizations, fractions, config_for)
-    run = run_cells(cells, {trace.name: trace}, workers=workers, progress=progress)
+    run = run_cells(
+        cells, {trace.name: trace}, workers=workers, progress=progress, options=options
+    )
     sweep = SweepResult(
         trace_name=trace.name,
         fractions=fractions,
         organizations=organizations,
         failures=run.failures,
         timing=run.timing,
+        pool_crashes=run.pool_crashes,
     )
     for cell in cells:
         if cell.index in run.results:
             sweep.results[(cell.organization, cell.fraction)] = run.results[cell.index]
+        if cell.index in run.attempts:
+            sweep.attempts[(cell.organization, cell.fraction)] = run.attempts[cell.index]
     return sweep
 
 
@@ -134,6 +152,7 @@ def run_size_sweep(
     browser_sizing: str = "minimum",
     workers: int | None = 0,
     progress: Callable[[CellEvent], None] | None = None,
+    options: EngineOptions | None = None,
     **config_overrides,
 ) -> SweepResult:
     """Sweep relative cache sizes for a single organization."""
@@ -144,5 +163,6 @@ def run_size_sweep(
         browser_sizing=browser_sizing,
         workers=workers,
         progress=progress,
+        options=options,
         **config_overrides,
     )

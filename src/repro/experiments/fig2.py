@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.parallel import EngineOptions
 from repro.core.policies import Organization
 from repro.core.sweep import PAPER_SIZE_FRACTIONS, SweepResult, run_policy_sweep
 from repro.traces.profiles import load_paper_trace
@@ -52,6 +53,7 @@ def run(
     trace_name: str = "NLANR-uc",
     fractions=PAPER_SIZE_FRACTIONS,
     workers: int | None = 0,
+    options: EngineOptions | None = None,
 ) -> Fig2Result:
     """Run all five organizations at every relative cache size."""
     trace = load_paper_trace(trace_name)
@@ -61,5 +63,6 @@ def run(
         fractions=fractions,
         browser_sizing="minimum",
         workers=workers,
+        options=options,
     )
     return Fig2Result(sweep=sweep)

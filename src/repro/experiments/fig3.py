@@ -58,6 +58,7 @@ def run(
     trace_name: str = "NLANR-uc",
     fractions=PAPER_SIZE_FRACTIONS,
     workers: int | None = 0,
+    options=None,
 ) -> Fig3Result:
     trace = load_paper_trace(trace_name)
     sweep = run_size_sweep(
@@ -66,6 +67,7 @@ def run(
         fractions=fractions,
         browser_sizing="minimum",
         workers=workers,
+        options=options,
     )
     hit_b = {}
     byte_b = {}

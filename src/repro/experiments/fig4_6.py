@@ -83,7 +83,10 @@ class PairResult:
 
 
 def run(
-    figure: int = 4, fractions=PAPER_SIZE_FRACTIONS, workers: int | None = 0
+    figure: int = 4,
+    fractions=PAPER_SIZE_FRACTIONS,
+    workers: int | None = 0,
+    options=None,
 ) -> PairResult:
     """Run one of Figures 4/5/6 by figure number."""
     if figure not in FIGURE_TRACES:
@@ -95,5 +98,6 @@ def run(
         fractions=fractions,
         browser_sizing="average",
         workers=workers,
+        options=options,
     )
     return PairResult(figure=figure, sweep=sweep)

@@ -67,7 +67,9 @@ class Fig7Result:
         )
 
 
-def run(fractions=PAPER_SIZE_FRACTIONS, workers: int | None = 0) -> Fig7Result:
+def run(
+    fractions=PAPER_SIZE_FRACTIONS, workers: int | None = 0, options=None
+) -> Fig7Result:
     trace = load_paper_trace("CAnetII")
     sweep = run_policy_sweep(
         trace,
@@ -75,5 +77,6 @@ def run(fractions=PAPER_SIZE_FRACTIONS, workers: int | None = 0) -> Fig7Result:
         fractions=fractions,
         browser_sizing="average",
         workers=workers,
+        options=options,
     )
     return Fig7Result(sweep=sweep)

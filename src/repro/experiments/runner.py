@@ -3,13 +3,17 @@
 Sweep-based experiments accept a ``workers`` argument and execute their
 cells through :mod:`repro.core.parallel`; :func:`run_experiment`
 forwards it to any runner that takes it and falls back to the serial
-path for the rest.
+path for the rest.  Fault-tolerance options (retries, per-cell timeout,
+attempt journal, resume — an :class:`~repro.core.parallel.EngineOptions`)
+are forwarded the same way as ``options``.
 """
 
 from __future__ import annotations
 
 import inspect
 from typing import Any, Callable
+
+from repro.core.parallel import EngineOptions
 
 from repro.experiments import (
     ablation_index,
@@ -39,9 +43,9 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "table1": table1.run,
     "fig2": fig2.run,
     "fig3": fig3.run,
-    "fig4": lambda workers=0: fig4_6.run(4, workers=workers),
-    "fig5": lambda workers=0: fig4_6.run(5, workers=workers),
-    "fig6": lambda workers=0: fig4_6.run(6, workers=workers),
+    "fig4": lambda workers=0, options=None: fig4_6.run(4, workers=workers, options=options),
+    "fig5": lambda workers=0, options=None: fig4_6.run(5, workers=workers, options=options),
+    "fig6": lambda workers=0, options=None: fig4_6.run(6, workers=workers, options=options),
     "fig7": fig7.run,
     "fig8": fig8.run,
     "overhead": overhead.run,
@@ -58,28 +62,37 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
 }
 
 
-def _accepts_workers(runner: Callable[..., Any]) -> bool:
+def _accepts(runner: Callable[..., Any], keyword: str) -> bool:
     try:
         params = inspect.signature(runner).parameters
     except (TypeError, ValueError):  # builtins without introspectable signatures
         return False
-    return "workers" in params or any(
+    return keyword in params or any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
 
 
-def run_experiment(name: str, workers: int | None = 0):
+def run_experiment(
+    name: str,
+    workers: int | None = 0,
+    options: EngineOptions | None = None,
+):
     """Run one experiment by id; returns its result object.
 
     ``workers`` is forwarded to sweep-based experiments (0 = serial
     in-process, N = process pool, None = all CPUs); experiments without
-    a parallelisable grid ignore it.
+    a parallelisable grid ignore it.  ``options`` forwards the engine's
+    fault-tolerance settings (retries, cell timeout, journal, resume)
+    to every experiment whose runner accepts them.
     """
     try:
         runner = ALL_EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(ALL_EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    if workers != 0 and _accepts_workers(runner):
-        return runner(workers=workers)
-    return runner()
+    kwargs: dict[str, Any] = {}
+    if workers != 0 and _accepts(runner, "workers"):
+        kwargs["workers"] = workers
+    if options is not None and _accepts(runner, "options"):
+        kwargs["options"] = options
+    return runner(**kwargs)

@@ -6,7 +6,14 @@ over a process pool sized to the machine.  Exits non-zero unless the
 two runs are bit-identical; prints both timing reports and the
 measured speedup.
 
+With ``--inject-fault`` the parallel run additionally suffers an
+injected worker kill and a transient cell failure (with retries
+enabled), exercising the engine's pool-crash recovery and retry paths
+end to end — the recovered results must still be bit-identical to the
+clean serial run.
+
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
+        [--journal PATH] [--inject-fault]
 """
 
 from __future__ import annotations
@@ -18,7 +25,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.core import Organization, resolve_workers, run_policy_sweep  # noqa: E402
+from repro.core import (  # noqa: E402
+    EngineOptions,
+    FaultPlan,
+    Organization,
+    resolve_workers,
+    run_policy_sweep,
+)
 from repro.core.sweep import PAPER_SIZE_FRACTIONS  # noqa: E402
 from repro.traces.profiles import get_profile  # noqa: E402
 
@@ -30,6 +43,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=30_000,
                         help="trace length (default 30k: fig2 scale, CI-friendly)")
     parser.add_argument("--trace", default="NLANR-uc")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="write the parallel run's JSONL attempt journal here")
+    parser.add_argument("--inject-fault", action="store_true",
+                        help="kill one worker and fail one cell transiently "
+                             "during the parallel run (recovery must still "
+                             "yield bit-identical results)")
     args = parser.parse_args(argv)
 
     workers = resolve_workers(args.workers)
@@ -39,11 +58,27 @@ def main(argv: list[str] | None = None) -> int:
         fractions=PAPER_SIZE_FRACTIONS,
         browser_sizing="minimum",
     )
-    print(f"smoke sweep: {trace.name}, {len(trace):,} requests, "
-          f"{len(grid['organizations']) * len(grid['fractions'])} cells")
+    n_cells = len(grid["organizations"]) * len(grid["fractions"])
+    print(f"smoke sweep: {trace.name}, {len(trace):,} requests, {n_cells} cells")
+
+    options = None
+    if args.inject_fault or args.journal:
+        faults = None
+        retries = 0
+        if args.inject_fault:
+            # one hard worker death and one transient failure, both on
+            # the first attempt only — the engine must absorb both.
+            faults = FaultPlan.parse(f"kill:0, raise:{n_cells // 2}")
+            retries = 2
+            print("fault injection: worker kill on cell 0, transient "
+                  f"failure on cell {n_cells // 2} (retries={retries})")
+        options = EngineOptions(
+            retries=retries, journal=args.journal, faults=faults,
+            backoff_base=0.1,
+        )
 
     serial = run_policy_sweep(trace, workers=0, **grid)
-    parallel = run_policy_sweep(trace, workers=workers, **grid)
+    parallel = run_policy_sweep(trace, workers=workers, options=options, **grid)
 
     for sweep, label in ((serial, "serial"), (parallel, f"parallel x{workers}")):
         if sweep.failures:
@@ -54,6 +89,15 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(f"-- {label}")
         print(sweep.timing.render())
+
+    if args.inject_fault:
+        retried = {k: n for k, n in parallel.attempts.items() if n > 1}
+        print()
+        print(f"recovered: pool crashes={parallel.pool_crashes}, "
+              f"cells retried={len(retried)}")
+        if parallel.pool_crashes < 1:
+            print("FAIL: injected worker kill did not register a pool crash")
+            return 1
 
     diverged = [
         key
@@ -66,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
         for org, frac in diverged:
             print(f"  ({org.value}, {frac:g})")
         return 1
+
+    if args.journal:
+        print(f"journal written to {args.journal}")
 
     speedup = parallel.timing.speedup_vs_serial
     print()
