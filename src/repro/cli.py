@@ -103,6 +103,27 @@ def _build_parser() -> argparse.ArgumentParser:
             "instead of re-simulating them (bit-identical results)"
         ),
     )
+    run_p.add_argument(
+        "--max-holder-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "holder failover budget forwarded to experiments that model "
+            "churn (e.g. 'availability'): extra replicas probed before a "
+            "failed remote hit escalates to the origin"
+        ),
+    )
+    run_p.add_argument(
+        "--corruption-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "probability a remote transfer fails the integrity check, "
+            "forwarded to experiments that accept it"
+        ),
+    )
 
     sub.add_parser("traces", help="print trace characteristics (Table 1)")
 
@@ -133,6 +154,56 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--policy", default="lru",
                      help="replacement policy (lru, fifo, lfu, size, gdsf)")
     sim.add_argument("--index-kind", choices=("exact", "bloom"), default="exact")
+    sim.add_argument(
+        "--churn",
+        action="store_true",
+        help=(
+            "model session-based client churn: holders alternate between "
+            "on and off sessions instead of being always reachable"
+        ),
+    )
+    sim.add_argument(
+        "--churn-on",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="mean online-session length for --churn (default: 1800)",
+    )
+    sim.add_argument(
+        "--churn-off",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="mean offline-session length for --churn (default: 600)",
+    )
+    sim.add_argument(
+        "--churn-distribution",
+        choices=("exponential", "pareto"),
+        default="exponential",
+        help="session-length distribution for --churn",
+    )
+    sim.add_argument(
+        "--max-holder-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "failover budget: extra index replicas probed after the chosen "
+            "holder fails (offline, stale, or corrupt) before falling back "
+            "to the origin"
+        ),
+    )
+    sim.add_argument(
+        "--corruption-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "probability a remote-browser transfer arrives corrupted and is "
+            "rejected by the integrity check (retransmitted from the next "
+            "holder or the origin)"
+        ),
+    )
 
     parse_p = sub.add_parser("parse", help="print statistics for an access log")
     parse_p.add_argument("log", help="path to the log file")
@@ -170,6 +241,15 @@ def _cmd_simulate(args) -> int:
         print("trace is empty after filtering", file=sys.stderr)
         return 1
     organization = Organization.from_name(args.organization)
+    failure_kwargs = {}
+    if args.churn:
+        from repro.core.churn import ChurnModel
+
+        failure_kwargs["churn"] = ChurnModel(
+            mean_on_seconds=args.churn_on,
+            mean_off_seconds=args.churn_off,
+            distribution=args.churn_distribution,
+        )
     config = SimulationConfig.relative(
         trace,
         proxy_frac=args.proxy_frac,
@@ -177,6 +257,9 @@ def _cmd_simulate(args) -> int:
         proxy_policy=args.policy,
         browser_policy=args.policy,
         index_kind=args.index_kind,
+        max_holder_retries=args.max_holder_retries,
+        corruption_rate=args.corruption_rate,
+        **failure_kwargs,
     )
     t0 = time.perf_counter()
     result = simulate(trace, organization, config)
@@ -196,14 +279,26 @@ def _cmd_simulate(args) -> int:
         ["communication overhead", f"{result.overhead.communication_fraction:.3%}"],
         ["simulated in", f"{elapsed:.2f}s"],
     ]
+    if result.holder_unavailable:
+        rows.insert(-1, ["offline-holder probes", f"{result.holder_unavailable:,}"])
+    if result.failover_attempts:
+        rows.insert(-1, ["failover probes", f"{result.failover_attempts:,}"])
+        rows.insert(-1, ["failover-rescued hits", f"{result.failover_rescued_hits:,}"])
+    if result.integrity_failures:
+        rows.insert(-1, ["integrity retries", f"{result.integrity_failures:,}"])
     print(ascii_table(["quantity", "value"], rows, title="simulation result"))
     return 0
 
 
 def _cmd_parse(args) -> int:
-    trace = _PARSERS[args.format](args.log, name=args.log)
+    from repro.traces import ParseReport
+
+    report = ParseReport()
+    trace = _PARSERS[args.format](args.log, name=args.log, report=report)
     stats = compute_stats(trace)
     print(ascii_table(TraceStats.headers(), [stats.as_row()], title="trace statistics"))
+    if not report.ok:
+        print(report.summary(), file=sys.stderr)
     return 0
 
 
@@ -269,7 +364,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name, workers=workers, options=options)
+        result = run_experiment(
+            name,
+            workers=workers,
+            options=options,
+            max_holder_retries=args.max_holder_retries,
+            corruption_rate=args.corruption_rate,
+        )
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))
         print(result.render())

@@ -13,6 +13,7 @@ Typical use::
 """
 
 from repro.core.events import HitLocation
+from repro.core.churn import ChurnModel, ChurnProcess
 from repro.core.config import SimulationConfig, minimum_browser_capacity, average_browser_capacity
 from repro.core.policies import Organization, ORGANIZATION_LABELS
 from repro.core.metrics import SimulationResult, HitBreakdown, SweepTiming
@@ -41,6 +42,8 @@ from repro.core.sweep import SweepResult, run_policy_sweep, run_size_sweep
 
 __all__ = [
     "HitLocation",
+    "ChurnModel",
+    "ChurnProcess",
     "SimulationConfig",
     "minimum_browser_capacity",
     "average_browser_capacity",

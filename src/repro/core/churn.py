@@ -1,0 +1,127 @@
+"""Session-based client churn: correlated on/off holder availability.
+
+The paper's §5 reliability discussion treats an offline browser as a
+wasted round trip; the original engine modelled that with one Bernoulli
+draw per remote-hit probe, which makes consecutive probes of the *same*
+holder independent — unlike any real browser, which is gone for a whole
+coffee break, not for one randomly chosen request.  Squirrel-style
+decentralized web caches (see PAPERS.md) live or die by surviving
+exactly this *correlated* churn.
+
+This module models each client as an alternating renewal process:
+online sessions and offline gaps with configurable mean durations,
+drawn from seeded exponential or Pareto distributions and advanced by
+*virtual request time* (the trace clock, never wall time).  The
+process is:
+
+* **deterministic** — per-client streams are seeded by
+  :func:`~repro.util.rng.derive_seed` from ``(master seed, client)``,
+  so a replay is bit-identical across processes and worker counts;
+* **lazy** — a client's session timeline is materialised only when the
+  engine first probes that client as a holder, and advanced only as
+  far as the probe times require;
+* **stationary at start** — the initial on/off state is drawn with the
+  stationary availability ``mean_on / (mean_on + mean_off)``, so the
+  beginning of a trace is not biased toward everyone being online.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+
+__all__ = ["ChurnModel", "ChurnProcess"]
+
+#: supported session-duration distributions.
+DISTRIBUTIONS = ("exponential", "pareto")
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Parameters of the per-client on/off session process.
+
+    Each client alternates between *online sessions* with mean
+    ``mean_on_seconds`` and *offline gaps* with mean
+    ``mean_off_seconds``.  ``distribution`` selects the session-length
+    law: ``"exponential"`` gives memoryless sessions; ``"pareto"``
+    gives heavy-tailed ones (many short sessions, a few very long —
+    the shape measured for real browser sessions), parameterised by
+    ``pareto_alpha`` (> 1 so the mean is finite) with the scale chosen
+    to hit the configured mean.
+    """
+
+    mean_on_seconds: float = 1800.0
+    mean_off_seconds: float = 600.0
+    distribution: str = "exponential"
+    pareto_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("mean_on_seconds", "mean_off_seconds"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.distribution == "pareto" and self.pareto_alpha <= 1.0:
+            raise ValueError(
+                f"pareto_alpha must be > 1 for a finite mean session, "
+                f"got {self.pareto_alpha}"
+            )
+
+    @property
+    def availability(self) -> float:
+        """Stationary fraction of time a client is online."""
+        return self.mean_on_seconds / (self.mean_on_seconds + self.mean_off_seconds)
+
+
+class _ClientSessions:
+    """One client's lazily-advanced session timeline."""
+
+    __slots__ = ("model", "rng", "online", "until")
+
+    def __init__(self, model: ChurnModel, seed: int, now: float) -> None:
+        self.model = model
+        self.rng = random.Random(seed)
+        self.online = self.rng.random() < model.availability
+        self.until = now + self._duration()
+
+    def _duration(self) -> float:
+        model = self.model
+        mean = model.mean_on_seconds if self.online else model.mean_off_seconds
+        if model.distribution == "pareto":
+            scale = mean * (model.pareto_alpha - 1.0) / model.pareto_alpha
+            return scale * self.rng.paretovariate(model.pareto_alpha)
+        return self.rng.expovariate(1.0 / mean)
+
+    def state_at(self, now: float) -> bool:
+        while now >= self.until:
+            self.online = not self.online
+            self.until += self._duration()
+        return self.online
+
+
+class ChurnProcess:
+    """Deterministic per-client session processes for one replay.
+
+    ``online(client, now)`` answers whether *client* is reachable at
+    virtual time *now*.  Query times must be non-decreasing per client
+    (the engine replays the trace chronologically, so they are).
+    """
+
+    def __init__(self, model: ChurnModel, seed: int = 0) -> None:
+        self.model = model
+        self.seed = seed
+        self._clients: dict[int, _ClientSessions] = {}
+
+    def online(self, client: int, now: float) -> bool:
+        """Is *client* inside an online session at time *now*?"""
+        state = self._clients.get(client)
+        if state is None:
+            state = self._clients[client] = _ClientSessions(
+                self.model, derive_seed(self.seed, "churn", client), now
+            )
+        return state.state_at(now)

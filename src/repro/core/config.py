@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.consistency.policies import ConsistencyPolicy
+from repro.core.churn import ChurnModel
 from repro.index.staleness import PeriodicUpdatePolicy
 from repro.network.ethernet import EthernetModel
 from repro.network.latency import MemoryDiskModel
@@ -123,9 +124,31 @@ class SimulationConfig:
     consistency: ConsistencyPolicy | None = None
     #: probability that a holder is online when asked to serve a remote
     #: hit (client churn; 1.0 = the paper's always-on LAN).  An offline
-    #: holder costs a wasted round trip and the request goes to origin.
+    #: holder costs a wasted round trip before the request escalates.
+    #: Mutually exclusive with ``churn`` (which replaces the per-probe
+    #: Bernoulli draw with correlated on/off sessions).
     holder_availability: float = 1.0
-    #: seed for the (deterministic) availability draws.
+    #: session-based churn process (see :mod:`repro.core.churn`):
+    #: per-client alternating on/off durations advanced by virtual
+    #: request time, so offline periods are correlated like real
+    #: browser sessions.  ``None`` keeps the always-on LAN (or the
+    #: Bernoulli model when ``holder_availability < 1``).
+    churn: ChurnModel | None = None
+    #: extra holder candidates probed (from the index's replica list)
+    #: after the chosen holder fails — offline, stale, or integrity-
+    #: failing — before the request falls back to proxy/origin.  Each
+    #: failed probe costs a wasted LAN round trip.
+    max_holder_retries: int = 0
+    #: probability that a remote-browser transfer arrives corrupted and
+    #: is rejected by the §6 watermark/MD5 integrity check; the wasted
+    #: transfer plus verification is charged and the document is
+    #: retransmitted (next holder, or origin).  A nonzero rate enables
+    #: the §6 :class:`SecurityOverheadModel` pricing even when
+    #: ``security`` is unset — integrity failures are only detectable
+    #: with the integrity layer on.
+    corruption_rate: float = 0.0
+    #: master seed for the deterministic failure draws (Bernoulli
+    #: availability, churn sessions, and corruption).
     availability_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -154,6 +177,19 @@ class SimulationConfig:
         if not (0.0 <= self.holder_availability <= 1.0):
             raise ValueError(
                 f"holder_availability must be in [0, 1], got {self.holder_availability}"
+            )
+        if self.churn is not None and self.holder_availability < 1.0:
+            raise ValueError(
+                "set either churn (session model) or holder_availability "
+                "(per-probe Bernoulli), not both"
+            )
+        if self.max_holder_retries < 0:
+            raise ValueError(
+                f"max_holder_retries must be >= 0, got {self.max_holder_retries}"
+            )
+        if not (0.0 <= self.corruption_rate <= 1.0):
+            raise ValueError(
+                f"corruption_rate must be in [0, 1], got {self.corruption_rate}"
             )
         if self.browser_memory_fraction is not None and self.memory_fraction is None:
             raise ValueError(

@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 from pathlib import Path
 from typing import IO, Any, Iterator
 
@@ -48,6 +49,8 @@ __all__ = [
     "cell_key",
     "config_digest",
 ]
+
+log = logging.getLogger(__name__)
 
 JOURNAL_VERSION = 1
 
@@ -100,6 +103,9 @@ def result_to_jsonable(result: SimulationResult) -> dict[str, Any]:
         "index_lookups": result.index_lookups,
         "index_false_hits": result.index_false_hits,
         "holder_unavailable": result.holder_unavailable,
+        "failover_attempts": result.failover_attempts,
+        "failover_rescued_hits": result.failover_rescued_hits,
+        "integrity_failures": result.integrity_failures,
         "index_peak_entries": result.index_peak_entries,
         "index_peak_footprint_bytes": result.index_peak_footprint_bytes,
         "uses_memory_tier": result.uses_memory_tier,
@@ -123,6 +129,11 @@ def result_from_jsonable(data: dict[str, Any]) -> SimulationResult:
         index_lookups=data["index_lookups"],
         index_false_hits=data["index_false_hits"],
         holder_unavailable=data["holder_unavailable"],
+        # journals written before the resilience counters existed load
+        # with zeros, matching what those engines measured.
+        failover_attempts=data.get("failover_attempts", 0),
+        failover_rescued_hits=data.get("failover_rescued_hits", 0),
+        integrity_failures=data.get("integrity_failures", 0),
         index_peak_entries=data["index_peak_entries"],
         index_peak_footprint_bytes=data["index_peak_footprint_bytes"],
         uses_memory_tier=data["uses_memory_tier"],
@@ -221,16 +232,23 @@ class JournalWriter:
 
 
 def read_journal(path: str | Path) -> Iterator[dict[str, Any]]:
-    """Yield journal records; skips blank and truncated trailing lines
-    (a crash mid-write must not make the journal unreadable)."""
+    """Yield journal records; skips blank and truncated/corrupt lines
+    with a warning (a crash mid-write must not make the journal
+    unreadable — the torn trailing record is simply re-simulated)."""
     with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 yield json.loads(line)
             except json.JSONDecodeError:
+                log.warning(
+                    "journal %s: discarding corrupt record at line %d "
+                    "(likely a crash mid-write); the cell will be re-run",
+                    path,
+                    lineno,
+                )
                 continue
 
 

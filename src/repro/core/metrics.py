@@ -139,8 +139,18 @@ class SimulationResult:
     consistency_stats: ConsistencyStats = field(default_factory=ConsistencyStats)
     index_lookups: int = 0
     index_false_hits: int = 0
-    #: remote hits lost because the holder was offline (client churn).
+    #: probes that found the holder offline (client churn); with
+    #: failover enabled a request can contribute several.
     holder_unavailable: int = 0
+    #: extra holder candidates probed after the primary holder failed
+    #: (offline, stale, or integrity-failing).
+    failover_attempts: int = 0
+    #: remote hits served by a backup holder after the primary failed —
+    #: requests the single-holder engine would have sent to origin.
+    failover_rescued_hits: int = 0
+    #: remote transfers rejected by the §6 integrity check and
+    #: retransmitted (from the next holder or the origin).
+    integrity_failures: int = 0
     index_peak_entries: int = 0
     index_peak_footprint_bytes: int = 0
     uses_memory_tier: bool = False

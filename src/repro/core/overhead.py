@@ -34,8 +34,21 @@ class OverheadReport:
     #: If-Modified-Since revalidation round trips (consistency mode).
     validation_time: float = 0.0
     #: §5 wasted round trips: a false index hit or an offline holder
-    #: costs a LAN connection setup before the request escalates.
+    #: costs a LAN connection setup before the request escalates (the
+    #: sum of the two per-failure-mode components below).
     wasted_round_trip_time: float = 0.0
+    #: component of ``wasted_round_trip_time`` spent probing offline
+    #: holders (client churn).  Informational breakdown — already
+    #: included in the total, so excluded from ``total_service_time``.
+    wasted_offline_time: float = 0.0
+    #: component of ``wasted_round_trip_time`` spent on stale-index
+    #: probes (the holder no longer has the document/version).
+    wasted_false_hit_time: float = 0.0
+    #: time lost to remote transfers that failed the §6 integrity
+    #: check: the discarded transfer itself plus the MD5/watermark
+    #: verification that caught it.  The retransmission (next holder or
+    #: origin) is charged normally on top.
+    integrity_retransmission_time: float = 0.0
     index_update_messages: int = 0
 
     @property
@@ -55,6 +68,7 @@ class OverheadReport:
             + self.security_time
             + self.validation_time
             + self.wasted_round_trip_time
+            + self.integrity_retransmission_time
         )
 
     @property

@@ -248,10 +248,11 @@ def build_cells(
 
     ``config_for(fraction)`` resolves the simulation config for one
     relative cache size (cache capacities depend on the fraction, not
-    the organization).  Cells with stochastic behaviour
-    (``holder_availability < 1``) get an ``availability_seed`` derived
-    from the cell identity, so every cell draws an independent,
-    reproducible stream no matter how the grid is scheduled.
+    the organization).  Cells with stochastic behaviour (Bernoulli
+    availability, session churn, or corruption draws) get an
+    ``availability_seed`` derived from the cell identity, so every cell
+    draws an independent, reproducible stream no matter how the grid is
+    scheduled.
     """
     organizations = tuple(organizations)
     cells: list[SweepCell] = []
@@ -260,7 +261,11 @@ def build_cells(
         for org in organizations:
             seed = derive_seed(base_seed, trace_name, org.value, repr(frac))
             cell_config = config
-            if config.holder_availability < 1.0:
+            if (
+                config.holder_availability < 1.0
+                or config.churn is not None
+                or config.corruption_rate > 0.0
+            ):
                 cell_config = config.with_(availability_seed=seed)
             cells.append(
                 SweepCell(

@@ -13,9 +13,15 @@ Request path (matching paper §2/§3.2):
    requesting browser;
 3. the **browser index** (if present) — on an index hit the document is
    validated against the *true* holder cache (a stale index yields a
-   false hit, which costs a wasted round trip and falls through), then
-   transferred over the shared LAN bus; BAPS caches the document at the
-   requesting browser, global-browsers-cache-only does not;
+   false hit, which costs a wasted round trip), then transferred over
+   the shared LAN bus; BAPS caches the document at the requesting
+   browser, global-browsers-cache-only does not.  Delivery is
+   *resilient*: when the chosen holder is offline (Bernoulli or
+   session-based churn), stale, or serves a transfer that fails the §6
+   integrity check, up to ``config.max_holder_retries`` further
+   replicas from the index's candidate list are probed — each failed
+   probe charging a wasted LAN round trip — before the request
+   escalates;
 4. otherwise the **origin server** over the WAN; the response populates
    the proxy and/or the browser per organization.
 
@@ -25,7 +31,10 @@ Every leg is priced by the §4.2/§5 timing models into the result's
 
 from __future__ import annotations
 
+import random
+
 from repro.cache import TieredLRUCache, make_cache
+from repro.core.churn import ChurnProcess
 from repro.core.config import SimulationConfig
 from repro.core.events import HitLocation
 from repro.core.metrics import SimulationResult
@@ -35,7 +44,9 @@ from repro.index.browser_index import BrowserIndex, UpdateMode
 from repro.index.engine_bloom import BloomBrowserIndex
 from repro.network.ethernet import SharedBus
 from repro.network.latency import AccessKind
+from repro.security.protocols import SecurityOverheadModel
 from repro.traces.record import Trace
+from repro.util.rng import derive_seed
 
 __all__ = ["Simulator", "simulate"]
 
@@ -91,12 +102,25 @@ class Simulator:
         else:
             self.index = None
 
-        if config.holder_availability < 1.0:
-            import random as _random
-
-            self._avail_rng = _random.Random(config.availability_seed)
+        self._churn = (
+            ChurnProcess(config.churn, seed=config.availability_seed)
+            if config.churn is not None
+            else None
+        )
+        if self._churn is None and config.holder_availability < 1.0:
+            self._avail_rng = random.Random(config.availability_seed)
         else:
             self._avail_rng = None
+        self._corrupt_rng = (
+            random.Random(derive_seed(config.availability_seed, "integrity"))
+            if config.corruption_rate > 0.0
+            else None
+        )
+        # A nonzero corruption rate implies the §6 integrity machinery
+        # is active: price it even when no explicit model was given.
+        self._security = config.security
+        if self._security is None and config.corruption_rate > 0.0:
+            self._security = SecurityOverheadModel()
 
         self.bus = SharedBus(config.lan)
         self.result = SimulationResult(
@@ -173,11 +197,115 @@ class Simulator:
             return None if tier is None else tier.value == "memory"
         return None
 
-    def _holder_online(self) -> bool:
-        """Client-churn draw: is the chosen holder reachable right now?"""
+    def _holder_online(self, holder: int, now: float) -> bool:
+        """Client churn: is *holder* reachable at virtual time *now*?"""
+        if self._churn is not None:
+            return self._churn.online(holder, now)
         if self._avail_rng is None:
             return True
         return self._avail_rng.random() < self.config.holder_availability
+
+    def _transfer_corrupted(self) -> bool:
+        """Integrity draw: does this remote transfer arrive corrupted?"""
+        return (
+            self._corrupt_rng is not None
+            and self._corrupt_rng.random() < self.config.corruption_rate
+        )
+
+    # -- resilient remote-hit delivery --------------------------------------
+
+    def _probe_holder(
+        self, holder: int, d: int, s: int, v: int, t: float
+    ) -> tuple[bool, bool | None]:
+        """One attempt to fetch (doc, version) from *holder*.
+
+        Returns ``(served, memory_tier)``.  A failed probe charges its
+        own waste — a LAN round trip for an offline or stale holder, a
+        discarded transfer plus verification for an integrity failure —
+        and leaves escalation to the caller.
+        """
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        lan = config.lan
+        if not self._holder_online(holder, t):
+            result.holder_unavailable += 1
+            overhead.wasted_round_trip_time += lan.connection_setup
+            overhead.wasted_offline_time += lan.connection_setup
+            return False, None
+        holder_cache = self.browsers[holder]
+        if config.remote_hit_refreshes_holder:
+            held, memory = self._get(holder_cache, d)
+        else:
+            held = holder_cache.peek(d)
+            memory = self._peek_tier(holder_cache, d)
+        if held is None or held.version != v:
+            # Stale index: the holder no longer has this document.
+            self.index.record_false_hit()
+            result.index_false_hits += 1
+            overhead.wasted_round_trip_time += lan.connection_setup
+            overhead.wasted_false_hit_time += lan.connection_setup
+            return False, None
+        if self._transfer_corrupted():
+            # The transfer completes but fails the §6 watermark/MD5
+            # check: pay for the discarded transfer and the verify CPU,
+            # then let the caller retransmit from the next candidate
+            # (or the origin).
+            result.integrity_failures += 1
+            cost = lan.transfer_time(s)
+            if self._security is not None:
+                cost += self._security.verify_cost(s)
+            overhead.integrity_retransmission_time += cost
+            return False, None
+        self.bus.submit(t, s)
+        result.record(HitLocation.REMOTE_BROWSER, s, memory)
+        overhead.remote_storage_time += self._storage_time(s, memory)
+        if self._security is not None:
+            overhead.security_time += self._security.transfer_cost(s)
+        return True, memory
+
+    def _remote_delivery(
+        self, c: int, d: int, s: int, v: int, t: float
+    ) -> tuple[bool, bool | None]:
+        """The resilient remote-hit path shared by both replay loops.
+
+        Looks up a holder, then fails over across the index's replica
+        list — bounded by ``config.max_holder_retries`` — until one
+        probe serves the document or the candidates are exhausted.
+        Returns ``(served, memory_tier)``; on ``False`` the request
+        escalates to the origin.
+        """
+        index = self.index
+        result = self.result
+        hit = index.lookup(d, exclude_client=c, now=t, version=v)
+        if hit is None:
+            # Was this a lost opportunity?  Check the truth.
+            if index.is_stale and self._truth_holds(d, v, exclude=c):
+                index.record_false_miss()
+            return False, None
+        tried = {hit.client}
+        holder = hit.client
+        retries_left = self.config.max_holder_retries
+        candidates: list[int] | None = None
+        while True:
+            served, memory = self._probe_holder(holder, d, s, v, t)
+            if served:
+                if len(tried) > 1:
+                    result.failover_rescued_hits += 1
+                return True, memory
+            if retries_left <= 0:
+                return False, None
+            if candidates is None:
+                candidates = index.candidate_holders(
+                    d, exclude_client=c, now=t, version=v
+                )
+            backup = next((x for x in candidates if x not in tried), None)
+            if backup is None:
+                return False, None
+            tried.add(backup)
+            holder = backup
+            retries_left -= 1
+            result.failover_attempts += 1
 
     def _storage_time(self, n_bytes: int, memory: bool | None) -> float:
         storage = self.config.storage
@@ -231,7 +359,6 @@ class Simulator:
         index = self.index
         lan = config.lan
         wan = config.wan
-        security = config.security
 
         for t, c, d, s, v in self.trace.iter_rows():
             # 1. local browser cache
@@ -254,46 +381,14 @@ class Simulator:
                         self._browser_put(c, d, s, v, t)
                     continue
 
-            # 3. browser index -> remote browser cache
+            # 3. browser index -> remote browser cache (with failover)
             if index is not None:
-                hit = index.lookup(d, exclude_client=c, now=t, version=v)
-                remote_served = False
-                offline = False
-                if hit is not None and not self._holder_online():
-                    # client churn: the holder is unreachable — a wasted
-                    # round trip, then the request escalates.
-                    result.holder_unavailable += 1
-                    overhead.wasted_round_trip_time += lan.connection_setup
-                    offline = True
-                    hit = None
-                if hit is not None:
-                    holder_cache = browsers[hit.client]
-                    if config.remote_hit_refreshes_holder:
-                        held, memory = self._get(holder_cache, d)
-                    else:
-                        held = holder_cache.peek(d)
-                        memory = self._peek_tier(holder_cache, d)
-                    if held is not None and held.version == v:
-                        transfer = self.bus.submit(t, s)
-                        result.record(HitLocation.REMOTE_BROWSER, s, memory)
-                        overhead.remote_storage_time += self._storage_time(s, memory)
-                        if security is not None:
-                            overhead.security_time += security.transfer_cost(s)
-                        if features.caches_remote_fetches:
-                            self._browser_put(c, d, s, v, t)
-                            if config.cache_remote_hits_at_proxy and proxy is not None:
-                                proxy.put(d, s, v)
-                        remote_served = True
-                    else:
-                        # Stale index: wasted round trip, then fall through.
-                        index.record_false_hit()
-                        result.index_false_hits += 1
-                        overhead.wasted_round_trip_time += lan.connection_setup
-                elif index.is_stale and not offline:
-                    # Was this a lost opportunity?  Check the truth.
-                    if self._truth_holds(d, v, exclude=c):
-                        index.record_false_miss()
+                remote_served, _memory = self._remote_delivery(c, d, s, v, t)
                 if remote_served:
+                    if features.caches_remote_fetches:
+                        self._browser_put(c, d, s, v, t)
+                        if config.cache_remote_hits_at_proxy and proxy is not None:
+                            proxy.put(d, s, v)
                     self._track_index_peak()
                     continue
 
@@ -333,7 +428,6 @@ class Simulator:
         index = self.index
         lan = config.lan
         wan = config.wan
-        security = config.security
         policy = config.consistency
 
         #: first time each version was observed ~ modification time.
@@ -401,42 +495,18 @@ class Simulator:
                     elif action == "changed":
                         go_origin = True
 
-            # 3. browser index -> remote browser cache (exact match only)
+            # 3. browser index -> remote browser cache (exact match only,
+            #    with failover)
             if not served and not go_origin and index is not None:
-                hit = index.lookup(d, exclude_client=c, now=t, version=v)
-                offline = False
-                if hit is not None and not self._holder_online():
-                    result.holder_unavailable += 1
-                    overhead.wasted_round_trip_time += lan.connection_setup
-                    offline = True
-                    hit = None
-                if hit is not None:
-                    holder_cache = browsers[hit.client]
-                    if config.remote_hit_refreshes_holder:
-                        held, memory = self._get(holder_cache, d)
-                    else:
-                        held = holder_cache.peek(d)
-                        memory = self._peek_tier(holder_cache, d)
-                    if held is not None and held.version == v:
-                        self.bus.submit(t, s)
-                        result.record(HitLocation.REMOTE_BROWSER, s, memory)
-                        overhead.remote_storage_time += self._storage_time(s, memory)
-                        if security is not None:
-                            overhead.security_time += security.transfer_cost(s)
-                        if features.caches_remote_fetches:
-                            self._browser_put(c, d, s, v, t)
-                            stamp(browsers[c], d, t, last_mod)
-                            if config.cache_remote_hits_at_proxy and proxy is not None:
-                                proxy.put(d, s, v)
-                                stamp(proxy, d, t, last_mod)
-                        served = True
-                    else:
-                        index.record_false_hit()
-                        result.index_false_hits += 1
-                        overhead.wasted_round_trip_time += lan.connection_setup
-                elif index.is_stale and not offline and self._truth_holds(d, v, exclude=c):
-                    index.record_false_miss()
-                if served:
+                remote_served, _memory = self._remote_delivery(c, d, s, v, t)
+                if remote_served:
+                    if features.caches_remote_fetches:
+                        self._browser_put(c, d, s, v, t)
+                        stamp(browsers[c], d, t, last_mod)
+                        if config.cache_remote_hits_at_proxy and proxy is not None:
+                            proxy.put(d, s, v)
+                            stamp(proxy, d, t, last_mod)
+                    served = True
                     self._track_index_peak()
 
             # 4. origin server

@@ -1,30 +1,56 @@
 """Extension experiment — BAPS under client churn.
 
 The paper's LAN clients are always on; a peer-to-peer sharing layer in
-the wild faces churn.  This sweep lowers the probability that the
-chosen holder is online when asked to serve a remote hit and measures
-how much of the BAPS gain over proxy-and-local-browser survives.
+the wild faces churn.  Two sweeps measure how much of the BAPS gain
+over proxy-and-local-browser survives:
 
-Expected shape: the gain degrades *gracefully and linearly* with
-availability — an offline holder costs one wasted round trip and falls
-back to the origin, so BAPS never drops below the conventional
-organization.
+* :func:`run` — the original per-probe Bernoulli model: each remote
+  probe independently finds the holder offline with probability
+  ``1 - availability``.  The gain degrades gracefully and linearly —
+  an offline holder costs one wasted round trip and falls back to the
+  origin, so BAPS never drops below the conventional organization.
+
+* :func:`run_churn` — the resilience sweep: clients follow a
+  *session-based* on/off process (:class:`~repro.core.churn.ChurnModel`)
+  at a fixed stationary availability, crossed with the engine's holder
+  failover budget (``max_holder_retries``).  Shorter sessions mean the
+  index more often points at a holder that just went offline; a larger
+  retry budget lets the request fail over to another replica instead of
+  escalating to the origin.  The headline question: how many retries
+  buy back the always-on hit ratio?
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.churn import ChurnModel
 from repro.core.config import SimulationConfig
 from repro.core.metrics import SimulationResult
 from repro.core.policies import Organization
 from repro.core.simulator import simulate
 from repro.traces.profiles import load_paper_trace
 from repro.util.fmt import ascii_table
+from repro.util.rng import derive_seed
 
-__all__ = ["AvailabilityResult", "run", "DEFAULT_AVAILABILITIES"]
+__all__ = [
+    "AvailabilityResult",
+    "ChurnResilienceResult",
+    "run",
+    "run_churn",
+    "DEFAULT_AVAILABILITIES",
+    "DEFAULT_SESSION_LENGTHS",
+    "DEFAULT_RETRY_BUDGETS",
+]
 
 DEFAULT_AVAILABILITIES = (1.0, 0.9, 0.7, 0.5, 0.25)
+
+#: mean on-session lengths (seconds) for the resilience sweep: two-hour
+#: office sessions down to two-minute flash visits.
+DEFAULT_SESSION_LENGTHS = (7200.0, 1800.0, 600.0, 120.0)
+
+#: holder failover budgets crossed with the session lengths.
+DEFAULT_RETRY_BUDGETS = (0, 1, 2, 4)
 
 
 @dataclass
@@ -70,6 +96,8 @@ def run(
     trace_name: str = "NLANR-uc",
     availabilities=DEFAULT_AVAILABILITIES,
     proxy_frac: float = 0.10,
+    max_holder_retries: int = 0,
+    corruption_rate: float = 0.0,
 ) -> AvailabilityResult:
     trace = load_paper_trace(trace_name)
     base = SimulationConfig.relative(
@@ -78,6 +106,119 @@ def run(
     plb = simulate(trace, Organization.PROXY_AND_LOCAL_BROWSER, base)
     results = {}
     for a in availabilities:
-        config = base.with_(holder_availability=a)
+        config = base.with_(
+            holder_availability=a,
+            max_holder_retries=max_holder_retries,
+            corruption_rate=corruption_rate,
+        )
         results[a] = simulate(trace, Organization.BROWSERS_AWARE_PROXY, config)
     return AvailabilityResult(trace_name=trace.name, plb=plb, by_availability=results)
+
+
+@dataclass
+class ChurnResilienceResult:
+    """The session-length x retry-budget grid, plus its two anchors."""
+
+    trace_name: str
+    availability: float
+    plb: SimulationResult
+    always_on: SimulationResult
+    session_lengths: tuple[float, ...]
+    retry_budgets: tuple[int, ...]
+    cells: dict[tuple[float, int], SimulationResult]
+
+    def cell(self, mean_on: float, retries: int) -> SimulationResult:
+        return self.cells[(mean_on, retries)]
+
+    def recovered_fraction(self, mean_on: float, retries: int) -> float:
+        """How much of the churn-induced hit-ratio loss the retry budget
+        buys back, relative to the zero-retry cell (1.0 = back to the
+        always-on ratio)."""
+        floor = self.cells[(mean_on, 0)].hit_ratio
+        lost = self.always_on.hit_ratio - floor
+        if lost <= 0:
+            return 0.0
+        return (self.cells[(mean_on, retries)].hit_ratio - floor) / lost
+
+    def render(self) -> str:
+        headers = ["mean session"] + [
+            f"HR r={r}" for r in self.retry_budgets
+        ] + ["rescued hits (max r)", "offline probes (max r)"]
+        rows = []
+        r_max = self.retry_budgets[-1]
+        for mean_on in self.session_lengths:
+            row = [f"{mean_on:g}s"]
+            for r in self.retry_budgets:
+                row.append(f"{self.cells[(mean_on, r)].hit_ratio * 100:.2f}%")
+            row.append(self.cells[(mean_on, r_max)].failover_rescued_hits)
+            row.append(self.cells[(mean_on, r_max)].holder_unavailable)
+            rows.append(row)
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"BAPS failover under session churn ({self.trace_name}, "
+                f"{self.availability * 100:g}% stationary availability; "
+                f"always-on {self.always_on.hit_ratio * 100:.2f}%, "
+                f"PLB {self.plb.hit_ratio * 100:.2f}%)"
+            ),
+        )
+
+
+def run_churn(
+    trace_name: str = "NLANR-uc",
+    session_lengths=DEFAULT_SESSION_LENGTHS,
+    retry_budgets=DEFAULT_RETRY_BUDGETS,
+    proxy_frac: float = 0.10,
+    availability: float = 0.75,
+    distribution: str = "exponential",
+    corruption_rate: float = 0.0,
+) -> ChurnResilienceResult:
+    """The resilience sweep: session length x holder retry budget.
+
+    Every session length keeps the *same* stationary availability (the
+    off-session mean scales with the on-session mean), so columns
+    isolate the failover budget and rows isolate churn *granularity* at
+    constant long-run uptime.  All retry budgets for one session length
+    share one ``availability_seed``, hence identical on/off schedules:
+    any hit-ratio difference down a column is the failover policy, not
+    luck.
+    """
+    if not (0.0 < availability < 1.0):
+        raise ValueError(
+            f"availability must be in (0, 1) for a churn sweep, got {availability}"
+        )
+    trace = load_paper_trace(trace_name)
+    base = SimulationConfig.relative(
+        trace, proxy_frac=proxy_frac, browser_sizing="average"
+    )
+    plb = simulate(trace, Organization.PROXY_AND_LOCAL_BROWSER, base)
+    always_on = simulate(trace, Organization.BROWSERS_AWARE_PROXY, base)
+    cells: dict[tuple[float, int], SimulationResult] = {}
+    for mean_on in session_lengths:
+        mean_off = mean_on * (1.0 - availability) / availability
+        churn = ChurnModel(
+            mean_on_seconds=mean_on,
+            mean_off_seconds=mean_off,
+            distribution=distribution,
+        )
+        seed = derive_seed(0, trace.name, "churn-sweep", repr(float(mean_on)))
+        for retries in retry_budgets:
+            config = base.with_(
+                churn=churn,
+                max_holder_retries=retries,
+                corruption_rate=corruption_rate,
+                availability_seed=seed,
+            )
+            cells[(mean_on, retries)] = simulate(
+                trace, Organization.BROWSERS_AWARE_PROXY, config
+            )
+    return ChurnResilienceResult(
+        trace_name=trace.name,
+        availability=availability,
+        plb=plb,
+        always_on=always_on,
+        session_lengths=tuple(session_lengths),
+        retry_budgets=tuple(retry_budgets),
+        cells=cells,
+    )

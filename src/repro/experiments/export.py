@@ -34,6 +34,7 @@ RESULTS_ORDER = [
     "consistency",
     "prefetch",
     "availability",
+    "churn",
 ]
 
 _TITLES = {
@@ -57,6 +58,7 @@ _TITLES = {
     "consistency": "Extension — consistency trade-off",
     "prefetch": "Extension — PPM prefetching vs peer sharing",
     "availability": "Extension — reliability under client churn",
+    "churn": "Extension — holder failover under session churn",
 }
 
 

@@ -59,6 +59,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "consistency": consistency.run,
     "prefetch": prefetching.run,
     "availability": availability.run,
+    "churn": availability.run_churn,
 }
 
 
@@ -76,6 +77,7 @@ def run_experiment(
     name: str,
     workers: int | None = 0,
     options: EngineOptions | None = None,
+    **extra: Any,
 ):
     """Run one experiment by id; returns its result object.
 
@@ -83,7 +85,11 @@ def run_experiment(
     in-process, N = process pool, None = all CPUs); experiments without
     a parallelisable grid ignore it.  ``options`` forwards the engine's
     fault-tolerance settings (retries, cell timeout, journal, resume)
-    to every experiment whose runner accepts them.
+    to every experiment whose runner accepts them.  Any ``extra``
+    keyword (say ``max_holder_retries`` or ``corruption_rate`` from the
+    CLI's failure-model flags) is forwarded to runners that accept it
+    and dropped for the rest — a flag meant for the churn sweep must
+    not break ``baps run table1``.
     """
     try:
         runner = ALL_EXPERIMENTS[name]
@@ -95,4 +101,7 @@ def run_experiment(
         kwargs["workers"] = workers
     if options is not None and _accepts(runner, "options"):
         kwargs["options"] = options
+    for key, value in extra.items():
+        if value is not None and _accepts(runner, key):
+            kwargs[key] = value
     return runner(**kwargs)

@@ -224,6 +224,31 @@ class BrowserIndex:
         """All clients the visible index believes hold *doc*."""
         return sorted(self._visible.get(doc, ()))
 
+    def candidate_holders(
+        self,
+        doc: int,
+        exclude_client: int,
+        now: float,
+        version: int | None = None,
+    ) -> list[int]:
+        """Every client that would qualify for :meth:`lookup`, sorted.
+
+        The engine's failover path walks this list when the holder
+        chosen by ``lookup`` turns out to be offline, stale, or serving
+        corrupted data.  Unlike ``lookup`` it does not advance the
+        round-robin cursor or count an index hit — the request already
+        paid for its one lookup."""
+        holders = self._visible.get(doc)
+        if not holders:
+            return []
+        return sorted(
+            c
+            for c, e in holders.items()
+            if c != exclude_client
+            and not e.expired(now)
+            and (version is None or e.version == version)
+        )
+
     # -- accounting ------------------------------------------------------------
 
     @property

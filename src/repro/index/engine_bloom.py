@@ -150,6 +150,22 @@ class BloomBrowserIndex:
         )
         return IndexLookup(client=client, entry=entry)
 
+    def holders_of(self, doc: int) -> list[int]:
+        """Clients whose summary claims *doc* (may be false positives)."""
+        return [c for c in range(self.n_clients) if doc in self._filters[c]]
+
+    def candidate_holders(
+        self,
+        doc: int,
+        exclude_client: int,
+        now: float,
+        version: int | None = None,
+    ) -> list[int]:
+        """Failover candidates: every other client whose filter claims
+        *doc*.  Summaries carry no version, so candidates may be wrong —
+        the engine validates each probe against the true cache."""
+        return [c for c in self.holders_of(doc) if c != exclude_client]
+
     # -- accounting ----------------------------------------------------------
 
     @property

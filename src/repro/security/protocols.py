@@ -90,6 +90,15 @@ class SecurityOverheadModel:
             + rsa_public_ops * self.rsa_public_seconds
         )
 
+    def verify_cost(self, doc_bytes: int) -> float:
+        """Seconds of CPU to integrity-check one received document:
+        one MD5 pass over the body plus one RSA public (watermark
+        signature) verification — the work that detects a corrupted or
+        tampered peer transfer before it is accepted."""
+        if doc_bytes < 0:
+            raise ValueError("doc_bytes must be >= 0")
+        return doc_bytes / self.md5_bytes_per_second + self.rsa_public_seconds
+
     @classmethod
     def measured(cls, sample_bytes: int = 65536, key_bits: int = 512) -> "SecurityOverheadModel":
         """Build a model by timing this library's own primitives."""

@@ -14,6 +14,7 @@ files are no longer distributable, so this package provides both
 """
 
 from repro.traces.record import Request, Trace
+from repro.traces._parse_common import ParseReport
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 from repro.traces.profiles import (
     TraceProfile,
@@ -31,6 +32,7 @@ from repro.traces.canet import parse_canet_log, write_canet_log, concatenate
 __all__ = [
     "Request",
     "Trace",
+    "ParseReport",
     "SyntheticTraceConfig",
     "generate_trace",
     "TraceProfile",

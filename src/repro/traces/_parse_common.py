@@ -5,17 +5,81 @@ url, size)`` and then call :func:`rows_to_trace`, which maps client
 keys and URLs to dense integer ids and infers document versions from
 observed size changes (the paper counts a hit on a size-changed
 document as a miss, so a size change is exactly a version bump).
+
+Real 2000-era logs are messy — truncated records at rotation
+boundaries, sanitizer artifacts, stray binary.  Every parser therefore
+takes an ``errors`` mode: ``"raise"`` aborts on the first malformed
+line, ``"skip"`` quarantines it into a :class:`ParseReport` (count plus
+the first few offending lines) and keeps going, so one torn line does
+not discard a day of trace.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
 
 from repro.traces.record import Trace
 
-__all__ = ["rows_to_trace"]
+__all__ = ["ParseReport", "resolve_errors", "rows_to_trace"]
+
+#: valid ``errors`` modes for the log parsers.
+ERROR_MODES = ("raise", "skip")
+
+
+def resolve_errors(errors: str | None, strict: bool) -> str:
+    """Resolve a parser's ``errors`` mode against its legacy ``strict``
+    flag: an explicit mode wins; otherwise ``strict=True`` means
+    ``"raise"`` and the historical default means ``"skip"``."""
+    if errors is None:
+        return "raise" if strict else "skip"
+    if errors not in ERROR_MODES:
+        raise ValueError(f"errors must be one of {ERROR_MODES}, got {errors!r}")
+    return errors
+
+
+@dataclass
+class ParseReport:
+    """Quarantine record for one parse: what was kept, what was not.
+
+    ``samples`` holds the first :attr:`MAX_SAMPLES` malformed lines
+    with their line numbers — enough to diagnose a systematically
+    broken log without retaining gigabytes of garbage.
+    """
+
+    MAX_SAMPLES = 10
+
+    #: rows that made it into the trace.
+    parsed: int = 0
+    #: malformed lines quarantined (``errors="skip"`` only).
+    skipped: int = 0
+    #: ``(lineno, line)`` for the first few malformed lines.
+    samples: list[tuple[int, str]] = field(default_factory=list)
+
+    def record_bad(self, lineno: int, line: str) -> None:
+        self.skipped += 1
+        if len(self.samples) < self.MAX_SAMPLES:
+            self.samples.append((lineno, line))
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing had to be quarantined."""
+        return self.skipped == 0
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.parsed} rows parsed, no malformed lines"
+        lines = [
+            f"{self.parsed} rows parsed, {self.skipped} malformed "
+            f"line{'s' if self.skipped != 1 else ''} skipped; first "
+            f"{len(self.samples)}:"
+        ]
+        for lineno, line in self.samples:
+            shown = line if len(line) <= 120 else line[:117] + "..."
+            lines.append(f"  line {lineno}: {shown!r}")
+        return "\n".join(lines)
 
 
 def rows_to_trace(

@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 from typing import Iterable, Iterator
 
-from repro.traces._parse_common import rows_to_trace
+from repro.traces._parse_common import ParseReport, resolve_errors, rows_to_trace
 from repro.traces.record import Trace
 
 __all__ = ["parse_bu_log", "write_bu_log"]
@@ -41,8 +41,16 @@ def parse_bu_log(
     source: str | os.PathLike | Iterable[str],
     name: str = "bu",
     strict: bool = False,
+    errors: str | None = None,
+    report: ParseReport | None = None,
 ) -> Trace:
-    """Parse a BU browser trace into a :class:`Trace`."""
+    """Parse a BU browser trace into a :class:`Trace`.
+
+    ``errors``/``report`` behave as in
+    :func:`~repro.traces.squid.parse_squid_log`: ``"raise"`` aborts on
+    the first malformed line, ``"skip"`` quarantines it into *report*.
+    """
+    mode = resolve_errors(errors, strict)
     rows = []
     for lineno, line in enumerate(_iter_lines(source), start=1):
         line = line.strip()
@@ -59,12 +67,16 @@ def parse_bu_log(
             ts = float(ts_s)
             size = int(size_s)
         except (IndexError, ValueError) as exc:
-            if strict:
+            if mode == "raise":
                 raise ValueError(f"malformed BU trace line {lineno}: {line!r}") from exc
+            if report is not None:
+                report.record_bad(lineno, line)
             continue
         if size <= 0 or not url.startswith("http"):
             continue
         rows.append((ts, machine, url, size))
+    if report is not None:
+        report.parsed += len(rows)
     return rows_to_trace(rows, name)
 
 

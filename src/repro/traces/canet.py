@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.traces._parse_common import ParseReport
 from repro.traces.record import Trace
 from repro.traces.squid import parse_squid_log, write_squid_log
 
@@ -26,9 +27,14 @@ def parse_canet_log(
     source: str | os.PathLike | Iterable[str],
     name: str = "canet",
     strict: bool = False,
+    errors: str | None = None,
+    report: ParseReport | None = None,
 ) -> Trace:
-    """Parse a CA*netII sanitized log (Squid native format)."""
-    return parse_squid_log(source, name=name, strict=strict)
+    """Parse a CA*netII sanitized log (Squid native format).
+
+    ``errors``/``report`` behave as in :func:`parse_squid_log`.
+    """
+    return parse_squid_log(source, name=name, strict=strict, errors=errors, report=report)
 
 
 def write_canet_log(trace: Trace, path: str | os.PathLike) -> None:

@@ -21,7 +21,7 @@ import gzip
 import os
 from typing import Iterable, Iterator
 
-from repro.traces._parse_common import rows_to_trace
+from repro.traces._parse_common import ParseReport, resolve_errors, rows_to_trace
 from repro.traces.record import Trace
 
 __all__ = ["parse_squid_log", "write_squid_log"]
@@ -48,12 +48,20 @@ def parse_squid_log(
     source: str | os.PathLike | Iterable[str],
     name: str = "squid",
     strict: bool = False,
+    errors: str | None = None,
+    report: ParseReport | None = None,
 ) -> Trace:
     """Parse a Squid native access log into a :class:`Trace`.
 
     *source* may be a path, the log text itself, or an iterable of
-    lines.  Malformed lines are skipped unless ``strict=True``.
+    lines.  ``errors`` is ``"raise"`` (abort on the first malformed
+    line) or ``"skip"`` (quarantine it and keep going); when ``None``
+    the legacy ``strict`` flag picks the mode.  In skip mode a caller-
+    supplied *report* collects the quarantine (count plus the first few
+    offending lines); lines filtered for cacheability are not malformed
+    and are never quarantined.
     """
+    mode = resolve_errors(errors, strict)
     rows = []
     for lineno, line in enumerate(_iter_lines(source), start=1):
         line = line.strip()
@@ -68,8 +76,10 @@ def parse_squid_log(
             method = fields[5]
             url = fields[6]
         except (IndexError, ValueError) as exc:
-            if strict:
+            if mode == "raise":
                 raise ValueError(f"malformed squid log line {lineno}: {line!r}") from exc
+            if report is not None:
+                report.record_bad(lineno, line)
             continue
         status = action_code.rsplit("/", 1)[-1]
         if method not in _CACHEABLE_METHODS:
@@ -79,6 +89,8 @@ def parse_squid_log(
         if size <= 0:
             continue
         rows.append((ts, client, url, size))
+    if report is not None:
+        report.parsed += len(rows)
     return rows_to_trace(rows, name)
 
 

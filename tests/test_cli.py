@@ -45,6 +45,7 @@ def test_all_experiments_registry_complete():
         "consistency",
         "prefetch",
         "availability",
+        "churn",
     }
     assert set(ALL_EXPERIMENTS) == expected
 
@@ -58,6 +59,33 @@ def test_simulate_with_log(tmp_path, capsys, small_trace):
     out = capsys.readouterr().out
     assert "hit ratio" in out
     assert "remote-browser share" in out
+
+
+def test_simulate_failure_model_flags(tmp_path, capsys, small_trace):
+    from repro.traces.squid import write_squid_log
+
+    path = tmp_path / "access.log"
+    write_squid_log(small_trace, path)
+    assert main(
+        [
+            "simulate",
+            "--log",
+            str(path),
+            "--proxy-frac",
+            "0.1",
+            "--churn",
+            "--churn-on",
+            "60",
+            "--churn-off",
+            "60",
+            "--max-holder-retries",
+            "2",
+            "--corruption-rate",
+            "0.5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "hit ratio" in out
 
 
 def test_simulate_empty_log(tmp_path, capsys):

@@ -134,3 +134,66 @@ def test_hierarchy_small():
     result = hierarchy.run(n_leaves=2)
     assert len(result.results) == 5
     assert "cooperative proxies" in result.render()
+
+
+def test_availability_small(monkeypatch, small_trace):
+    from repro.experiments import availability
+
+    monkeypatch.setattr(
+        availability, "load_paper_trace", lambda name, cache=True: small_trace
+    )
+    result = availability.run(availabilities=(1.0, 0.5), max_holder_retries=1)
+    text = result.render()
+    assert "holder availability" in text
+    assert result.gain(1.0) >= result.gain(0.5)
+
+
+def test_churn_sweep_small(monkeypatch, small_trace):
+    from repro.experiments import availability
+
+    monkeypatch.setattr(
+        availability, "load_paper_trace", lambda name, cache=True: small_trace
+    )
+    result = availability.run_churn(
+        session_lengths=(600.0, 120.0), retry_budgets=(0, 2)
+    )
+    text = result.render()
+    assert "failover under session churn" in text
+    assert "HR r=0" in text and "HR r=2" in text
+    for mean_on in (600.0, 120.0):
+        # a retry budget never hurts: same churn schedule, more replicas
+        assert (
+            result.cell(mean_on, 2).hit_ratio
+            >= result.cell(mean_on, 0).hit_ratio
+        )
+        assert 0.0 <= result.recovered_fraction(mean_on, 2)
+    # churn can only lose hits relative to the always-on anchor
+    assert result.always_on.hit_ratio >= result.cell(120.0, 0).hit_ratio
+
+
+def test_churn_sweep_validates_availability(monkeypatch, small_trace):
+    from repro.experiments import availability
+
+    monkeypatch.setattr(
+        availability, "load_paper_trace", lambda name, cache=True: small_trace
+    )
+    with pytest.raises(ValueError, match="availability"):
+        availability.run_churn(availability=1.0)
+
+
+def test_runner_forwards_failure_model_kwargs(monkeypatch, small_trace):
+    from repro.experiments import availability, runner
+
+    monkeypatch.setattr(
+        availability, "load_paper_trace", lambda name, cache=True: small_trace
+    )
+    result = runner.run_experiment(
+        "availability",
+        max_holder_retries=1,
+        corruption_rate=0.1,
+    )
+    assert result.by_availability  # ran with the forwarded knobs
+    # unknown-to-runner extras are dropped for experiments that don't
+    # accept them rather than raising
+    table = runner.run_experiment("table1", max_holder_retries=3)
+    assert table is not None

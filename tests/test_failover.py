@@ -1,0 +1,178 @@
+"""Multi-holder failover and integrity-failure retransmission."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChurnModel,
+    ChurnProcess,
+    HitLocation,
+    Organization,
+    SimulationConfig,
+    simulate,
+)
+from repro.core.journal import result_from_jsonable, result_to_jsonable
+from repro.traces.record import Trace
+
+
+def build(rows):
+    return Trace(
+        timestamps=np.arange(len(rows), dtype=float),
+        clients=np.array([r[0] for r in rows]),
+        docs=np.array([r[1] for r in rows]),
+        sizes=np.array([r[2] for r in rows]),
+        versions=np.zeros(len(rows), dtype=np.int64),
+        name="hand",
+    )
+
+
+#: clients 0 and 1 both cache doc 0; client 2 then requests it, so the
+#: index has a genuine backup replica to fail over to.
+TWO_HOLDER_TRACE = build([(0, 0, 100), (1, 0, 100), (2, 0, 100)])
+
+BAPS = Organization.BROWSERS_AWARE_PROXY
+
+
+def _config(**kw):
+    return SimulationConfig(proxy_capacity=1, browser_capacity=1000, **kw)
+
+
+# -- failed probes charge waste ---------------------------------------------
+
+
+def test_all_holders_offline_each_probe_charges_waste():
+    config = _config(holder_availability=0.0, max_holder_retries=1)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    # request 2 probes holder 0 (no backup exists yet); request 3
+    # probes holder 0 then fails over to holder 1 — all offline
+    assert r.holder_unavailable == 3
+    assert r.failover_attempts == 1
+    assert r.failover_rescued_hits == 0
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 0
+    expected = 3 * config.lan.connection_setup
+    assert r.overhead.wasted_round_trip_time == pytest.approx(expected)
+    assert r.overhead.wasted_offline_time == pytest.approx(expected)
+
+
+def test_retry_budget_bounds_probes():
+    config = _config(holder_availability=0.0, max_holder_retries=0)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    assert r.holder_unavailable == 2  # one primary probe per lookup, no backups
+    assert r.failover_attempts == 0
+
+
+def test_failover_rescues_when_backup_online():
+    """Find a churn seed where the primary holder is offline but the
+    backup is online at probe time, then check the rescue end to end."""
+    churn = ChurnModel(mean_on_seconds=5.0, mean_off_seconds=5.0)
+
+    def fits(s: int) -> bool:
+        # holder 0 offline for both probes (t=1 and t=2), holder 1
+        # online as the backup at t=2
+        p = ChurnProcess(churn, seed=s)
+        return (
+            not p.online(0, 1.0) and not p.online(0, 2.0) and p.online(1, 2.0)
+        )
+
+    seed = next(s for s in range(500) if fits(s))
+    config = _config(churn=churn, max_holder_retries=1, availability_seed=seed)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 1
+    assert r.holder_unavailable == 2
+    assert r.failover_attempts == 1
+    assert r.failover_rescued_hits == 1
+    # the wasted probes are still charged even though the request hit
+    assert r.overhead.wasted_offline_time == pytest.approx(
+        2 * config.lan.connection_setup
+    )
+    # without the retry budget the same seed loses the hit
+    r0 = simulate(TWO_HOLDER_TRACE, BAPS, config.with_(max_holder_retries=0))
+    assert r0.by_location[HitLocation.REMOTE_BROWSER].hits == 0
+    assert r0.hit_ratio < r.hit_ratio
+
+
+# -- integrity failures ------------------------------------------------------
+
+
+def test_corruption_rate_one_kills_remote_hits_and_charges_retransmission():
+    config = _config(corruption_rate=1.0)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 0
+    assert r.integrity_failures == 2  # one corrupted transfer per lookup
+    # the discarded transfer + verify is priced by the default §6 model
+    # (auto-enabled by corruption_rate > 0)
+    from repro.security.protocols import SecurityOverheadModel
+
+    per_failure = (
+        config.lan.transfer_time(100) + SecurityOverheadModel().verify_cost(100)
+    )
+    assert r.overhead.integrity_retransmission_time == pytest.approx(2 * per_failure)
+    # and it is part of the total service time
+    assert r.overhead.total_service_time >= 2 * per_failure
+
+
+def test_corrupt_transfer_retransmits_from_backup():
+    config = _config(corruption_rate=1.0, max_holder_retries=1)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    # request 2's only replica and request 3's primary + backup all
+    # serve corrupted transfers; every request ends at the origin
+    assert r.integrity_failures == 3
+    assert r.by_location[HitLocation.REMOTE_BROWSER].hits == 0
+    assert r.by_location[HitLocation.ORIGIN].misses == 3
+
+
+def test_explicit_security_model_prices_integrity_check():
+    from repro.security.protocols import SecurityOverheadModel
+
+    model = SecurityOverheadModel(md5_bytes_per_second=1e6, rsa_public_seconds=0.5)
+    config = _config(corruption_rate=1.0, security=model)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    per_failure = config.lan.transfer_time(100) + model.verify_cost(100)
+    assert r.overhead.integrity_retransmission_time == pytest.approx(
+        r.integrity_failures * per_failure
+    )
+    assert r.integrity_failures == 2
+
+
+def test_verify_cost_validation():
+    from repro.security.protocols import SecurityOverheadModel
+
+    model = SecurityOverheadModel()
+    assert model.verify_cost(0) == pytest.approx(model.rsa_public_seconds)
+    with pytest.raises(ValueError):
+        model.verify_cost(-1)
+
+
+# -- failover works on the bloom index too -----------------------------------
+
+
+def test_bloom_index_failover():
+    config = _config(
+        holder_availability=0.0, max_holder_retries=1, index_kind="bloom"
+    )
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    assert r.holder_unavailable == 3
+    assert r.failover_attempts == 1
+
+
+# -- journal round-trip of the new counters ----------------------------------
+
+
+def test_resilience_counters_roundtrip_journal():
+    config = _config(holder_availability=0.0, max_holder_retries=1)
+    r = simulate(TWO_HOLDER_TRACE, BAPS, config)
+    restored = result_from_jsonable(result_to_jsonable(r))
+    assert dataclasses.asdict(restored) == dataclasses.asdict(r)
+    assert restored.failover_attempts == r.failover_attempts == 1
+
+
+def test_old_journal_records_load_with_zero_counters():
+    r = simulate(TWO_HOLDER_TRACE, BAPS, _config())
+    data = result_to_jsonable(r)
+    for key in ("failover_attempts", "failover_rescued_hits", "integrity_failures"):
+        del data[key]
+    restored = result_from_jsonable(data)
+    assert restored.failover_attempts == 0
+    assert restored.integrity_failures == 0

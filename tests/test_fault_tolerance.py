@@ -428,3 +428,54 @@ def test_normal_runs_record_both_worker_counts(small_trace):
     assert serial.timing.workers == 0
     assert serial.timing.requested_workers == 0
     assert not serial.timing.fell_back_to_serial
+
+
+# -- journal crash-safety ----------------------------------------------------
+
+
+def test_truncated_trailing_record_at_every_byte(small_trace, tmp_path):
+    """A crash mid-write tears the journal's last line.  Whatever byte
+    the write died at, the intact prefix must still load — without
+    raising — and only the torn record is lost."""
+    journal = tmp_path / "run.jsonl"
+    cells = make_grid(small_trace)
+    run_cells(
+        cells,
+        {small_trace.name: small_trace},
+        workers=0,
+        options=EngineOptions(journal=journal),
+    )
+    full = journal.read_bytes()
+    complete = load_completed_results(journal)
+    assert len(complete) == len(cells)
+
+    # the last line is the final cell's result record
+    body = full.rstrip(b"\n")
+    last_start = body.rfind(b"\n") + 1
+    truncated_path = tmp_path / "torn.jsonl"
+    for cut in range(last_start, len(body)):
+        truncated_path.write_bytes(full[:cut])
+        restored = load_completed_results(truncated_path)
+        assert len(restored) == len(cells) - 1, f"cut at byte {cut}"
+        for key, result in restored.items():
+            assert fingerprint(result) == fingerprint(complete[key])
+
+
+def test_corrupt_journal_line_warns(small_trace, tmp_path, caplog):
+    journal = tmp_path / "run.jsonl"
+    cells = make_grid(small_trace, fractions=(0.1,))
+    run_cells(
+        cells,
+        {small_trace.name: small_trace},
+        workers=0,
+        options=EngineOptions(journal=journal),
+    )
+    text = journal.read_text()
+    torn = text + '{"kind": "result", "trace": "small", "trunc'
+    journal.write_text(torn)
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro.core.journal"):
+        restored = load_completed_results(journal)
+    assert len(restored) == len(cells)
+    assert any("discarding corrupt record" in r.message for r in caplog.records)

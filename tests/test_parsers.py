@@ -131,3 +131,81 @@ def test_concatenate_rederives_versions():
     # -> versions 0,1,2,3,4,5 (every size change is a new version)
     a_vers = [r.version for r in both if both.url_of(r.doc).endswith("/a")]
     assert a_vers == [0, 1, 2, 3, 4, 5]
+
+
+# -- lenient parsing: errors mode + ParseReport ------------------------------
+
+
+def test_errors_skip_quarantines_into_report():
+    from repro.traces import ParseReport
+
+    junk = "this is not a log line\n963561600.1 10\n" + SQUID_LOG
+    report = ParseReport()
+    t = parse_squid_log(junk, errors="skip", report=report)
+    assert len(t) == 4
+    assert report.parsed == 4
+    assert report.skipped == 2
+    assert not report.ok
+    assert [lineno for lineno, _ in report.samples] == [1, 2]
+    assert "not a log line" in report.samples[0][1]
+    assert "2 malformed" in report.summary()
+
+
+def test_errors_raise_matches_strict():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_squid_log("garbage line\n", errors="raise")
+    # an explicit mode wins over the legacy flag
+    t = parse_squid_log("garbage line\n" + SQUID_LOG, strict=True, errors="skip")
+    assert len(t) == 4
+
+
+def test_errors_mode_validated():
+    with pytest.raises(ValueError, match="errors must be one of"):
+        parse_squid_log(SQUID_LOG, errors="ignore")
+
+
+def test_report_samples_capped():
+    from repro.traces import ParseReport
+
+    junk = "\n".join(f"bad line {i}" for i in range(25))
+    report = ParseReport()
+    parse_squid_log(junk, errors="skip", report=report)
+    assert report.skipped == 25
+    assert len(report.samples) == ParseReport.MAX_SAMPLES
+
+
+def test_report_clean_parse():
+    from repro.traces import ParseReport
+
+    report = ParseReport()
+    parse_squid_log(SQUID_LOG, report=report)
+    assert report.ok
+    assert report.skipped == 0
+    assert "no malformed" in report.summary()
+
+
+def test_bu_errors_skip_report():
+    from repro.traces import ParseReport
+
+    log = (
+        "beaker s0 794397473.5 http://cs-www.bu.edu/ 2009 0.5\n"
+        "torn-record-without-fields\n"
+        "beaker s0 notatime http://cs-www.bu.edu/x 10 0.5\n"
+    )
+    report = ParseReport()
+    t = parse_bu_log(log, errors="skip", report=report)
+    assert len(t) == 1
+    assert report.skipped == 2
+    with pytest.raises(ValueError, match="malformed"):
+        parse_bu_log(log, errors="raise")
+
+
+def test_canet_forwards_errors_and_report():
+    from repro.traces import ParseReport
+
+    report = ParseReport()
+    t = parse_canet_log("junk\n" + SQUID_LOG, errors="skip", report=report)
+    assert len(t) == 4
+    assert report.skipped == 1
+    with pytest.raises(ValueError, match="malformed"):
+        parse_canet_log("junk\n", errors="raise")

@@ -12,8 +12,14 @@ enabled), exercising the engine's pool-crash recovery and retry paths
 end to end — the recovered results must still be bit-identical to the
 clean serial run.
 
+With ``--churn`` every cell runs under session-based client churn, and
+``--max-holder-retries N`` arms the engine's holder failover.  The
+smoke then additionally asserts that failover actually rescued remote
+hits (some backup holder served a request whose primary was offline) —
+the resilience path must be exercised, not just survived.
+
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
-        [--journal PATH] [--inject-fault]
+        [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import (  # noqa: E402
+    ChurnModel,
     EngineOptions,
     FaultPlan,
     Organization,
@@ -49,6 +56,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="kill one worker and fail one cell transiently "
                              "during the parallel run (recovery must still "
                              "yield bit-identical results)")
+    parser.add_argument("--churn", action="store_true",
+                        help="run every cell under session-based client churn "
+                             "(default 1800s on / 600s off sessions)")
+    parser.add_argument("--max-holder-retries", type=int, default=0, metavar="N",
+                        help="holder failover budget; with --churn the smoke "
+                             "asserts failover rescued at least one remote hit")
     args = parser.parse_args(argv)
 
     workers = resolve_workers(args.workers)
@@ -58,6 +71,11 @@ def main(argv: list[str] | None = None) -> int:
         fractions=PAPER_SIZE_FRACTIONS,
         browser_sizing="minimum",
     )
+    if args.churn:
+        grid["churn"] = ChurnModel()
+        grid["max_holder_retries"] = args.max_holder_retries
+        print(f"churn: 1800s on / 600s off sessions, "
+              f"max_holder_retries={args.max_holder_retries}")
     n_cells = len(grid["organizations"]) * len(grid["fractions"])
     print(f"smoke sweep: {trace.name}, {len(trace):,} requests, {n_cells} cells")
 
@@ -110,6 +128,18 @@ def main(argv: list[str] | None = None) -> int:
         for org, frac in diverged:
             print(f"  ({org.value}, {frac:g})")
         return 1
+
+    if args.churn and args.max_holder_retries > 0:
+        rescued = sum(
+            r.failover_rescued_hits for r in parallel.results.values()
+        )
+        offline = sum(r.holder_unavailable for r in parallel.results.values())
+        print()
+        print(f"churn resilience: {offline} offline-holder probes, "
+              f"{rescued} remote hits rescued by failover")
+        if rescued <= 0:
+            print("FAIL: churn + failover produced no rescued remote hits")
+            return 1
 
     if args.journal:
         print(f"journal written to {args.journal}")
