@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from enum import Enum
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.cache.base import CacheEntry
 
@@ -110,11 +110,24 @@ class TieredLRUCache:
             self.on_evict(key)
         return removed
 
+    def clear(self) -> None:
+        """Empty both tiers without firing eviction callbacks, matching
+        :meth:`repro.cache.base.Cache.clear` (a cold restart is not an
+        eviction the index should hear about)."""
+        self._memory.clear()
+        self._disk.clear()
+        self.memory_used = 0
+        self.disk_used = 0
+
     def __contains__(self, key: int) -> bool:
         return key in self._memory or key in self._disk
 
     def __len__(self) -> int:
         return len(self._memory) + len(self._disk)
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._memory
+        yield from self._disk
 
     def check_invariants(self) -> None:
         mem = sum(e.size for e in self._memory.values())

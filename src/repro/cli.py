@@ -204,6 +204,47 @@ def _build_parser() -> argparse.ArgumentParser:
             "holder or the origin)"
         ),
     )
+    crash = sim.add_mutually_exclusive_group()
+    crash.add_argument(
+        "--proxy-crash-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "proxy crashes per virtual second (exponential inter-crash "
+            "gaps): each crash empties the proxy cache and destroys the "
+            "in-memory browser index"
+        ),
+    )
+    crash.add_argument(
+        "--proxy-crash-at",
+        metavar="T1,T2,...",
+        help=(
+            "explicit comma-separated proxy crash times (virtual seconds); "
+            "deterministic alternative to --proxy-crash-rate"
+        ),
+    )
+    sim.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "snapshot the browser index every SECONDS of virtual time "
+            "(periodic full + incremental checkpoints); after a crash the "
+            "index restores from the last consistent snapshot"
+        ),
+    )
+    sim.add_argument(
+        "--reannounce-rate",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help=(
+            "clients per virtual second that re-announce their browser-cache "
+            "contents after a proxy restart (default: 1.0)"
+        ),
+    )
 
     parse_p = sub.add_parser("parse", help="print statistics for an access log")
     parse_p.add_argument("log", help="path to the log file")
@@ -250,6 +291,32 @@ def _cmd_simulate(args) -> int:
             mean_off_seconds=args.churn_off,
             distribution=args.churn_distribution,
         )
+    if args.proxy_crash_rate is not None or args.proxy_crash_at is not None:
+        from repro.core.proxy_faults import ProxyFaultModel
+
+        crash_times = None
+        if args.proxy_crash_at is not None:
+            try:
+                crash_times = tuple(
+                    float(t) for t in args.proxy_crash_at.split(",") if t.strip()
+                )
+            except ValueError:
+                print(
+                    "--proxy-crash-at must be comma-separated numbers",
+                    file=sys.stderr,
+                )
+                return 2
+        failure_kwargs["proxy_faults"] = ProxyFaultModel(
+            crash_rate=args.proxy_crash_rate or 0.0,
+            crash_times=crash_times,
+        )
+        failure_kwargs["reannounce_rate"] = args.reannounce_rate
+    if args.checkpoint_interval is not None:
+        from repro.index.checkpoint import CheckpointPolicy
+
+        failure_kwargs["checkpoint"] = CheckpointPolicy(
+            interval=args.checkpoint_interval
+        )
     config = SimulationConfig.relative(
         trace,
         proxy_frac=args.proxy_frac,
@@ -286,6 +353,16 @@ def _cmd_simulate(args) -> int:
         rows.insert(-1, ["failover-rescued hits", f"{result.failover_rescued_hits:,}"])
     if result.integrity_failures:
         rows.insert(-1, ["integrity retries", f"{result.integrity_failures:,}"])
+    if result.proxy_crashes:
+        rows.insert(-1, ["proxy crashes", f"{result.proxy_crashes:,}"])
+        rows.insert(-1, ["recovery time", f"{result.recovery_time:,.0f}s"])
+        rows.insert(-1, ["degraded-window requests",
+                         f"{result.degraded_window_requests:,}"])
+        rows.insert(-1, ["hits lost to recovery",
+                         f"{result.hits_lost_to_recovery:,}"])
+    if result.checkpoint_bytes_written:
+        rows.insert(-1, ["checkpoint bytes written",
+                         f"{result.checkpoint_bytes_written:,}"])
     print(ascii_table(["quantity", "value"], rows, title="simulation result"))
     return 0
 
@@ -331,12 +408,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "report":
-        from repro.experiments.export import collect_report
+        from repro.experiments.export import atomic_write_text, collect_report
 
         text = collect_report(args.results_dir)
         if args.output:
-            with open(args.output, "w", encoding="utf-8") as fh:
-                fh.write(text)
+            atomic_write_text(args.output, text)
             print(f"wrote {args.output}")
         else:
             print(text)

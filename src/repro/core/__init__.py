@@ -14,7 +14,9 @@ Typical use::
 
 from repro.core.events import HitLocation
 from repro.core.churn import ChurnModel, ChurnProcess
+from repro.core.proxy_faults import ProxyFaultModel, ProxyFaultSchedule
 from repro.core.config import SimulationConfig, minimum_browser_capacity, average_browser_capacity
+from repro.index.checkpoint import CheckpointPolicy, IndexCheckpointer, IndexSnapshot
 from repro.core.policies import Organization, ORGANIZATION_LABELS
 from repro.core.metrics import SimulationResult, HitBreakdown, SweepTiming
 from repro.core.simulator import Simulator, simulate
@@ -44,6 +46,11 @@ __all__ = [
     "HitLocation",
     "ChurnModel",
     "ChurnProcess",
+    "ProxyFaultModel",
+    "ProxyFaultSchedule",
+    "CheckpointPolicy",
+    "IndexCheckpointer",
+    "IndexSnapshot",
     "SimulationConfig",
     "minimum_browser_capacity",
     "average_browser_capacity",

@@ -27,13 +27,19 @@ import numpy as np
 
 from repro.consistency.policies import ConsistencyPolicy
 from repro.core.churn import ChurnModel
+from repro.core.proxy_faults import ProxyFaultModel
+from repro.index.checkpoint import CheckpointPolicy
 from repro.index.staleness import PeriodicUpdatePolicy
 from repro.network.ethernet import EthernetModel
 from repro.network.latency import MemoryDiskModel
 from repro.network.topology import WANModel
 from repro.security.protocols import SecurityOverheadModel
 from repro.traces.record import Trace
-from repro.util.validation import check_non_negative, check_positive
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_reannounce_rate,
+)
 
 __all__ = [
     "SimulationConfig",
@@ -147,8 +153,24 @@ class SimulationConfig:
     #: ``security`` is unset — integrity failures are only detectable
     #: with the integrity layer on.
     corruption_rate: float = 0.0
+    #: proxy crash model (see :mod:`repro.core.proxy_faults`): ``None``
+    #: keeps the always-up proxy.  Each crash cold-restarts the proxy
+    #: cache and destroys the in-memory browser index; recovery restores
+    #: the last checkpoint (if any) and rebuilds from client
+    #: re-announcements while serving degraded.
+    proxy_faults: "ProxyFaultModel | None" = None
+    #: browser-index checkpoint schedule (see
+    #: :mod:`repro.index.checkpoint`); only meaningful with
+    #: ``proxy_faults`` set.  ``None`` = never checkpoint (a crash loses
+    #: the whole index).
+    checkpoint: "CheckpointPolicy | None" = None
+    #: post-crash rebuild speed: clients re-announce their browser-cache
+    #: contents at this many announcements per virtual second (the
+    #: recovery window for *n* announcing clients spans ``n / rate``
+    #: seconds after the crash).
+    reannounce_rate: float = 1.0
     #: master seed for the deterministic failure draws (Bernoulli
-    #: availability, churn sessions, and corruption).
+    #: availability, churn sessions, corruption, and proxy crashes).
     availability_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -196,6 +218,12 @@ class SimulationConfig:
                 "browser_memory_fraction requires memory_fraction to enable "
                 "the tiered model"
             )
+        check_reannounce_rate(self.reannounce_rate)
+        # proxy_faults and checkpoint validate themselves in their own
+        # __post_init__.  A checkpoint policy without proxy_faults is
+        # legal: nothing ever crashes, so nothing is restored, but the
+        # snapshots are still taken and charged — that measures the pure
+        # cost of the insurance, which the recovery sweeps use.
 
     # -- constructors ------------------------------------------------------
 

@@ -106,6 +106,11 @@ def result_to_jsonable(result: SimulationResult) -> dict[str, Any]:
         "failover_attempts": result.failover_attempts,
         "failover_rescued_hits": result.failover_rescued_hits,
         "integrity_failures": result.integrity_failures,
+        "proxy_crashes": result.proxy_crashes,
+        "recovery_time": result.recovery_time,
+        "degraded_window_requests": result.degraded_window_requests,
+        "hits_lost_to_recovery": result.hits_lost_to_recovery,
+        "checkpoint_bytes_written": result.checkpoint_bytes_written,
         "index_peak_entries": result.index_peak_entries,
         "index_peak_footprint_bytes": result.index_peak_footprint_bytes,
         "uses_memory_tier": result.uses_memory_tier,
@@ -134,6 +139,11 @@ def result_from_jsonable(data: dict[str, Any]) -> SimulationResult:
         failover_attempts=data.get("failover_attempts", 0),
         failover_rescued_hits=data.get("failover_rescued_hits", 0),
         integrity_failures=data.get("integrity_failures", 0),
+        proxy_crashes=data.get("proxy_crashes", 0),
+        recovery_time=data.get("recovery_time", 0.0),
+        degraded_window_requests=data.get("degraded_window_requests", 0),
+        hits_lost_to_recovery=data.get("hits_lost_to_recovery", 0),
+        checkpoint_bytes_written=data.get("checkpoint_bytes_written", 0),
         index_peak_entries=data["index_peak_entries"],
         index_peak_footprint_bytes=data["index_peak_footprint_bytes"],
         uses_memory_tier=data["uses_memory_tier"],

@@ -43,6 +43,10 @@ class SweepTiming:
     cell_seconds: tuple[float, ...] = ()
     #: pool width the caller requested; ``None`` means "same as used".
     requested_workers: int | None = None
+    #: whether the per-cell timeout could actually be enforced: False
+    #: when a timeout was requested but the platform lacks SIGALRM (or
+    #: the engine ran off the main thread), so cells ran unbounded.
+    timeout_supported: bool = True
 
     @property
     def fell_back_to_serial(self) -> bool:
@@ -98,6 +102,8 @@ class SweepTiming:
             ["speedup vs serial", f"{self.speedup_vs_serial:.2f}x"],
             ["parallel efficiency", f"{self.parallel_efficiency:.2f}"],
         ]
+        if not self.timeout_supported:
+            rows.append(["cell timeout", "UNSUPPORTED on this platform"])
         return ascii_table(["quantity", "value"], rows, title="sweep timing")
 
 
@@ -151,6 +157,19 @@ class SimulationResult:
     #: remote transfers rejected by the §6 integrity check and
     #: retransmitted (from the next holder or the origin).
     integrity_failures: int = 0
+    #: proxy cold restarts injected by the crash model.
+    proxy_crashes: int = 0
+    #: virtual seconds spent in degraded mode (crash until the last
+    #: scheduled re-announcement lands), summed over all crashes.
+    recovery_time: float = 0.0
+    #: requests served while the index was still rebuilding.
+    degraded_window_requests: int = 0
+    #: requests during recovery that a browser could have served but
+    #: the partial index did not know about — the recovery analogue of
+    #: a false miss.
+    hits_lost_to_recovery: int = 0
+    #: bytes serialised by the index checkpointer (full + incremental).
+    checkpoint_bytes_written: int = 0
     index_peak_entries: int = 0
     index_peak_footprint_bytes: int = 0
     uses_memory_tier: bool = False

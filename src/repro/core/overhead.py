@@ -49,6 +49,9 @@ class OverheadReport:
     #: verification that caught it.  The retransmission (next holder or
     #: origin) is charged normally on top.
     integrity_retransmission_time: float = 0.0
+    #: serialising browser-index checkpoints plus reading the restore
+    #: chain back after a proxy crash (crash-recovery mode only).
+    checkpoint_time: float = 0.0
     index_update_messages: int = 0
 
     @property
@@ -69,6 +72,7 @@ class OverheadReport:
             + self.validation_time
             + self.wasted_round_trip_time
             + self.integrity_retransmission_time
+            + self.checkpoint_time
         )
 
     @property

@@ -76,6 +76,7 @@ __all__ = [
     "build_cells",
     "run_cells",
     "resolve_workers",
+    "timeout_enforceable",
 ]
 
 log = logging.getLogger(__name__)
@@ -265,6 +266,7 @@ def build_cells(
                 config.holder_availability < 1.0
                 or config.churn is not None
                 or config.corruption_rate > 0.0
+                or config.proxy_faults is not None
             ):
                 cell_config = config.with_(availability_seed=seed)
             cells.append(
@@ -300,20 +302,43 @@ def _init_worker(
     _WORKER_TIMEOUT = cell_timeout
 
 
+#: one warning per process when a requested timeout cannot be armed.
+_TIMEOUT_DEGRADED_WARNED = False
+
+
+def timeout_enforceable() -> bool:
+    """Can a per-cell timeout be armed *here*?  Requires ``SIGALRM``
+    (absent on Windows) and the main thread (signal handlers cannot be
+    installed elsewhere)."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
 @contextmanager
 def _deadline(timeout: float | None):
     """Raise :class:`CellTimeout` if the block runs past ``timeout``.
 
     Uses ``SIGALRM``, so it only arms on the main thread of the
     executing process (always true for pool workers; true for the
-    serial path unless the caller runs the engine off-thread, where the
-    timeout degrades to unenforced rather than crashing).
+    serial path unless the caller runs the engine off-thread).  Where
+    it cannot arm — Windows has no ``SIGALRM``, worker threads cannot
+    install handlers — the timeout degrades to a logged no-op instead
+    of crashing the sweep.
     """
-    if (
-        timeout is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if timeout is None:
+        yield
+        return
+    if not timeout_enforceable():
+        global _TIMEOUT_DEGRADED_WARNED
+        if not _TIMEOUT_DEGRADED_WARNED:
+            _TIMEOUT_DEGRADED_WARNED = True
+            log.warning(
+                "per-cell timeout (%gs) cannot be enforced here (no SIGALRM "
+                "or not on the main thread); cells run unbounded",
+                timeout,
+            )
         yield
         return
 
@@ -693,11 +718,20 @@ def run_cells(
             engine.journal.close()
 
     run.failures.sort(key=lambda f: f.cell.index)
+    if options.cell_timeout is None:
+        timeout_supported = True
+    elif effective_workers > 0:
+        # pool workers enforce the deadline on their own main threads,
+        # but only on platforms that have SIGALRM at all.
+        timeout_supported = hasattr(signal, "SIGALRM")
+    else:
+        timeout_supported = timeout_enforceable()
     run.timing = SweepTiming(
         workers=effective_workers,
         n_cells=len(cells),
         wall_seconds=time.perf_counter() - t0,
         cell_seconds=tuple(engine.cell_seconds[i] for i in range(len(cells))),
         requested_workers=requested,
+        timeout_supported=timeout_supported,
     )
     return run

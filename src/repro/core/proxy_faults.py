@@ -1,0 +1,136 @@
+"""Proxy crash schedules: when the BAPS proxy dies and restarts.
+
+The paper's reliability story (§6) hardens data integrity and peer
+availability but assumes the proxy — the machine holding the *only*
+copy of the browser index — never fails.  Directory-based cooperative
+caches identify exactly that index loss as their dominant failure mode:
+a proxy restart comes back with a cold cache and no idea which browser
+holds what.
+
+:class:`ProxyFaultModel` describes when crashes happen; the companion
+:class:`ProxyFaultSchedule` materialises them for one replay.  Like
+:class:`~repro.core.churn.ChurnProcess`, the schedule is:
+
+* **virtual-time driven** — crash times live on the trace clock, never
+  wall time, so a replay is reproducible and worker-count independent;
+* **deterministic** — rate-based schedules draw inter-crash gaps from a
+  seeded stream (``derive_seed(master, "proxy-faults")``); explicit
+  schedules construct no RNG at all;
+* **lazy** — the next crash time is drawn only when the engine asks,
+  so crashes past the end of the trace cost nothing.
+
+What a crash *does* — cold proxy cache, destroyed index, restore from
+the last checkpoint, rebuild from client re-announcements, degraded
+service meanwhile — is the engine's job (see
+:mod:`repro.core.simulator` and :mod:`repro.index.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+from repro.util.validation import check_crash_rate, check_crash_schedule
+
+__all__ = ["ProxyFaultModel", "ProxyFaultSchedule"]
+
+#: supported inter-crash gap distributions for rate-based schedules.
+DISTRIBUTIONS = ("exponential", "pareto")
+
+
+@dataclass(frozen=True)
+class ProxyFaultModel:
+    """When the proxy crashes.
+
+    Either ``crash_times`` lists explicit crash instants (virtual
+    seconds into the trace; the reproducible choice for experiments and
+    tests) or ``crash_rate`` draws inter-crash gaps with mean
+    ``1 / crash_rate`` from ``distribution`` — ``"exponential"`` for
+    memoryless failures, ``"pareto"`` (shape ``pareto_alpha`` > 1) for
+    heavy-tailed ones where long stable stretches separate crash
+    bursts.  The two sources are mutually exclusive.
+    """
+
+    crash_rate: float = 0.0
+    crash_times: tuple[float, ...] | None = None
+    distribution: str = "exponential"
+    pareto_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_crash_rate(self.crash_rate)
+        if self.crash_times is not None:
+            object.__setattr__(
+                self, "crash_times", tuple(sorted(float(t) for t in self.crash_times))
+            )
+        check_crash_schedule(self.crash_rate, self.crash_times)
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.distribution == "pareto" and self.pareto_alpha <= 1.0:
+            raise ValueError(
+                f"pareto_alpha must be > 1 for a finite mean inter-crash "
+                f"gap, got {self.pareto_alpha}"
+            )
+
+    @property
+    def is_explicit(self) -> bool:
+        """True when the schedule is a literal crash-time list (no RNG)."""
+        return self.crash_times is not None
+
+
+class ProxyFaultSchedule:
+    """Crash times of one replay, consumed in order.
+
+    ``peek(now)`` returns the earliest unconsumed crash time that has
+    already passed (<= *now*), or ``None``; ``pop()`` consumes it.  The
+    engine interleaves these with checkpoint deadlines so events apply
+    in virtual-time order between requests.
+    """
+
+    def __init__(self, model: ProxyFaultModel, seed: int = 0) -> None:
+        self.model = model
+        if model.is_explicit:
+            self._times = model.crash_times
+            self._pos = 0
+            self._rng = None
+            self._next: float | None = self._times[0] if self._times else None
+        else:
+            self._times = None
+            self._rng = random.Random(derive_seed(seed, "proxy-faults"))
+            self._next = self._draw_after(0.0)
+
+    def _draw_after(self, last: float) -> float:
+        """Absolute time of the crash following the one at *last*."""
+        model = self.model
+        assert self._rng is not None
+        if model.distribution == "pareto":
+            # Scale so the gap's mean matches 1 / crash_rate, mirroring
+            # churn.ChurnProcess session-length draws.
+            mean = 1.0 / model.crash_rate
+            scale = mean * (model.pareto_alpha - 1.0) / model.pareto_alpha
+            gap = scale * self._rng.paretovariate(model.pareto_alpha)
+        else:
+            gap = self._rng.expovariate(model.crash_rate)
+        return last + gap
+
+    def peek(self, now: float) -> float | None:
+        """The earliest pending crash time <= *now*, without consuming it."""
+        if self._next is not None and self._next <= now:
+            return self._next
+        return None
+
+    def pop(self) -> float:
+        """Consume the pending crash time and schedule the next one."""
+        assert self._next is not None
+        crashed_at = self._next
+        if self._times is not None:
+            self._pos += 1
+            self._next = (
+                self._times[self._pos] if self._pos < len(self._times) else None
+            )
+        else:
+            self._next = self._draw_after(crashed_at)
+        return crashed_at

@@ -40,8 +40,11 @@ from repro.core.events import HitLocation
 from repro.core.metrics import SimulationResult
 from repro.core.overhead import OverheadReport
 from repro.core.policies import Organization
+from repro.core.proxy_faults import ProxyFaultSchedule
 from repro.index.browser_index import BrowserIndex, UpdateMode
+from repro.index.checkpoint import IndexCheckpointer
 from repro.index.engine_bloom import BloomBrowserIndex
+from repro.index.staleness import StalenessStats
 from repro.network.ethernet import SharedBus
 from repro.network.latency import AccessKind
 from repro.security.protocols import SecurityOverheadModel
@@ -121,6 +124,33 @@ class Simulator:
         self._security = config.security
         if self._security is None and config.corruption_rate > 0.0:
             self._security = SecurityOverheadModel()
+
+        # Proxy crash recovery.  Nothing below constructs an RNG unless
+        # a rate-based fault model is actually configured; the default
+        # (always-up proxy) leaves the replay loops untouched.
+        self._fault_schedule = (
+            ProxyFaultSchedule(config.proxy_faults, seed=config.availability_seed)
+            if config.proxy_faults is not None
+            and (self.features.has_proxy or self.features.has_index)
+            else None
+        )
+        self._checkpointer = (
+            IndexCheckpointer(config.checkpoint)
+            if config.checkpoint is not None and self.features.has_index
+            else None
+        )
+        self._recovering = False
+        self._window_start = 0.0
+        self._window_end = 0.0
+        #: (due time, client) re-announcements of the open window, ascending.
+        self._pending_reannounce: list[tuple[float, int]] = []
+        self._reannounce_pos = 0
+        self._last_t = 0.0
+        # Index counters accumulated from generations destroyed by
+        # crashes; _finalise folds them into the final result.
+        self._prior_stats = StalenessStats()
+        self._prior_lookups = 0
+        self._prior_update_messages = 0
 
         self.bus = SharedBus(config.lan)
         self.result = SimulationResult(
@@ -241,7 +271,7 @@ class Simulator:
             memory = self._peek_tier(holder_cache, d)
         if held is None or held.version != v:
             # Stale index: the holder no longer has this document.
-            self.index.record_false_hit()
+            self.index.record_false_hit(holder, d)
             result.index_false_hits += 1
             overhead.wasted_round_trip_time += lan.connection_setup
             overhead.wasted_false_hit_time += lan.connection_setup
@@ -280,7 +310,13 @@ class Simulator:
         hit = index.lookup(d, exclude_client=c, now=t, version=v)
         if hit is None:
             # Was this a lost opportunity?  Check the truth.
-            if index.is_stale and self._truth_holds(d, v, exclude=c):
+            if self._recovering:
+                # During rebuild a miss on the partial index is not an
+                # error — but a browser the index has not re-learned yet
+                # could have served it: a hit lost to recovery.
+                if self._truth_holds(d, v, exclude=c):
+                    result.hits_lost_to_recovery += 1
+            elif index.is_stale and self._truth_holds(d, v, exclude=c):
                 index.record_false_miss()
             return False, None
         tried = {hit.client}
@@ -336,6 +372,125 @@ class Simulator:
         else:
             cache.put(doc, size, version)
 
+    # -- proxy crash recovery ------------------------------------------------
+
+    def _advance_recovery(self, t: float) -> bool:
+        """Process checkpoint deadlines and crashes due by virtual time
+        *t*, in time order, and advance any open rebuild window.
+
+        Returns True when a crash replaced the proxy/index objects —
+        the replay loops must refresh their local bindings.  Called
+        before each request is served, so index state seen by a
+        checkpoint or crash is exactly the state at its virtual time
+        (index state only changes at requests).
+        """
+        self._last_t = t
+        checkpointer = self._checkpointer
+        faults = self._fault_schedule
+        result = self.result
+        crashed = False
+        while True:
+            ck_at = checkpointer.next_due(t) if checkpointer is not None else None
+            crash_at = faults.peek(t) if faults is not None else None
+            if ck_at is None and crash_at is None:
+                break
+            if crash_at is None or (ck_at is not None and ck_at <= crash_at):
+                # Re-announcements due before this snapshot are part of
+                # the state it captures.
+                if self._recovering:
+                    self._apply_reannouncements(ck_at)
+                    if ck_at >= self._window_end:
+                        self._close_window(self._window_end)
+                result.overhead.checkpoint_time += checkpointer.take(
+                    self.index, ck_at
+                )
+                result.checkpoint_bytes_written = checkpointer.bytes_written
+            else:
+                faults.pop()
+                self._handle_crash(crash_at)
+                crashed = True
+        if self._recovering:
+            self._apply_reannouncements(t)
+            if t >= self._window_end:
+                self._close_window(self._window_end)
+            else:
+                result.degraded_window_requests += 1
+        return crashed
+
+    def _handle_crash(self, tc: float) -> None:
+        """Cold-restart the proxy at virtual time *tc*.
+
+        The proxy cache empties; the in-memory index is destroyed, the
+        last checkpoint (if any) restored, and every client with a
+        non-empty browser cache is scheduled to re-announce its
+        contents at ``config.reannounce_rate`` announcements/second.
+        Until the last announcement lands the run is *degraded*.
+        """
+        result = self.result
+        result.proxy_crashes += 1
+        if self._recovering:
+            # A crash preempted the previous rebuild: land what was
+            # announced before the lights went out, then close early.
+            self._apply_reannouncements(tc)
+            self._close_window(tc)
+        if self.proxy is not None:
+            self.proxy.clear()
+        if self.index is None:
+            return
+        old = self.index
+        self._prior_stats = self._prior_stats.merged(old.stats)
+        self._prior_lookups += old.n_lookups
+        self._prior_update_messages += old.update_messages
+        self.index = self._new_index(old.n_clients)
+        if self._checkpointer is not None:
+            snapshot = self._checkpointer.latest()
+            if snapshot is not None:
+                self.index.restore_snapshot(snapshot.payload)
+                result.overhead.checkpoint_time += self._checkpointer.restore_time()
+            self._checkpointer.reset_after_crash(tc)
+        rate = self.config.reannounce_rate
+        announcers = [
+            cid for cid, cache in enumerate(self.browsers) if len(cache) > 0
+        ]
+        self._pending_reannounce = [
+            (tc + (i + 1) / rate, cid) for i, cid in enumerate(announcers)
+        ]
+        self._reannounce_pos = 0
+        self._recovering = True
+        self._window_start = tc
+        if self._pending_reannounce:
+            self._window_end = self._pending_reannounce[-1][0]
+        else:
+            # Nothing to rebuild from: recovery completes instantly.
+            self._window_end = tc
+            self._close_window(tc)
+
+    def _apply_reannouncements(self, t: float) -> None:
+        """Land every scheduled re-announcement due by time *t*.
+
+        Contents are read at processing time; browser caches only
+        change at requests, so this equals the contents at the due
+        instant as long as events are processed before the request is
+        served (which :meth:`_advance_recovery` guarantees).
+        """
+        pending = self._pending_reannounce
+        pos = self._reannounce_pos
+        ttl = self.config.index_entry_ttl
+        while pos < len(pending) and pending[pos][0] <= t:
+            due, cid = pending[pos]
+            cache = self.browsers[cid]
+            items = []
+            for doc in cache:
+                entry = cache.peek(doc)
+                items.append((doc, entry.version, entry.size))
+            self.index.reannounce(cid, items, due, ttl=ttl)
+            pos += 1
+        self._reannounce_pos = pos
+
+    def _close_window(self, end: float) -> None:
+        self.result.recovery_time += end - self._window_start
+        self._recovering = False
+
     # -- the replay loop ----------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -359,8 +514,18 @@ class Simulator:
         index = self.index
         lan = config.lan
         wan = config.wan
+        recovery = (
+            self._advance_recovery
+            if self._fault_schedule is not None or self._checkpointer is not None
+            else None
+        )
 
         for t, c, d, s, v in self.trace.iter_rows():
+            if recovery is not None and recovery(t):
+                # a crash replaced the proxy/index objects
+                proxy = self.proxy
+                index = self.index
+
             # 1. local browser cache
             if features.has_browsers:
                 entry, memory = self._get(browsers[c], d)
@@ -429,6 +594,11 @@ class Simulator:
         lan = config.lan
         wan = config.wan
         policy = config.consistency
+        recovery = (
+            self._advance_recovery
+            if self._fault_schedule is not None or self._checkpointer is not None
+            else None
+        )
 
         #: first time each version was observed ~ modification time.
         last_modified: dict[int, float] = {}
@@ -452,6 +622,11 @@ class Simulator:
                 entry.expires_at = policy.expires_at(t, last_mod)
 
         for t, c, d, s, v in self.trace.iter_rows():
+            if recovery is not None and recovery(t):
+                # a crash replaced the proxy/index objects
+                proxy = self.proxy
+                index = self.index
+
             sv = seen_version.get(d)
             if sv is None or v > sv:
                 seen_version[d] = v
@@ -543,10 +718,24 @@ class Simulator:
     def _finalise(self) -> SimulationResult:
         result = self.result
         result.overhead.absorb_bus(self.bus.stats)
+        if self._recovering:
+            # The trace ended mid-rebuild: the degraded window ran to
+            # the last request, not to the never-reached window end.
+            self._close_window(self._last_t)
         if self.index is not None:
-            result.index_stats = self.index.stats
-            result.index_lookups = self.index.n_lookups
-            result.overhead.index_update_messages = self.index.update_messages
+            stats = self.index.stats
+            lookups = self.index.n_lookups
+            messages = self.index.update_messages
+            if self._fault_schedule is not None:
+                # Fold in the generations destroyed by crashes.
+                stats = self._prior_stats.merged(stats)
+                lookups += self._prior_lookups
+                messages += self._prior_update_messages
+            result.index_stats = stats
+            result.index_lookups = lookups
+            result.overhead.index_update_messages = messages
+        if self._checkpointer is not None:
+            result.checkpoint_bytes_written = self._checkpointer.bytes_written
         return result
 
 

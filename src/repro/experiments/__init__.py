@@ -24,6 +24,7 @@ from repro.experiments import (
     consistency,
     prefetching,
     availability,
+    recovery,
 )
 from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
 
@@ -45,6 +46,7 @@ __all__ = [
     "consistency",
     "prefetching",
     "availability",
+    "recovery",
     "ALL_EXPERIMENTS",
     "run_experiment",
 ]

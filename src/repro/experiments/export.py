@@ -1,16 +1,35 @@
-"""Consolidated evaluation report.
+"""Consolidated evaluation report and crash-safe result exports.
 
 ``baps report`` collects the row tables the benchmark harness saved
 under ``benchmarks/results/`` into one Markdown document, in the
 paper's presentation order — handy for diffing two reproduction runs
 or attaching the full evaluation to a writeup.
+
+Exports are **atomic**: content is written to a temporary file in the
+destination directory, fsynced, and moved into place with
+``os.replace``, so a crash mid-export can never leave a truncated
+figure file — at worst the previous version survives intact.  (The same
+discipline this PR's proxy applies to its index checkpoints.)
 """
 
 from __future__ import annotations
 
+import contextlib
+import csv
+import io
+import json
+import os
 import pathlib
+import tempfile
 
-__all__ = ["collect_report", "RESULTS_ORDER"]
+__all__ = [
+    "collect_report",
+    "RESULTS_ORDER",
+    "atomic_writer",
+    "atomic_write_text",
+    "export_json",
+    "export_csv",
+]
 
 #: presentation order: the paper's artifacts first, extensions after.
 RESULTS_ORDER = [
@@ -35,6 +54,7 @@ RESULTS_ORDER = [
     "prefetch",
     "availability",
     "churn",
+    "recovery",
 ]
 
 _TITLES = {
@@ -59,7 +79,59 @@ _TITLES = {
     "prefetch": "Extension — PPM prefetching vs peer sharing",
     "availability": "Extension — reliability under client churn",
     "churn": "Extension — holder failover under session churn",
+    "recovery": "Extension — proxy crash recovery and checkpointing",
 }
+
+
+# -- atomic exports -----------------------------------------------------------
+
+
+@contextlib.contextmanager
+def atomic_writer(path: str | pathlib.Path, encoding: str = "utf-8"):
+    """Yield a text handle whose content replaces *path* atomically.
+
+    The handle writes to a temporary file in the same directory (so the
+    final ``os.replace`` stays on one filesystem).  On success the temp
+    file is fsynced and moved over *path* in a single step; on any
+    exception — or a process killed mid-write — the temp file is
+    discarded (or orphaned) and *path* keeps its previous content.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with io.open(fd, "w", encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def atomic_write_text(path: str | pathlib.Path, content: str) -> None:
+    """Atomically replace *path*'s content with *content*."""
+    with atomic_writer(path) as fh:
+        fh.write(content)
+
+
+def export_json(path: str | pathlib.Path, payload) -> None:
+    """Atomically export *payload* as indented JSON."""
+    with atomic_writer(path) as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def export_csv(path: str | pathlib.Path, headers, rows) -> None:
+    """Atomically export a header row plus data rows as CSV."""
+    with atomic_writer(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        writer.writerows(rows)
 
 
 def collect_report(results_dir: str | pathlib.Path) -> str:

@@ -1,0 +1,169 @@
+"""Extension experiment — proxy crash recovery and checkpointing.
+
+The paper's §6 reliability analysis protects data integrity and peer
+availability but keeps the proxy — the sole holder of the browser
+index — always up.  This sweep makes it crash: *k* evenly spaced cold
+restarts over the trace, each destroying the proxy cache and the
+in-memory index, crossed with the index checkpoint interval.  Clients
+re-announce their cache contents at a bounded rate after every restart,
+so even the never-checkpoint column eventually heals; the question is
+how much hit ratio the degraded windows cost, and how much of that a
+checkpoint schedule buys back.
+
+Two anchors bracket every cell:
+
+* **always-up** — no crashes, no checkpoints: the PR 3 engine;
+* **never-checkpoint** (per crash count) — crashes with rebuild from
+  re-announcements only: the cold-restart floor.
+
+A checkpointed cell should land strictly between its two anchors —
+:meth:`RecoveryResult.has_strict_cell` checks exactly that, and the CI
+smoke asserts it.
+
+Crash times are *explicit* (derived from the trace duration), so the
+sweep constructs no RNG and is bit-identical however it is scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.policies import Organization
+from repro.core.proxy_faults import ProxyFaultModel
+from repro.core.simulator import simulate
+from repro.index.checkpoint import CheckpointPolicy
+from repro.traces.profiles import load_paper_trace
+from repro.util.fmt import ascii_table
+
+__all__ = [
+    "RecoveryResult",
+    "run",
+    "DEFAULT_CRASH_COUNTS",
+    "DEFAULT_CHECKPOINT_INTERVALS",
+    "DEFAULT_REANNOUNCE_RATE",
+]
+
+#: crashes injected over the trace (evenly spaced).
+DEFAULT_CRASH_COUNTS = (1, 3)
+
+#: checkpoint intervals swept (virtual seconds): 15 minutes and 1 hour.
+DEFAULT_CHECKPOINT_INTERVALS = (900.0, 3600.0)
+
+#: post-crash re-announcement rate (clients per virtual second): the
+#: paper-profile traces run ~100 clients over 24 h, so a full rebuild
+#: from announcements alone spans ~2000 virtual seconds per crash.
+DEFAULT_REANNOUNCE_RATE = 0.05
+
+
+@dataclass
+class RecoveryResult:
+    """The crash-count x checkpoint-interval grid, plus its anchors."""
+
+    trace_name: str
+    reannounce_rate: float
+    always_up: SimulationResult
+    #: crash count -> crashes without any checkpointing (the floor).
+    no_checkpoint: dict[int, SimulationResult]
+    crash_counts: tuple[int, ...]
+    checkpoint_intervals: tuple[float, ...]
+    cells: dict[tuple[int, float], SimulationResult]
+
+    def cell(self, crashes: int, interval: float) -> SimulationResult:
+        return self.cells[(crashes, interval)]
+
+    def recovered_fraction(self, crashes: int, interval: float) -> float:
+        """How much of the crash-induced hit-ratio loss this checkpoint
+        interval buys back (1.0 = back to the always-up ratio)."""
+        floor = self.no_checkpoint[crashes].hit_ratio
+        lost = self.always_up.hit_ratio - floor
+        if lost <= 0:
+            return 0.0
+        return (self.cells[(crashes, interval)].hit_ratio - floor) / lost
+
+    def has_strict_cell(self) -> bool:
+        """True when at least one checkpointed cell lands strictly
+        between its never-checkpoint and always-up anchors — the
+        acceptance criterion for the recovery model."""
+        top = self.always_up.hit_ratio
+        for crashes in self.crash_counts:
+            floor = self.no_checkpoint[crashes].hit_ratio
+            for interval in self.checkpoint_intervals:
+                hr = self.cells[(crashes, interval)].hit_ratio
+                if floor < hr < top:
+                    return True
+        return False
+
+    def render(self) -> str:
+        headers = ["crashes", "no checkpoint"] + [
+            f"HR ck={interval:g}s" for interval in self.checkpoint_intervals
+        ] + ["recovered (best)", "lost hits (best)", "ck bytes (best)"]
+        best = max(self.checkpoint_intervals, key=lambda i: 1.0 / i)
+        rows = []
+        for crashes in self.crash_counts:
+            floor = self.no_checkpoint[crashes]
+            row = [crashes, f"{floor.hit_ratio * 100:.2f}%"]
+            for interval in self.checkpoint_intervals:
+                row.append(f"{self.cells[(crashes, interval)].hit_ratio * 100:.2f}%")
+            best_cell = self.cells[(crashes, best)]
+            row.append(f"{self.recovered_fraction(crashes, best) * 100:.0f}%")
+            row.append(best_cell.hits_lost_to_recovery)
+            row.append(best_cell.checkpoint_bytes_written)
+            rows.append(row)
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"BAPS proxy crash recovery ({self.trace_name}, 10% cache; "
+                f"always-up {self.always_up.hit_ratio * 100:.2f}%, "
+                f"re-announce {self.reannounce_rate:g}/s)"
+            ),
+        )
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    crash_counts=DEFAULT_CRASH_COUNTS,
+    checkpoint_intervals=DEFAULT_CHECKPOINT_INTERVALS,
+    proxy_frac: float = 0.10,
+    reannounce_rate: float = DEFAULT_REANNOUNCE_RATE,
+) -> RecoveryResult:
+    """The recovery sweep: crash count x checkpoint interval.
+
+    Every cell of one row shares the *same explicit crash schedule*
+    (``k`` crashes at ``duration * (i+1) / (k+1)``), so differences
+    along a row isolate the checkpoint interval, and the never-
+    checkpoint anchor is hit by identical crashes.
+    """
+    trace = load_paper_trace(trace_name)
+    duration = float(trace.timestamps.max()) if len(trace) else 0.0
+    base = SimulationConfig.relative(
+        trace, proxy_frac=proxy_frac, browser_sizing="average"
+    )
+    always_up = simulate(trace, Organization.BROWSERS_AWARE_PROXY, base)
+    no_checkpoint: dict[int, SimulationResult] = {}
+    cells: dict[tuple[int, float], SimulationResult] = {}
+    for crashes in crash_counts:
+        times = tuple(duration * (i + 1) / (crashes + 1) for i in range(crashes))
+        crashed = base.with_(
+            proxy_faults=ProxyFaultModel(crash_times=times),
+            reannounce_rate=reannounce_rate,
+        )
+        no_checkpoint[crashes] = simulate(
+            trace, Organization.BROWSERS_AWARE_PROXY, crashed
+        )
+        for interval in checkpoint_intervals:
+            config = crashed.with_(checkpoint=CheckpointPolicy(interval=interval))
+            cells[(crashes, interval)] = simulate(
+                trace, Organization.BROWSERS_AWARE_PROXY, config
+            )
+    return RecoveryResult(
+        trace_name=trace.name,
+        reannounce_rate=reannounce_rate,
+        always_up=always_up,
+        no_checkpoint=no_checkpoint,
+        crash_counts=tuple(crash_counts),
+        checkpoint_intervals=tuple(float(i) for i in checkpoint_intervals),
+        cells=cells,
+    )

@@ -30,6 +30,7 @@ from repro.experiments import (
     index_space,
     memory_hit,
     overhead,
+    recovery,
     security_overhead,
     staleness,
     table1,
@@ -60,6 +61,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "prefetch": prefetching.run,
     "availability": availability.run,
     "churn": availability.run_churn,
+    "recovery": recovery.run,
 }
 
 

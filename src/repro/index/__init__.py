@@ -24,6 +24,7 @@ from repro.index.browser_index import BrowserIndex, IndexLookup, UpdateMode
 from repro.index.signatures import url_signature, IndexSpaceModel
 from repro.index.bloom import BloomFilter, BloomIndex
 from repro.index.staleness import PeriodicUpdatePolicy, StalenessStats
+from repro.index.checkpoint import CheckpointPolicy, IndexCheckpointer, IndexSnapshot
 
 __all__ = [
     "IndexEntry",
@@ -36,4 +37,7 @@ __all__ = [
     "BloomIndex",
     "PeriodicUpdatePolicy",
     "StalenessStats",
+    "CheckpointPolicy",
+    "IndexCheckpointer",
+    "IndexSnapshot",
 ]

@@ -72,6 +72,13 @@ class BloomFilter:
         self._bits[:] = 0
         self.n_added = 0
 
+    def copy(self) -> "BloomFilter":
+        """Independent deep copy (checkpointing snapshots filters)."""
+        out = BloomFilter(self.n_bits, self.n_hashes)
+        out._bits = self._bits.copy()
+        out.n_added = self.n_added
+        return out
+
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise OR of two same-shaped filters."""
         if (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes):

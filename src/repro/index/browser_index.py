@@ -51,10 +51,11 @@ class BrowserIndex:
     def update_messages(self) -> int:
         """Messages sent from browsers to keep this index current: one
         per insert/evict event under invalidation, one per batch flush
-        under periodic updates."""
+        under periodic updates, plus one per post-crash
+        re-announcement."""
         if self.mode is UpdateMode.INVALIDATION:
-            return self.n_insert_events + self.n_evict_events
-        return self.stats.flushes
+            return self.n_insert_events + self.n_evict_events + self.reannouncements
+        return self.stats.flushes + self.reannouncements
 
     def __init__(
         self,
@@ -81,11 +82,16 @@ class BrowserIndex:
         self._client_state = [ClientUpdateState() for _ in range(n_clients)]
         self._rr = 0  # round-robin cursor for holder selection
         self._n_entries = 0
+        #: (doc, client) pairs restored from a checkpoint and not yet
+        #: refreshed by a live event — false hits against these are
+        #: recovery staleness, tracked separately.
+        self._restored: set[tuple[int, int]] = set()
         self.stats = StalenessStats()
         self.n_lookups = 0
         self.n_index_hits = 0
         self.n_insert_events = 0
         self.n_evict_events = 0
+        self.reannouncements = 0
 
     # -- event intake ----------------------------------------------------
 
@@ -117,6 +123,7 @@ class BrowserIndex:
             if client not in holders:
                 self._n_entries += 1
             holders[client] = entry
+            self._restored.discard((doc, client))
         else:
             self._pending[client][doc] = entry
             state.pending_changes += 1
@@ -133,6 +140,7 @@ class BrowserIndex:
             if holders and client in holders:
                 del holders[client]
                 self._n_entries -= 1
+                self._restored.discard((doc, client))
                 if not holders:
                     del self._visible[doc]
         else:
@@ -158,6 +166,7 @@ class BrowserIndex:
         if n_items == 0:
             return 0
         for doc, entry in pending.items():
+            self._restored.discard((doc, client))
             if entry is None:
                 holders = self._visible.get(doc)
                 if holders and client in holders:
@@ -249,6 +258,79 @@ class BrowserIndex:
             and (version is None or e.version == version)
         )
 
+    # -- crash recovery ----------------------------------------------------
+
+    def export_snapshot(self) -> dict[int, dict[int, IndexEntry]]:
+        """Copy of the proxy-side visible index for a checkpoint.
+
+        Only ``_visible`` is proxy state; pending batches and per-client
+        counters live at the clients and survive a proxy crash on their
+        own.  Entries are frozen, so sharing them is safe.
+        """
+        return {doc: dict(holders) for doc, holders in self._visible.items()}
+
+    def restore_snapshot(self, payload: dict[int, dict[int, IndexEntry]]) -> None:
+        """Replace the visible index with a checkpoint's state.
+
+        Every restored pair is remembered: the snapshot may predate
+        evictions, so these entries can be stale even under
+        invalidation mode — the engine still charges false hits for
+        them, and :attr:`StalenessStats.false_hits_after_restore`
+        attributes those to recovery.
+        """
+        self._visible = {doc: dict(holders) for doc, holders in payload.items()}
+        self._n_entries = sum(len(h) for h in self._visible.values())
+        self._restored = {
+            (doc, client)
+            for doc, holders in self._visible.items()
+            for client in holders
+        }
+
+    def reannounce(
+        self,
+        client: int,
+        items,
+        now: float,
+        ttl: float | None = None,
+    ) -> int:
+        """Client re-announces its full browser-cache contents.
+
+        *items* iterates ``(doc, version, size)`` triples from the true
+        cache.  Everything the index believed about *client* — restored
+        or pending — is replaced wholesale, which is exactly what makes
+        re-announcement the rebuild path after a crash.  Returns the
+        number of announced items.
+        """
+        for doc in list(self._visible):
+            holders = self._visible[doc]
+            if client in holders:
+                del holders[client]
+                self._n_entries -= 1
+                self._restored.discard((doc, client))
+                if not holders:
+                    del self._visible[doc]
+        self._pending[client].clear()
+        n_items = 0
+        for doc, version, size in items:
+            holders = self._visible.setdefault(doc, {})
+            if client not in holders:
+                self._n_entries += 1
+            holders[client] = IndexEntry(
+                client=client,
+                doc=doc,
+                version=version,
+                size=size,
+                timestamp=now,
+                ttl=ttl,
+            )
+            n_items += 1
+        state = self._client_state[client]
+        state.cached_docs = n_items
+        state.pending_changes = 0
+        state.last_flush = now
+        self.reannouncements += 1
+        return n_items
+
     # -- accounting ------------------------------------------------------------
 
     @property
@@ -261,10 +343,18 @@ class BrowserIndex:
         one :attr:`IndexEntry.WIRE_BYTES` record per item."""
         return self.n_entries * IndexEntry.WIRE_BYTES
 
-    def record_false_hit(self) -> None:
+    def record_false_hit(self, client: int | None = None, doc: int | None = None) -> None:
         """The engine validated a lookup against the true cache and
-        found the index stale."""
+        found the index stale.  When the engine names the probed holder,
+        false hits against checkpoint-restored entries are attributed to
+        recovery staleness as well."""
         self.stats.false_hits += 1
+        if (
+            client is not None
+            and doc is not None
+            and (doc, client) in self._restored
+        ):
+            self.stats.false_hits_after_restore += 1
 
     def record_false_miss(self) -> None:
         self.stats.false_misses += 1

@@ -1,0 +1,160 @@
+"""Periodic browser-index checkpoints for proxy crash recovery.
+
+The browser index lives only in proxy memory; a proxy restart without a
+checkpoint means every client's cache contents must be re-learned from
+scratch.  :class:`IndexCheckpointer` snapshots the index on a virtual-
+time schedule — a *full* snapshot every ``full_every``-th tick, cheap
+*incremental* snapshots (sized by the index events since the previous
+tick) in between — and keeps the latest consistent snapshot for
+restore.
+
+Costs are charged to the timing model, not wall time: serialising
+``n`` bytes at ``write_bandwidth`` bytes/s adds ``n / write_bandwidth``
+seconds to :attr:`OverheadReport.checkpoint_time`, and a restore pays
+for reading the last full snapshot plus every incremental taken since
+(the *restore chain*).
+
+The checkpointer never inspects index internals beyond the public
+``export_snapshot()`` / ``footprint_bytes()`` / event counters, so both
+the exact :class:`~repro.index.browser_index.BrowserIndex` and the
+Bloom-summary :class:`~repro.index.engine_bloom.BloomBrowserIndex`
+participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.index.entry import IndexEntry
+from repro.util.validation import check_checkpoint_interval, check_positive
+
+__all__ = ["CheckpointPolicy", "IndexSnapshot", "IndexCheckpointer"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How often, and at what cost, the index is checkpointed.
+
+    ``interval`` is virtual seconds between snapshots; every
+    ``full_every``-th snapshot is full (the first always is), the rest
+    are incremental.  ``write_bandwidth`` (bytes per virtual second)
+    converts snapshot bytes into serialisation time charged to the
+    overhead report; the default 50 MB/s models a local disk the §5
+    space estimate would call generous.
+    """
+
+    interval: float = 3600.0
+    full_every: int = 10
+    write_bandwidth: float = 50e6
+
+    def __post_init__(self) -> None:
+        check_checkpoint_interval(self.interval)
+        if self.full_every < 1:
+            raise ValueError(
+                f"full_every must be >= 1 snapshots, got {self.full_every}"
+            )
+        check_positive("write_bandwidth", self.write_bandwidth)
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One durable snapshot of the browser index.
+
+    ``payload`` is whatever the index's ``export_snapshot()`` returned —
+    opaque to the checkpointer, meaningful only to the engine that wrote
+    it.  ``n_bytes`` is what *writing* this snapshot cost (delta-sized
+    for incrementals); ``restore_bytes`` is what *reading* state back
+    costs: the last full snapshot plus all incrementals since.
+    """
+
+    taken_at: float
+    payload: Any
+    n_bytes: int
+    full: bool
+    restore_bytes: int
+
+
+class IndexCheckpointer:
+    """Drives the snapshot schedule for one simulation run.
+
+    The engine asks :meth:`next_due` between requests and calls
+    :meth:`take` for each deadline that has passed, in virtual-time
+    order with any pending proxy crashes.
+    """
+
+    #: floor for an incremental snapshot: framing/metadata is never free.
+    MIN_SNAPSHOT_BYTES = 64
+
+    def __init__(self, policy: CheckpointPolicy) -> None:
+        self.policy = policy
+        self._next_due: float = policy.interval
+        self._latest: IndexSnapshot | None = None
+        self._taken = 0
+        self._events_at_last = 0
+        self.bytes_written = 0
+        self.full_snapshots = 0
+        self.incremental_snapshots = 0
+
+    def next_due(self, now: float) -> float | None:
+        """The earliest snapshot deadline that has passed (<= *now*)."""
+        if self._next_due <= now:
+            return self._next_due
+        return None
+
+    def take(self, index: Any, now: float) -> float:
+        """Snapshot *index* for the current deadline.
+
+        Returns the serialisation time to charge.  ``now`` is the
+        virtual time the snapshot is processed at; since index state
+        only changes at requests, the captured state is exact for every
+        instant since the previous request.
+        """
+        events = index.n_insert_events + index.n_evict_events
+        full = self._taken % self.policy.full_every == 0
+        if full:
+            n_bytes = max(self.MIN_SNAPSHOT_BYTES, index.footprint_bytes())
+            restore_bytes = n_bytes
+        else:
+            delta = events - self._events_at_last
+            n_bytes = max(self.MIN_SNAPSHOT_BYTES, delta * IndexEntry.WIRE_BYTES)
+            prev = self._latest.restore_bytes if self._latest is not None else 0
+            restore_bytes = prev + n_bytes
+        self._latest = IndexSnapshot(
+            taken_at=self._next_due,
+            payload=index.export_snapshot(),
+            n_bytes=n_bytes,
+            full=full,
+            restore_bytes=restore_bytes,
+        )
+        self._taken += 1
+        self._events_at_last = events
+        self.bytes_written += n_bytes
+        if full:
+            self.full_snapshots += 1
+        else:
+            self.incremental_snapshots += 1
+        self._next_due += self.policy.interval
+        return n_bytes / self.policy.write_bandwidth
+
+    def latest(self) -> IndexSnapshot | None:
+        """The most recent consistent snapshot, or ``None`` before the
+        first deadline has fired."""
+        return self._latest
+
+    def restore_time(self) -> float:
+        """Seconds to read the latest snapshot's restore chain back."""
+        if self._latest is None:
+            return 0.0
+        return self._latest.restore_bytes / self.policy.write_bandwidth
+
+    def reset_after_crash(self, now: float) -> None:
+        """Restart the schedule after a crash at virtual time *now*.
+
+        The next snapshot is a full one (the restored index's event
+        counters restarted from zero, so deltas are meaningless), due
+        one interval after the restart.
+        """
+        self._next_due = now + self.policy.interval
+        self._events_at_last = 0
+        self._taken = 0

@@ -60,12 +60,17 @@ class BloomBrowserIndex:
         ]
         self._changes_since_rebuild = [0] * n_clients
         self._rr = 0
+        #: clients whose filter was restored from a checkpoint and not
+        #: yet refreshed by a rebuild or re-announcement — false hits
+        #: against them are recovery staleness.
+        self._restored_clients: set[int] = set()
         self.stats = StalenessStats()
         self.n_lookups = 0
         self.n_index_hits = 0
         self.n_insert_events = 0
         self.n_evict_events = 0
         self.rebuilds = 0
+        self.reannouncements = 0
 
     def _new_filter(self) -> BloomFilter:
         return BloomFilter.for_capacity(self.expected_docs, self.bits_per_doc)
@@ -110,9 +115,53 @@ class BloomBrowserIndex:
             f.add(doc)
         self._filters[client] = f
         self._changes_since_rebuild[client] = 0
+        self._restored_clients.discard(client)
         self.rebuilds += 1
         self.stats.flushes += 1
         self.stats.flushed_items += len(self._contents[client])
+
+    # -- crash recovery ----------------------------------------------------
+
+    def export_snapshot(self) -> dict:
+        """Deep copy of the proxy-side summary state for a checkpoint:
+        the filters plus the claimed contents they summarise."""
+        return {
+            "filters": [f.copy() for f in self._filters],
+            "contents": [dict(c) for c in self._contents],
+            "changes": list(self._changes_since_rebuild),
+        }
+
+    def restore_snapshot(self, payload: dict) -> None:
+        """Replace the summaries with a checkpoint's state.  Restored
+        filters may claim documents their clients evicted after the
+        snapshot — those surface as false hits attributed to recovery."""
+        self._filters = [f.copy() for f in payload["filters"]]
+        self._contents = [dict(c) for c in payload["contents"]]
+        self._changes_since_rebuild = list(payload["changes"])
+        self._restored_clients = set(range(self.n_clients))
+
+    def reannounce(
+        self,
+        client: int,
+        items,
+        now: float,
+        ttl: float | None = None,
+    ) -> int:
+        """Client re-announces its full browser-cache contents as a
+        fresh summary.  *items* iterates ``(doc, version, size)``
+        triples from the true cache.  Returns the announced item count.
+        """
+        f = self._new_filter()
+        contents: dict[int, tuple[int, int]] = {}
+        for doc, version, size in items:
+            contents[doc] = (version, size)
+            f.add(doc)
+        self._filters[client] = f
+        self._contents[client] = contents
+        self._changes_since_rebuild[client] = 0
+        self._restored_clients.discard(client)
+        self.reannouncements += 1
+        return len(contents)
 
     # -- lookups ----------------------------------------------------------
 
@@ -178,11 +227,13 @@ class BloomBrowserIndex:
 
     @property
     def update_messages(self) -> int:
-        """One message per summary rebuild."""
-        return self.rebuilds
+        """One message per summary rebuild or re-announcement."""
+        return self.rebuilds + self.reannouncements
 
-    def record_false_hit(self) -> None:
+    def record_false_hit(self, client: int | None = None, doc: int | None = None) -> None:
         self.stats.false_hits += 1
+        if client is not None and client in self._restored_clients:
+            self.stats.false_hits_after_restore += 1
 
     def record_false_miss(self) -> None:
         self.stats.false_misses += 1

@@ -72,6 +72,10 @@ class StalenessStats:
     false_misses: int = 0
     flushes: int = 0
     flushed_items: int = 0
+    #: subset of ``false_hits`` hitting entries restored from a crash
+    #: checkpoint and not refreshed since — staleness the recovery
+    #: machinery itself introduced.
+    false_hits_after_restore: int = 0
 
     def merged(self, other: "StalenessStats") -> "StalenessStats":
         return StalenessStats(
@@ -79,4 +83,6 @@ class StalenessStats:
             false_misses=self.false_misses + other.false_misses,
             flushes=self.flushes + other.flushes,
             flushed_items=self.flushed_items + other.flushed_items,
+            false_hits_after_restore=self.false_hits_after_restore
+            + other.false_hits_after_restore,
         )

@@ -12,6 +12,10 @@ __all__ = [
     "check_non_negative",
     "check_fraction",
     "check_probability",
+    "check_checkpoint_interval",
+    "check_crash_rate",
+    "check_crash_schedule",
+    "check_reannounce_rate",
 ]
 
 
@@ -37,3 +41,64 @@ def check_fraction(name: str, value: float) -> float:
 def check_probability(name: str, value: float) -> float:
     """Alias of :func:`check_fraction`, used where the value is a probability."""
     return check_fraction(name, value)
+
+
+# -- proxy crash-recovery knobs ---------------------------------------------
+#
+# These name the ``baps`` CLI flag alongside the parameter, because the
+# recovery knobs are most often set from the command line and "interval
+# must be > 0" is useless when the user typed three different flags.
+
+
+def check_checkpoint_interval(value: float) -> float:
+    if not value > 0:
+        raise ValueError(
+            f"checkpoint interval (--checkpoint-interval) must be > 0 "
+            f"seconds of virtual time, got {value!r}"
+        )
+    return value
+
+
+def check_crash_rate(value: float) -> float:
+    if value < 0:
+        raise ValueError(
+            f"proxy crash rate (--proxy-crash-rate) must be >= 0 crashes "
+            f"per virtual second, got {value!r}"
+        )
+    return value
+
+
+def check_crash_schedule(
+    crash_rate: float, crash_times: tuple[float, ...] | None
+) -> None:
+    """A fault model draws crash times from a rate *or* takes an explicit
+    list — silently combining the two would make the schedule ambiguous."""
+    if crash_times is not None and crash_rate > 0:
+        raise ValueError(
+            "give either an explicit crash schedule (--proxy-crash-at) or a "
+            "crash rate (--proxy-crash-rate), not both"
+        )
+    if crash_times is None and crash_rate == 0:
+        raise ValueError(
+            "a proxy fault model needs a crash source: set a crash rate "
+            "(--proxy-crash-rate) or explicit crash times (--proxy-crash-at)"
+        )
+    if crash_times is not None:
+        if not crash_times:
+            raise ValueError(
+                "explicit crash schedule (--proxy-crash-at) must name at "
+                "least one crash time"
+            )
+        if any(t < 0 for t in crash_times):
+            raise ValueError(
+                f"crash times (--proxy-crash-at) must be >= 0, got {crash_times!r}"
+            )
+
+
+def check_reannounce_rate(value: float) -> float:
+    if not value > 0:
+        raise ValueError(
+            f"re-announcement rate (--reannounce-rate) must be > 0 clients "
+            f"per virtual second, got {value!r}"
+        )
+    return value

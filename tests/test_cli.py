@@ -46,6 +46,7 @@ def test_all_experiments_registry_complete():
         "prefetch",
         "availability",
         "churn",
+        "recovery",
     }
     assert set(ALL_EXPERIMENTS) == expected
 
@@ -86,6 +87,58 @@ def test_simulate_failure_model_flags(tmp_path, capsys, small_trace):
     ) == 0
     out = capsys.readouterr().out
     assert "hit ratio" in out
+
+
+def test_simulate_proxy_crash_flags(tmp_path, capsys, small_trace):
+    from repro.traces.squid import write_squid_log
+
+    path = tmp_path / "access.log"
+    write_squid_log(small_trace, path)
+    duration = float(small_trace.timestamps.max())
+    assert main(
+        [
+            "simulate",
+            "--log",
+            str(path),
+            "--proxy-frac",
+            "0.1",
+            "--proxy-crash-at",
+            f"{0.35 * duration:.0f},{0.7 * duration:.0f}",
+            "--checkpoint-interval",
+            f"{duration / 24:.0f}",
+            "--reannounce-rate",
+            "0.02",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "proxy crashes" in out
+    assert "hits lost to recovery" in out
+    assert "checkpoint bytes written" in out
+
+
+def test_simulate_rejects_both_crash_sources(capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "simulate",
+                "--proxy-crash-rate",
+                "0.01",
+                "--proxy-crash-at",
+                "100",
+            ]
+        )
+    assert "not allowed with" in capsys.readouterr().err
+
+
+def test_simulate_rejects_malformed_crash_times(tmp_path, capsys, small_trace):
+    from repro.traces.squid import write_squid_log
+
+    path = tmp_path / "access.log"
+    write_squid_log(small_trace, path)
+    assert (
+        main(["simulate", "--log", str(path), "--proxy-crash-at", "10,zap"]) == 2
+    )
+    assert "comma-separated numbers" in capsys.readouterr().err
 
 
 def test_simulate_empty_log(tmp_path, capsys):

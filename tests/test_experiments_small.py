@@ -197,3 +197,28 @@ def test_runner_forwards_failure_model_kwargs(monkeypatch, small_trace):
     # accept them rather than raising
     table = runner.run_experiment("table1", max_holder_retries=3)
     assert table is not None
+
+
+def test_recovery_sweep_small(monkeypatch, small_trace):
+    from repro.experiments import recovery
+
+    monkeypatch.setattr(
+        recovery, "load_paper_trace", lambda name, cache=True: small_trace
+    )
+    duration = float(small_trace.timestamps.max())
+    result = recovery.run(
+        crash_counts=(2,),
+        checkpoint_intervals=(duration / 24,),
+        reannounce_rate=0.02,
+    )
+    text = result.render()
+    assert "proxy crash recovery" in text
+    assert "no checkpoint" in text
+    floor = result.no_checkpoint[2]
+    cell = result.cell(2, duration / 24)
+    assert floor.proxy_crashes == cell.proxy_crashes == 2
+    assert cell.checkpoint_bytes_written > 0
+    # checkpointing sits between the cold-restart floor and always-up
+    assert floor.hit_ratio <= cell.hit_ratio <= result.always_up.hit_ratio
+    assert result.has_strict_cell()
+    assert 0.0 <= result.recovered_fraction(2, duration / 24) <= 1.0

@@ -479,3 +479,81 @@ def test_corrupt_journal_line_warns(small_trace, tmp_path, caplog):
         restored = load_completed_results(journal)
     assert len(restored) == len(cells)
     assert any("discarding corrupt record" in r.message for r in caplog.records)
+
+
+# -- timeout portability -----------------------------------------------------
+
+
+def test_timeout_enforceable_on_main_thread():
+    from repro.core.parallel import timeout_enforceable
+
+    # POSIX CI runs this on the main thread with SIGALRM available
+    assert timeout_enforceable()
+
+
+def test_deadline_degrades_off_main_thread(caplog):
+    """A timeout that cannot arm must run the block unbounded, once-
+    warned — never crash the sweep."""
+    import threading
+    import time
+
+    from repro.core import parallel
+    from repro.core.parallel import _deadline, timeout_enforceable
+
+    outcome = {}
+
+    def run_in_thread():
+        outcome["enforceable"] = timeout_enforceable()
+        with _deadline(0.001):
+            time.sleep(0.05)  # far past the deadline
+        outcome["survived"] = True
+
+    parallel._TIMEOUT_DEGRADED_WARNED = False
+    with caplog.at_level("WARNING", logger=parallel.log.name):
+        worker = threading.Thread(target=run_in_thread)
+        worker.start()
+        worker.join()
+    assert outcome == {"enforceable": False, "survived": True}
+    degraded = [r for r in caplog.records if "cannot be enforced" in r.message]
+    assert len(degraded) == 1
+    # the warning fires once per process, not once per cell
+    parallel._TIMEOUT_DEGRADED_WARNED = False
+
+
+def test_unenforceable_timeout_reported_in_timing(small_trace):
+    """Run a serial sweep with a cell timeout from a worker thread: the
+    timing report must flag the timeout as unsupported rather than
+    silently pretending cells were bounded."""
+    import threading
+
+    cells = make_grid(small_trace, fractions=(0.05,))
+    holder = {}
+
+    def run_sweep():
+        holder["run"] = run_cells(
+            cells,
+            {small_trace.name: small_trace},
+            workers=0,
+            options=EngineOptions(cell_timeout=600.0, **FAST),
+        )
+
+    worker = threading.Thread(target=run_sweep)
+    worker.start()
+    worker.join()
+    run = holder["run"]
+    assert run.ok
+    assert run.timing.timeout_supported is False
+    assert "UNSUPPORTED" in run.timing.render()
+
+
+def test_enforced_timeout_reported_as_supported(small_trace):
+    cells = make_grid(small_trace, fractions=(0.05,))
+    run = run_cells(
+        cells,
+        {small_trace.name: small_trace},
+        workers=0,
+        options=EngineOptions(cell_timeout=600.0, **FAST),
+    )
+    assert run.ok
+    assert run.timing.timeout_supported is True
+    assert "UNSUPPORTED" not in run.timing.render()

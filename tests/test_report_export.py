@@ -1,4 +1,8 @@
-"""Consolidated report export (``baps report``)."""
+"""Consolidated report export (``baps report``) and atomic file exports."""
+
+import pathlib
+
+import pytest
 
 from repro.cli import main
 from repro.experiments.export import RESULTS_ORDER, collect_report
@@ -45,3 +49,72 @@ def test_cli_report_stdout(tmp_path, capsys):
     (results / "fig7.txt").write_text("LIMIT-CASE")
     assert main(["report", "--results-dir", str(results)]) == 0
     assert "LIMIT-CASE" in capsys.readouterr().out
+
+
+# -- atomic export discipline -------------------------------------------------
+
+
+def test_atomic_write_replaces_previous_content(tmp_path):
+    from repro.experiments.export import atomic_write_text
+
+    target = tmp_path / "out" / "fig.txt"
+    atomic_write_text(target, "first")
+    atomic_write_text(target, "second")
+    assert target.read_text() == "second"
+    # no temp droppings left behind
+    assert [p.name for p in target.parent.iterdir()] == ["fig.txt"]
+
+
+def test_atomic_write_exception_keeps_original(tmp_path):
+    from repro.experiments.export import atomic_writer
+
+    target = tmp_path / "fig.txt"
+    target.write_text("intact")
+    with pytest.raises(RuntimeError):
+        with atomic_writer(target) as fh:
+            fh.write("half a tab")
+            raise RuntimeError("writer died")
+    assert target.read_text() == "intact"
+    assert [p.name for p in tmp_path.iterdir()] == ["fig.txt"]
+
+
+def test_atomic_export_json_and_csv(tmp_path):
+    import json
+
+    from repro.experiments.export import export_csv, export_json
+
+    jpath = tmp_path / "cells.json"
+    export_json(jpath, {"b": 2, "a": 1})
+    assert json.loads(jpath.read_text()) == {"a": 1, "b": 2}
+    cpath = tmp_path / "cells.csv"
+    export_csv(cpath, ["x", "y"], [[1, 2], [3, 4]])
+    lines = cpath.read_text().strip().splitlines()
+    assert lines[0] == "x,y"
+    assert len(lines) == 3
+
+
+def test_atomic_write_survives_writer_kill(tmp_path):
+    """Hard-kill a writer mid-stream: the target must keep its previous
+    content, never a truncated half-write."""
+    import subprocess
+    import sys
+
+    target = tmp_path / "fig.txt"
+    target.write_text("previous good version")
+    script = (
+        "import sys, os\n"
+        "sys.path.insert(0, sys.argv[2])\n"
+        "from repro.experiments.export import atomic_writer\n"
+        "with atomic_writer(sys.argv[1]) as fh:\n"
+        "    fh.write('partial garbage ' * 1000)\n"
+        "    fh.flush()\n"
+        "    os._exit(1)  # simulated crash: no replace, no cleanup\n"
+    )
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(target), src],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert target.read_text() == "previous good version"

@@ -18,8 +18,18 @@ smoke then additionally asserts that failover actually rescued remote
 hits (some backup holder served a request whose primary was offline) —
 the resilience path must be exercised, not just survived.
 
+With ``--proxy-crash`` every cell additionally suffers two proxy cold
+restarts (explicit crash times at 35% and 70% of the trace) with index
+checkpointing and post-crash client re-announcements armed.  The smoke
+asserts the recovery model actually fired — crashes registered, hits
+were lost to degraded windows — and, when a journal was written,
+re-runs the sweep with ``--resume`` and asserts every cell is restored
+from the journal bit-identically (the new recovery counters must
+round-trip).
+
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
         [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
+        [--proxy-crash]
 """
 
 from __future__ import annotations
@@ -32,10 +42,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import (  # noqa: E402
+    CheckpointPolicy,
     ChurnModel,
     EngineOptions,
     FaultPlan,
     Organization,
+    ProxyFaultModel,
     resolve_workers,
     run_policy_sweep,
 )
@@ -62,6 +74,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-holder-retries", type=int, default=0, metavar="N",
                         help="holder failover budget; with --churn the smoke "
                              "asserts failover rescued at least one remote hit")
+    parser.add_argument("--proxy-crash", action="store_true",
+                        help="inject two proxy cold restarts per cell with "
+                             "checkpointing and re-announcement armed; the "
+                             "smoke asserts the recovery model fired")
     args = parser.parse_args(argv)
 
     workers = resolve_workers(args.workers)
@@ -76,6 +92,16 @@ def main(argv: list[str] | None = None) -> int:
         grid["max_holder_retries"] = args.max_holder_retries
         print(f"churn: 1800s on / 600s off sessions, "
               f"max_holder_retries={args.max_holder_retries}")
+    if args.proxy_crash:
+        duration = float(trace.timestamps.max())
+        grid["proxy_faults"] = ProxyFaultModel(
+            crash_times=(0.35 * duration, 0.70 * duration)
+        )
+        grid["checkpoint"] = CheckpointPolicy(interval=duration / 24)
+        grid["reannounce_rate"] = 0.02
+        print(f"proxy crashes at t={0.35 * duration:.0f}s and "
+              f"t={0.70 * duration:.0f}s, checkpoint every "
+              f"{duration / 24:.0f}s, re-announce 0.02 clients/s")
     n_cells = len(grid["organizations"]) * len(grid["fractions"])
     print(f"smoke sweep: {trace.name}, {len(trace):,} requests, {n_cells} cells")
 
@@ -141,8 +167,59 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: churn + failover produced no rescued remote hits")
             return 1
 
+    if args.proxy_crash:
+        crashes = sum(r.proxy_crashes for r in parallel.results.values())
+        lost = sum(r.hits_lost_to_recovery for r in parallel.results.values())
+        degraded = sum(
+            r.degraded_window_requests for r in parallel.results.values()
+        )
+        ck_bytes = sum(
+            r.checkpoint_bytes_written for r in parallel.results.values()
+        )
+        print()
+        print(f"proxy recovery: {crashes} crashes, {degraded} degraded-window "
+              f"requests, {lost} hits lost, {ck_bytes:,} checkpoint bytes")
+        if crashes <= 0:
+            print("FAIL: --proxy-crash registered no proxy crashes")
+            return 1
+        if lost <= 0:
+            print("FAIL: --proxy-crash lost no hits to recovery windows")
+            return 1
+        if ck_bytes <= 0:
+            print("FAIL: --proxy-crash wrote no checkpoint bytes")
+            return 1
+
     if args.journal:
         print(f"journal written to {args.journal}")
+        # resume from the journal we just wrote: every cell must restore
+        # without re-simulating, and the restored results (including any
+        # recovery counters) must match the live run exactly.
+        resume_options = dataclasses.replace(
+            options, journal=None, faults=None, resume=args.journal
+        )
+        resumed = run_policy_sweep(
+            trace, workers=0, options=resume_options, **grid
+        )
+        if resumed.failures:
+            print("FAIL: resume run had cell failures")
+            return 1
+        resimulated = [k for k, n in resumed.attempts.items() if n > 0]
+        if resimulated:
+            print(f"FAIL: resume re-simulated {len(resimulated)} cells "
+                  "instead of restoring them from the journal")
+            return 1
+        stale = [
+            key
+            for key in parallel.results
+            if dataclasses.asdict(parallel.results[key])
+            != dataclasses.asdict(resumed.results[key])
+        ]
+        if stale:
+            print(f"FAIL: {len(stale)} journal-restored cells diverged "
+                  "from the live run")
+            return 1
+        print(f"resume: all {len(resumed.results)} cells restored from "
+              "the journal bit-identically")
 
     speedup = parallel.timing.speedup_vs_serial
     print()
