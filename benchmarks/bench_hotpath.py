@@ -1,0 +1,169 @@
+"""Hot-path replay benchmark: optimized engine vs the frozen reference.
+
+Replays the small paper profile through both engines —
+:func:`repro.core.simulator.simulate` (the optimized hot path) and
+:func:`repro.core.reference.reference_simulate` (the frozen pre-
+optimization engine) — for every organization, and reports requests
+per second plus the speedup ratio.  Because both engines run on the
+same machine in the same process, the *speedup* is machine-neutral:
+CI compares the measured speedup against the committed baseline
+(``BENCH_hotpath.json``) instead of absolute throughput, so a slower
+runner does not fail the gate.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py                  # print table
+    python benchmarks/bench_hotpath.py --json out.json  # also write JSON
+    python benchmarks/bench_hotpath.py --check BENCH_hotpath.json
+        # exit 1 if the aggregate speedup regressed >30% vs baseline
+
+The differential suite (``tests/test_differential.py``) separately
+guarantees both engines produce bit-identical results; this harness
+only measures time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import SimulationConfig  # noqa: E402
+from repro.core.policies import Organization  # noqa: E402
+from repro.core.reference import reference_simulate  # noqa: E402
+from repro.core.simulator import simulate  # noqa: E402
+from repro.traces.profiles import small_paper_trace  # noqa: E402
+
+#: sizing used by the golden harness: proxy at 8% of the infinite
+#: cache, browsers at 0.4% each — small enough that eviction churn
+#: (the expensive part of the replay) stays exercised.
+PROXY_FRAC = 0.08
+BROWSER_FRAC = 0.004
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time of *repeats* runs — the least-noise estimator
+    for a deterministic workload."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benchmark(n_requests: int, repeats: int) -> dict:
+    trace = small_paper_trace("NLANR-uc", n_requests=n_requests)
+    config = SimulationConfig.relative(
+        trace, proxy_frac=PROXY_FRAC, browser_frac=BROWSER_FRAC
+    )
+    per_org: dict[str, dict] = {}
+    total_opt = total_ref = 0.0
+    for org in Organization:
+        t_opt = _best_of(lambda: simulate(trace, org, config), repeats)
+        t_ref = _best_of(lambda: reference_simulate(trace, org, config), repeats)
+        total_opt += t_opt
+        total_ref += t_ref
+        per_org[org.value] = {
+            "optimized_seconds": t_opt,
+            "reference_seconds": t_ref,
+            "optimized_rps": n_requests / t_opt,
+            "reference_rps": n_requests / t_ref,
+            "speedup": t_ref / t_opt,
+        }
+    return {
+        "trace": trace.name,
+        "n_requests": n_requests,
+        "repeats": repeats,
+        "per_org": per_org,
+        "aggregate": {
+            "optimized_seconds": total_opt,
+            "reference_seconds": total_ref,
+            "optimized_rps": len(per_org) * n_requests / total_opt,
+            "reference_rps": len(per_org) * n_requests / total_ref,
+            "speedup": total_ref / total_opt,
+        },
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"hot-path benchmark — {report['trace']}, "
+        f"{report['n_requests']:,} requests, best of {report['repeats']}",
+        f"{'organization':<32} {'optimized':>12} {'reference':>12} {'speedup':>8}",
+    ]
+    for org, row in report["per_org"].items():
+        lines.append(
+            f"{org:<32} {row['optimized_rps']:>10,.0f}/s "
+            f"{row['reference_rps']:>10,.0f}/s {row['speedup']:>7.2f}x"
+        )
+    agg = report["aggregate"]
+    lines.append(
+        f"{'aggregate (all orgs)':<32} {agg['optimized_rps']:>10,.0f}/s "
+        f"{agg['reference_rps']:>10,.0f}/s {agg['speedup']:>7.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check(report: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    base_speedup = baseline["aggregate"]["speedup"]
+    now_speedup = report["aggregate"]["speedup"]
+    floor = base_speedup * (1.0 - tolerance)
+    print(
+        f"baseline aggregate speedup {base_speedup:.2f}x, "
+        f"measured {now_speedup:.2f}x, floor {floor:.2f}x "
+        f"(tolerance {tolerance:.0%})"
+    )
+    if now_speedup < floor:
+        print(
+            "PERF REGRESSION: the optimized hot path lost more than "
+            f"{tolerance:.0%} of its speedup over the frozen reference",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: hot-path speedup within tolerance of the committed baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=6000,
+        help="trace length (small paper profile, default 6000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7, help="best-of-N repeats (default 7)"
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup regression for --check (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.requests, args.repeats)
+    print(render(report))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        return check(report, Path(args.check), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,23 @@
-"""Least-Recently-Used cache — the paper's replacement policy."""
+"""Least-Recently-Used cache — the paper's replacement policy.
+
+LRU backs every browser cache and the proxy cache in the default
+configuration, so its ``get``/``put`` sit directly on the replay hot
+path.  Instead of the base class's entry table plus a parallel recency
+``OrderedDict`` (two dict updates per access), the entry table *is* an
+``OrderedDict``: insertion appends at the MRU end, a touch is one
+``move_to_end``, and the LRU victim is the first key.  ``get`` and
+``put`` are additionally overridden with inlined fast paths that skip
+the policy-hook dispatch.  Behaviour — eviction order included — is
+bit-identical to the layered implementation; the frozen copy of the old
+code in :mod:`repro.core.reference` pins that under the differential
+test suite.
+"""
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.cache.base import Cache
+from repro.cache.base import Cache, CacheEntry
 
 __all__ = ["LRUCache"]
 
@@ -16,26 +29,76 @@ class LRUCache(Cache):
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
-        self._order: OrderedDict[int, None] = OrderedDict()
+        # Replace the base entry table: ordered from LRU to MRU.
+        self._entries: OrderedDict[int, CacheEntry] = OrderedDict()
+
+    # -- inlined hot path ------------------------------------------------
+
+    def get(self, key: int) -> CacheEntry | None:
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is not None:
+            entries.move_to_end(key)
+        return entry
+
+    def put(self, key: int, size: int, version: int = 0) -> list[int]:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        entries = self._entries
+        used = self.used
+        old = entries.get(key)
+        if old is not None:
+            # Refresh in place: account the size delta, keep identity.
+            used += size - old.size
+            old.size = size
+            old.version = version
+            entries.move_to_end(key)
+        elif size > self.capacity:
+            return []
+        else:
+            entries[key] = CacheEntry(key, size, version)
+            used += size
+        capacity = self.capacity
+        if used <= capacity:
+            self.used = used
+            return []
+        evicted: list[int] = []
+        while used > capacity:
+            victim = None
+            for k in entries:
+                if k != key:
+                    victim = k
+                    break
+            if victim is None:
+                # Only the just-refreshed oversized entry remains.
+                used -= entries.pop(key).size
+                evicted.append(key)
+                break
+            used -= entries.pop(victim).size
+            evicted.append(victim)
+        self.used = used
+        if self.on_evict is not None:
+            for k in evicted:
+                self.on_evict(k)
+        return evicted
+
+    # -- policy hooks (for the base-class paths: invalidate, clear) ------
 
     def _touch(self, key: int) -> None:
-        self._order.move_to_end(key)
+        self._entries.move_to_end(key)
 
     def _on_insert(self, key: int) -> None:
-        self._order[key] = None
+        pass  # dict insertion already appended at the MRU end
 
     def _on_remove(self, key: int) -> None:
-        del self._order[key]
+        pass  # popping the entry removed it from the order too
 
     def _pick_victim(self, exclude: int | None = None) -> int | None:
-        for key in self._order:
+        for key in self._entries:
             if key != exclude:
                 return key
         return None
 
-    def _on_clear(self) -> None:
-        self._order.clear()
-
     def keys_by_recency(self) -> list[int]:
         """Keys from least- to most-recently used (for inspection/tests)."""
-        return list(self._order)
+        return list(self._entries)

@@ -12,6 +12,7 @@ Examples::
     baps traces                             # trace characteristics only
     baps simulate --trace NLANR-uc --organization browsers-aware-proxy-server
     baps simulate --log access.log --format squid --proxy-frac 0.05
+    baps profile --trace NLANR-uc -o all    # per-phase replay timings
     baps parse access.log --format squid    # trace statistics for a log
 """
 
@@ -68,6 +69,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="print the sweep timing report (cells/sec, speedup vs serial)",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect per-phase replay timers into the timing report "
+            "(implies --timing; serial runs only — ignored with --workers)"
+        ),
     )
     run_p.add_argument(
         "--retries",
@@ -246,6 +255,41 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    prof = sub.add_parser(
+        "profile",
+        help="time the replay hot path per phase (opt-in instrumentation)",
+    )
+    prof_src = prof.add_mutually_exclusive_group()
+    prof_src.add_argument(
+        "--trace",
+        default="NLANR-uc",
+        help=f"paper trace name ({', '.join(sorted(PAPER_TRACES))})",
+    )
+    prof_src.add_argument("--log", help="path to a real access log instead")
+    prof.add_argument(
+        "--format",
+        choices=sorted(_PARSERS),
+        default="squid",
+        help="log format for --log",
+    )
+    prof.add_argument(
+        "--organization",
+        "-o",
+        default="browsers-aware-proxy-server",
+        help="one of: " + ", ".join(o.value for o in Organization) + ", or 'all'",
+    )
+    prof.add_argument("--proxy-frac", type=float, default=0.10,
+                      help="proxy cache as a fraction of the infinite cache size")
+    prof.add_argument("--browser-sizing", choices=("minimum", "average"),
+                      default="minimum")
+    prof.add_argument("--policy", default="lru",
+                      help="replacement policy (lru, fifo, lfu, size, gdsf)")
+    prof.add_argument("--index-kind", choices=("exact", "bloom"), default="exact")
+    prof.add_argument("--repeat", type=int, default=1, metavar="N",
+                      help="replay N times, accumulating timers (default: 1)")
+    prof.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON summary instead")
+
     parse_p = sub.add_parser("parse", help="print statistics for an access log")
     parse_p.add_argument("log", help="path to the log file")
     parse_p.add_argument("--format", choices=sorted(_PARSERS), default="squid")
@@ -367,6 +411,45 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.util.profiling import ReplayProfile
+
+    trace = _load_trace(args)
+    if len(trace) == 0:
+        print("trace is empty after filtering", file=sys.stderr)
+        return 1
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    if args.organization == "all":
+        organizations = list(Organization)
+    else:
+        organizations = [Organization.from_name(args.organization)]
+    config = SimulationConfig.relative(
+        trace,
+        proxy_frac=args.proxy_frac,
+        browser_sizing=args.browser_sizing,
+        proxy_policy=args.policy,
+        browser_policy=args.policy,
+        index_kind=args.index_kind,
+    )
+    summaries = {}
+    for organization in organizations:
+        profile = ReplayProfile()
+        for _ in range(args.repeat):
+            simulate(trace, organization, config, profile=profile)
+        if args.json:
+            summaries[organization.value] = profile.as_dict()
+        else:
+            print(f"{organization.value} — {trace.name}")
+            print(profile.render())
+    if args.json:
+        print(json.dumps({"trace": trace.name, "organizations": summaries}, indent=2))
+    return 0
+
+
 def _cmd_parse(args) -> int:
     from repro.traces import ParseReport
 
@@ -393,6 +476,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _cmd_simulate(args)
+
+    if args.command == "profile":
+        return _cmd_profile(args)
 
     if args.command == "parse":
         return _cmd_parse(args)
@@ -428,8 +514,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     workers = None if args.workers < 0 else args.workers
+    if args.profile:
+        args.timing = True
     options = None
-    if any((args.retries, args.cell_timeout, args.journal, args.resume)):
+    if any((args.retries, args.cell_timeout, args.journal, args.resume,
+            args.profile)):
         from repro.core.parallel import EngineOptions
 
         options = EngineOptions(
@@ -437,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
             cell_timeout=args.cell_timeout,
             journal=args.journal,
             resume=args.resume,
+            profile=args.profile,
         )
     for name in names:
         t0 = time.perf_counter()

@@ -27,18 +27,33 @@ Request path (matching paper §2/§3.2):
 
 Every leg is priced by the §4.2/§5 timing models into the result's
 :class:`~repro.core.overhead.OverheadReport`.
+
+The replay loops are the throughput bottleneck of every sweep, so they
+are written as *optimized fast paths*: per-request counters accumulate
+in local variables and flush into the result once at finalise, the
+timing arithmetic of the §4.2/§5 models is inlined (same operations in
+the same order, so the floats are bit-identical), per-client cache
+handles are precomputed, and config/feature reads are hoisted out of
+the loop.  :mod:`repro.core.reference` keeps a frozen copy of the
+straight-line engine; the differential suite
+(``tests/test_differential.py``) replays randomized configurations
+through both and asserts the results are exactly equal, field for
+field.  Passing a :class:`~repro.util.profiling.ReplayProfile` switches
+to instrumented loops that additionally time each phase
+(results stay bit-identical; only observation is added).
 """
 
 from __future__ import annotations
 
 import random
+from time import perf_counter
 
 from repro.cache import TieredLRUCache, make_cache
+from repro.cache.base import CacheEntry
 from repro.core.churn import ChurnProcess
 from repro.core.config import SimulationConfig
 from repro.core.events import HitLocation
 from repro.core.metrics import SimulationResult
-from repro.core.overhead import OverheadReport
 from repro.core.policies import Organization
 from repro.core.proxy_faults import ProxyFaultSchedule
 from repro.index.browser_index import BrowserIndex, UpdateMode
@@ -46,26 +61,36 @@ from repro.index.checkpoint import IndexCheckpointer
 from repro.index.engine_bloom import BloomBrowserIndex
 from repro.index.staleness import StalenessStats
 from repro.network.ethernet import SharedBus
-from repro.network.latency import AccessKind
 from repro.security.protocols import SecurityOverheadModel
 from repro.traces.record import Trace
+from repro.util.profiling import ReplayProfile
 from repro.util.rng import derive_seed
+from repro.util.units import BITS_PER_BYTE
 
 __all__ = ["Simulator", "simulate"]
 
 
 class Simulator:
-    """One organization, one configuration, one trace replay."""
+    """One organization, one configuration, one trace replay.
+
+    ``profile`` opts into the instrumented loops: per-phase wall-clock
+    timers accumulated into the given
+    :class:`~repro.util.profiling.ReplayProfile`.  It is a constructor
+    argument rather than a config knob so journal identity digests
+    (``config_digest``) are unaffected.
+    """
 
     def __init__(
         self,
         trace: Trace,
         organization: Organization,
         config: SimulationConfig,
+        profile: ReplayProfile | None = None,
     ) -> None:
         self.trace = trace
         self.organization = organization
         self.config = config
+        self.profile = profile
         self.features = organization.features
         if config.memory_fraction is not None and (
             config.browser_policy != "lru" or config.proxy_policy != "lru"
@@ -252,7 +277,9 @@ class Simulator:
         Returns ``(served, memory_tier)``.  A failed probe charges its
         own waste — a LAN round trip for an offline or stale holder, a
         discarded transfer plus verification for an integrity failure —
-        and leaves escalation to the caller.
+        and leaves escalation to the caller.  A successful probe only
+        submits the bus transfer; the *caller* accounts the remote hit
+        (so the replay loops can batch those counters).
         """
         config = self.config
         result = self.result
@@ -260,8 +287,9 @@ class Simulator:
         lan = config.lan
         if not self._holder_online(holder, t):
             result.holder_unavailable += 1
-            overhead.wasted_round_trip_time += lan.connection_setup
-            overhead.wasted_offline_time += lan.connection_setup
+            setup = lan.connection_setup
+            overhead.wasted_round_trip_time += setup
+            overhead.wasted_offline_time += setup
             return False, None
         holder_cache = self.browsers[holder]
         if config.remote_hit_refreshes_holder:
@@ -273,8 +301,9 @@ class Simulator:
             # Stale index: the holder no longer has this document.
             self.index.record_false_hit(holder, d)
             result.index_false_hits += 1
-            overhead.wasted_round_trip_time += lan.connection_setup
-            overhead.wasted_false_hit_time += lan.connection_setup
+            setup = lan.connection_setup
+            overhead.wasted_round_trip_time += setup
+            overhead.wasted_false_hit_time += setup
             return False, None
         if self._transfer_corrupted():
             # The transfer completes but fails the §6 watermark/MD5
@@ -288,26 +317,29 @@ class Simulator:
             overhead.integrity_retransmission_time += cost
             return False, None
         self.bus.submit(t, s)
-        result.record(HitLocation.REMOTE_BROWSER, s, memory)
-        overhead.remote_storage_time += self._storage_time(s, memory)
-        if self._security is not None:
-            overhead.security_time += self._security.transfer_cost(s)
         return True, memory
 
     def _remote_delivery(
-        self, c: int, d: int, s: int, v: int, t: float
+        self, c: int, d: int, s: int, v: int, t: float, prof: ReplayProfile | None = None
     ) -> tuple[bool, bool | None]:
         """The resilient remote-hit path shared by both replay loops.
 
         Looks up a holder, then fails over across the index's replica
         list — bounded by ``config.max_holder_retries`` — until one
         probe serves the document or the candidates are exhausted.
-        Returns ``(served, memory_tier)``; on ``False`` the request
-        escalates to the origin.
+        Returns ``(served, memory_tier)``; on ``True`` the caller
+        accounts the remote hit, on ``False`` the request escalates to
+        the origin.  ``prof`` (instrumented loops only) times the index
+        lookup as its own sub-phase.
         """
         index = self.index
         result = self.result
-        hit = index.lookup(d, exclude_client=c, now=t, version=v)
+        if prof is None:
+            hit = index.lookup(d, exclude_client=c, now=t, version=v)
+        else:
+            t0 = perf_counter()
+            hit = index.lookup(d, exclude_client=c, now=t, version=v)
+            prof.add("index_lookup", perf_counter() - t0)
         if hit is None:
             # Was this a lost opportunity?  Check the truth.
             if self._recovering:
@@ -319,6 +351,20 @@ class Simulator:
             elif index.is_stale and self._truth_holds(d, v, exclude=c):
                 index.record_false_miss()
             return False, None
+        return self._failover_deliver(hit, c, d, s, v, t)
+
+    def _failover_deliver(
+        self, hit, c: int, d: int, s: int, v: int, t: float
+    ) -> tuple[bool, bool | None]:
+        """Probe the looked-up holder, failing over across the index's
+        replica list until one probe serves or candidates run out.
+
+        Split from :meth:`_remote_delivery` so the optimized loops can
+        inline the (far more common) lookup-miss path and only pay this
+        call on an index hit.
+        """
+        index = self.index
+        result = self.result
         tried = {hit.client}
         holder = hit.client
         retries_left = self.config.max_holder_retries
@@ -352,13 +398,14 @@ class Simulator:
     def _browser_put(self, client: int, doc: int, size: int, version: int, now: float) -> None:
         """Insert into a browser cache, keeping the index in sync."""
         cache = self.browsers[client]
-        if self.index is not None:
+        index = self.index
+        if index is not None:
             already = doc in cache
             self._now = now
             cache.put(doc, size, version)
             # An oversized object is refused; only index what is cached.
             if doc in cache:
-                self.index.record_insert(
+                index.record_insert(
                     client,
                     doc,
                     version,
@@ -368,7 +415,7 @@ class Simulator:
                     replace=already,
                 )
             elif already:
-                self.index.record_evict(client, doc, now)
+                index.record_evict(client, doc, now)
         else:
             cache.put(doc, size, version)
 
@@ -498,74 +545,479 @@ class Simulator:
 
         With ``config.consistency`` set the replay honours
         expiration-based coherence (stale deliveries, validations);
-        otherwise the paper's perfect-coherence fast path runs.
+        otherwise the paper's perfect-coherence fast path runs.  With a
+        profile attached the instrumented (but result-identical) loop
+        variants run instead.
         """
+        profile = self.profile
+        if profile is None:
+            if self.config.consistency is not None:
+                return self._run_coherent()
+            return self._run_fast()
+        t0 = perf_counter()
         if self.config.consistency is not None:
-            return self._run_coherent()
-        return self._run_fast()
+            result = self._run_coherent_profiled()
+        else:
+            result = self._run_fast_profiled()
+        profile.wall_seconds += perf_counter() - t0
+        profile.n_requests += result.n_requests
+        return result
 
     def _run_fast(self) -> SimulationResult:
         features = self.features
         config = self.config
         result = self.result
-        overhead = result.overhead
         browsers = self.browsers
         proxy = self.proxy
         index = self.index
+
+        # Hoisted feature/config reads — loop-invariant.
+        tiered = self._tiered
+        has_browsers = features.has_browsers
+        caches_remote = features.caches_remote_fetches
+        cache_remote_at_proxy = config.cache_remote_hits_at_proxy
+
+        # Inlined timing models.  The arithmetic below replicates
+        # EthernetModel.transfer_time, WANModel.fetch_time, and
+        # MemoryDiskModel.{memory,disk}_time operation-for-operation so
+        # the accumulated floats are bit-identical to the method calls.
         lan = config.lan
         wan = config.wan
+        storage = config.storage
+        lan_setup = lan.connection_setup
+        lan_bw = lan.bandwidth_bps
+        wan_setup = wan.connection_setup
+        wan_bw = wan.bandwidth_bps
+        mem_block = storage.memory_block_bytes
+        mem_bt = storage.memory_block_time
+        disk_page = storage.disk_page_bytes
+        disk_pt = storage.disk_page_time
+        BITS = BITS_PER_BYTE
+
+        # Precomputed per-client handles (plain caches only; the tiered
+        # model keeps the uniform _get wrapper).
+        self_get = self._get
+        browser_gets = (
+            [b.get for b in browsers] if has_browsers and not tiered else None
+        )
+        # Inlined _browser_put (plain caches): per-client bound `put`s
+        # and direct entry-table views for the membership probes, plus
+        # the index event methods bound once (rebound after a crash).
+        browser_puts = (
+            [b.put for b in browsers] if has_browsers and not tiered else None
+        )
+        browser_entries = (
+            [b._entries for b in browsers] if has_browsers and not tiered else None
+        )
+        # LRU probes bypass the Python-level Cache.get frame entirely:
+        # the merged-OrderedDict layout makes a probe one C-level
+        # dict.get plus (on residency) one C-level move_to_end — the
+        # exact semantics of LRUCache.get.
+        lru_b = browser_entries is not None and config.browser_policy == "lru"
+        lru_p = proxy is not None and not tiered and config.proxy_policy == "lru"
+        proxy_entries = proxy._entries if lru_p else None
+        # Where no eviction hook can fire, LRUCache.put itself is
+        # inlined at the populate sites below: browser caches only get
+        # an ``on_evict`` when an index exists (evictions must then be
+        # reported), and the proxy cache never gets one.
+        inline_bput = lru_b and index is None
+        index_ttl = config.index_entry_ttl
+        record_insert = index.record_insert if index is not None else None
+        record_evict = index.record_evict if index is not None else None
+        # Inlined _remote_delivery: the lookup (and its far more common
+        # miss outcome) runs in the loop; only an index hit pays the
+        # _failover_deliver call.
+        index_lookup = index.lookup if index is not None else None
+        index_stale = index.is_stale if index is not None else False
+        failover = self._failover_deliver
+        truth_holds = self._truth_holds
+        proxy_get = proxy.get if proxy is not None and not tiered else None
+        proxy_put = proxy.put if proxy is not None else None
+        browser_put = self._browser_put
+        security = self._security
+        sec_transfer = security.transfer_cost if security is not None else None
         recovery = (
             self._advance_recovery
             if self._fault_schedule is not None or self._checkpointer is not None
             else None
         )
 
+        # Batched counters: accumulated locally, flushed into the result
+        # once after the loop.  Each target field is written *only* by
+        # this loop and starts at zero, so a single flush of locals
+        # accumulated in request order is bit-identical to per-request
+        # `+=` on the field itself.
+        n_requests = 0
+        total_bytes = 0
+        lb_hits = lb_bytes = lb_mem_hits = lb_mem_bytes = lb_disk_hits = lb_disk_bytes = 0
+        px_hits = px_bytes = px_mem_hits = px_mem_bytes = px_disk_hits = px_disk_bytes = 0
+        rb_hits = rb_bytes = rb_mem_hits = rb_mem_bytes = rb_disk_hits = rb_disk_bytes = 0
+        og_misses = og_bytes = 0
+        local_hit_time = 0.0
+        proxy_hit_time = 0.0
+        origin_miss_time = 0.0
+        remote_storage_time = 0.0
+        security_time = 0.0
+        peak_entries = result.index_peak_entries
+        peak_footprint = result.index_peak_footprint_bytes
+
         for t, c, d, s, v in self.trace.iter_rows():
             if recovery is not None and recovery(t):
                 # a crash replaced the proxy/index objects
                 proxy = self.proxy
                 index = self.index
+                proxy_get = proxy.get if proxy is not None and not tiered else None
+                proxy_put = proxy.put if proxy is not None else None
+                record_insert = index.record_insert if index is not None else None
+                record_evict = index.record_evict if index is not None else None
+                index_lookup = index.lookup if index is not None else None
+                index_stale = index.is_stale if index is not None else False
+                proxy_entries = proxy._entries if lru_p else None
 
             # 1. local browser cache
-            if features.has_browsers:
-                entry, memory = self._get(browsers[c], d)
-                if entry is not None and entry.version == v:
-                    result.record(HitLocation.LOCAL_BROWSER, s, memory)
-                    overhead.local_hit_time += self._storage_time(s, memory)
-                    continue
+            if has_browsers:
+                if lru_b:
+                    bce = browser_entries[c]
+                    entry = bce.get(d)
+                    if entry is not None:
+                        bce.move_to_end(d)
+                        if entry.version == v:
+                            n_requests += 1
+                            total_bytes += s
+                            lb_hits += 1
+                            lb_bytes += s
+                            local_hit_time += -(-s // disk_page) * disk_pt
+                            continue
+                else:
+                    if tiered:
+                        entry, memory = self_get(browsers[c], d)
+                    else:
+                        entry = browser_gets[c](d)
+                        memory = None
+                    if entry is not None and entry.version == v:
+                        n_requests += 1
+                        total_bytes += s
+                        lb_hits += 1
+                        lb_bytes += s
+                        if memory is None:
+                            local_hit_time += -(-s // disk_page) * disk_pt
+                        elif memory:
+                            lb_mem_hits += 1
+                            lb_mem_bytes += s
+                            local_hit_time += -(-s // mem_block) * mem_bt
+                        else:
+                            lb_disk_hits += 1
+                            lb_disk_bytes += s
+                            local_hit_time += -(-s // disk_page) * disk_pt
+                        continue
 
             # 2. proxy cache
             if proxy is not None:
-                entry, memory = self._get(proxy, d)
-                if entry is not None and entry.version == v:
-                    result.record(HitLocation.PROXY, s, memory)
-                    overhead.proxy_hit_time += self._storage_time(
-                        s, memory
-                    ) + lan.transfer_time(s)
-                    if features.has_browsers:
-                        self._browser_put(c, d, s, v, t)
-                    continue
+                if lru_p:
+                    entry = proxy_entries.get(d)
+                    if entry is not None:
+                        proxy_entries.move_to_end(d)
+                        if entry.version == v:
+                            n_requests += 1
+                            total_bytes += s
+                            px_hits += 1
+                            px_bytes += s
+                            proxy_hit_time += -(-s // disk_page) * disk_pt + (
+                                lan_setup + s * BITS / lan_bw
+                            )
+                            if has_browsers:
+                                # inlined _browser_put
+                                if inline_bput:
+                                    # inlined LRUCache.put (no evict hook)
+                                    bcache = browsers[c]
+                                    bce = browser_entries[c]
+                                    old = bce.get(d)
+                                    if old is not None:
+                                        bused = bcache.used + s - old.size
+                                        old.size = s
+                                        old.version = v
+                                        bce.move_to_end(d)
+                                    elif s <= bcache.capacity:
+                                        bce[d] = CacheEntry(d, s, v)
+                                        bused = bcache.used + s
+                                    else:
+                                        bused = -1  # refused: no change
+                                    if bused >= 0:
+                                        cap = bcache.capacity
+                                        if bused <= cap:
+                                            bcache.used = bused
+                                        else:
+                                            while bused > cap:
+                                                victim = None
+                                                for k in bce:
+                                                    if k != d:
+                                                        victim = k
+                                                        break
+                                                if victim is None:
+                                                    bused -= bce.pop(d).size
+                                                    break
+                                                bused -= bce.pop(victim).size
+                                            bcache.used = bused
+                                elif record_insert is None:
+                                    browser_puts[c](d, s, v)
+                                else:
+                                    bce = browser_entries[c]
+                                    already = d in bce
+                                    self._now = t
+                                    browser_puts[c](d, s, v)
+                                    if d in bce:
+                                        record_insert(c, d, v, s, t, index_ttl, already)
+                                    elif already:
+                                        record_evict(c, d, t)
+                            continue
+                else:
+                    if tiered:
+                        entry, memory = self_get(proxy, d)
+                    else:
+                        entry = proxy_get(d)
+                        memory = None
+                    if entry is not None and entry.version == v:
+                        n_requests += 1
+                        total_bytes += s
+                        px_hits += 1
+                        px_bytes += s
+                        if memory is None:
+                            stime = -(-s // disk_page) * disk_pt
+                        elif memory:
+                            px_mem_hits += 1
+                            px_mem_bytes += s
+                            stime = -(-s // mem_block) * mem_bt
+                        else:
+                            px_disk_hits += 1
+                            px_disk_bytes += s
+                            stime = -(-s // disk_page) * disk_pt
+                        proxy_hit_time += stime + (lan_setup + s * BITS / lan_bw)
+                        if has_browsers:
+                            # inlined _browser_put
+                            if inline_bput:
+                                # inlined LRUCache.put (no evict hook)
+                                bcache = browsers[c]
+                                bce = browser_entries[c]
+                                old = bce.get(d)
+                                if old is not None:
+                                    bused = bcache.used + s - old.size
+                                    old.size = s
+                                    old.version = v
+                                    bce.move_to_end(d)
+                                elif s <= bcache.capacity:
+                                    bce[d] = CacheEntry(d, s, v)
+                                    bused = bcache.used + s
+                                else:
+                                    bused = -1  # refused: no change
+                                if bused >= 0:
+                                    cap = bcache.capacity
+                                    if bused <= cap:
+                                        bcache.used = bused
+                                    else:
+                                        while bused > cap:
+                                            victim = None
+                                            for k in bce:
+                                                if k != d:
+                                                    victim = k
+                                                    break
+                                            if victim is None:
+                                                bused -= bce.pop(d).size
+                                                break
+                                            bused -= bce.pop(victim).size
+                                        bcache.used = bused
+                            elif browser_puts is None:
+                                browser_put(c, d, s, v, t)
+                            elif record_insert is None:
+                                browser_puts[c](d, s, v)
+                            else:
+                                bce = browser_entries[c]
+                                already = d in bce
+                                self._now = t
+                                browser_puts[c](d, s, v)
+                                if d in bce:
+                                    record_insert(c, d, v, s, t, index_ttl, already)
+                                elif already:
+                                    record_evict(c, d, t)
+                        continue
 
-            # 3. browser index -> remote browser cache (with failover)
+            # 3. browser index -> remote browser cache (with failover);
+            # inlined _remote_delivery lookup-miss fast path
             if index is not None:
-                remote_served, _memory = self._remote_delivery(c, d, s, v, t)
+                hit = index_lookup(d, c, t, v)
+                if hit is None:
+                    if recovery is not None and self._recovering:
+                        if truth_holds(d, v, c):
+                            result.hits_lost_to_recovery += 1
+                    elif index_stale and truth_holds(d, v, c):
+                        index.record_false_miss()
+                    remote_served = False
+                else:
+                    remote_served, memory = failover(hit, c, d, s, v, t)
                 if remote_served:
-                    if features.caches_remote_fetches:
-                        self._browser_put(c, d, s, v, t)
-                        if config.cache_remote_hits_at_proxy and proxy is not None:
-                            proxy.put(d, s, v)
-                    self._track_index_peak()
+                    n_requests += 1
+                    total_bytes += s
+                    rb_hits += 1
+                    rb_bytes += s
+                    if memory is None:
+                        remote_storage_time += -(-s // disk_page) * disk_pt
+                    elif memory:
+                        rb_mem_hits += 1
+                        rb_mem_bytes += s
+                        remote_storage_time += -(-s // mem_block) * mem_bt
+                    else:
+                        rb_disk_hits += 1
+                        rb_disk_bytes += s
+                        remote_storage_time += -(-s // disk_page) * disk_pt
+                    if sec_transfer is not None:
+                        security_time += sec_transfer(s)
+                    if caches_remote:
+                        # inlined _browser_put
+                        if browser_puts is None:
+                            browser_put(c, d, s, v, t)
+                        else:
+                            bce = browser_entries[c]
+                            already = d in bce
+                            self._now = t
+                            browser_puts[c](d, s, v)
+                            if d in bce:
+                                record_insert(c, d, v, s, t, index_ttl, already)
+                            elif already:
+                                record_evict(c, d, t)
+                        if cache_remote_at_proxy and proxy_put is not None:
+                            proxy_put(d, s, v)
+                    n = index.n_entries
+                    if n > peak_entries:
+                        peak_entries = n
+                        peak_footprint = index.footprint_bytes()
                     continue
 
             # 4. origin server
-            result.record(HitLocation.ORIGIN, s)
-            overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
-            if proxy is not None:
-                proxy.put(d, s, v)
-            if features.has_browsers:
-                self._browser_put(c, d, s, v, t)
+            n_requests += 1
+            total_bytes += s
+            og_misses += 1
+            og_bytes += s
+            origin_miss_time += (wan_setup + s * BITS / wan_bw) + (
+                lan_setup + s * BITS / lan_bw
+            )
+            if lru_p:
+                # inlined LRUCache.put (proxy caches have no evict hook)
+                old = proxy_entries.get(d)
+                if old is not None:
+                    pused = proxy.used + s - old.size
+                    old.size = s
+                    old.version = v
+                    proxy_entries.move_to_end(d)
+                elif s <= proxy.capacity:
+                    proxy_entries[d] = CacheEntry(d, s, v)
+                    pused = proxy.used + s
+                else:
+                    pused = -1  # refused: no change
+                if pused >= 0:
+                    cap = proxy.capacity
+                    if pused <= cap:
+                        proxy.used = pused
+                    else:
+                        while pused > cap:
+                            victim = None
+                            for k in proxy_entries:
+                                if k != d:
+                                    victim = k
+                                    break
+                            if victim is None:
+                                pused -= proxy_entries.pop(d).size
+                                break
+                            pused -= proxy_entries.pop(victim).size
+                        proxy.used = pused
+            elif proxy_put is not None:
+                proxy_put(d, s, v)
+            if has_browsers:
+                # inlined _browser_put
+                if inline_bput:
+                    # inlined LRUCache.put (no evict hook)
+                    bcache = browsers[c]
+                    bce = browser_entries[c]
+                    old = bce.get(d)
+                    if old is not None:
+                        bused = bcache.used + s - old.size
+                        old.size = s
+                        old.version = v
+                        bce.move_to_end(d)
+                    elif s <= bcache.capacity:
+                        bce[d] = CacheEntry(d, s, v)
+                        bused = bcache.used + s
+                    else:
+                        bused = -1  # refused: no change
+                    if bused >= 0:
+                        cap = bcache.capacity
+                        if bused <= cap:
+                            bcache.used = bused
+                        else:
+                            while bused > cap:
+                                victim = None
+                                for k in bce:
+                                    if k != d:
+                                        victim = k
+                                        break
+                                if victim is None:
+                                    bused -= bce.pop(d).size
+                                    break
+                                bused -= bce.pop(victim).size
+                            bcache.used = bused
+                elif browser_puts is None:
+                    browser_put(c, d, s, v, t)
+                elif record_insert is None:
+                    browser_puts[c](d, s, v)
+                else:
+                    bce = browser_entries[c]
+                    already = d in bce
+                    self._now = t
+                    browser_puts[c](d, s, v)
+                    if d in bce:
+                        record_insert(c, d, v, s, t, index_ttl, already)
+                    elif already:
+                        record_evict(c, d, t)
             if index is not None:
-                self._track_index_peak()
+                n = index.n_entries
+                if n > peak_entries:
+                    peak_entries = n
+                    peak_footprint = index.footprint_bytes()
+
+        # -- flush the batched counters --------------------------------
+        overhead = result.overhead
+        result.n_requests += n_requests
+        result.total_bytes += total_bytes
+        by_location = result.by_location
+        stats = by_location[HitLocation.LOCAL_BROWSER]
+        stats.hits += lb_hits
+        stats.hit_bytes += lb_bytes
+        stats.memory_hits += lb_mem_hits
+        stats.memory_hit_bytes += lb_mem_bytes
+        stats.disk_hits += lb_disk_hits
+        stats.disk_hit_bytes += lb_disk_bytes
+        stats = by_location[HitLocation.PROXY]
+        stats.hits += px_hits
+        stats.hit_bytes += px_bytes
+        stats.memory_hits += px_mem_hits
+        stats.memory_hit_bytes += px_mem_bytes
+        stats.disk_hits += px_disk_hits
+        stats.disk_hit_bytes += px_disk_bytes
+        stats = by_location[HitLocation.REMOTE_BROWSER]
+        stats.hits += rb_hits
+        stats.hit_bytes += rb_bytes
+        stats.memory_hits += rb_mem_hits
+        stats.memory_hit_bytes += rb_mem_bytes
+        stats.disk_hits += rb_disk_hits
+        stats.disk_hit_bytes += rb_disk_bytes
+        stats = by_location[HitLocation.ORIGIN]
+        stats.misses += og_misses
+        stats.miss_bytes += og_bytes
+        overhead.local_hit_time += local_hit_time
+        overhead.proxy_hit_time += proxy_hit_time
+        overhead.origin_miss_time += origin_miss_time
+        overhead.remote_storage_time += remote_storage_time
+        overhead.security_time += security_time
+        result.index_peak_entries = peak_entries
+        result.index_peak_footprint_bytes = peak_footprint
 
         return self._finalise()
 
@@ -591,16 +1043,457 @@ class Simulator:
         browsers = self.browsers
         proxy = self.proxy
         index = self.index
+        policy = config.consistency
+
+        tiered = self._tiered
+        has_browsers = features.has_browsers
+        caches_remote = features.caches_remote_fetches
+        cache_remote_at_proxy = config.cache_remote_hits_at_proxy
+
         lan = config.lan
         wan = config.wan
-        policy = config.consistency
+        storage = config.storage
+        lan_setup = lan.connection_setup
+        lan_bw = lan.bandwidth_bps
+        wan_setup = wan.connection_setup
+        wan_bw = wan.bandwidth_bps
+        wan_conn = wan.connection_setup
+        mem_block = storage.memory_block_bytes
+        mem_bt = storage.memory_block_time
+        disk_page = storage.disk_page_bytes
+        disk_pt = storage.disk_page_time
+        BITS = BITS_PER_BYTE
+
+        self_get = self._get
+        browser_gets = (
+            [b.get for b in browsers] if has_browsers and not tiered else None
+        )
+        # Inlined _browser_put handles (see _run_fast).
+        browser_puts = (
+            [b.put for b in browsers] if has_browsers and not tiered else None
+        )
+        browser_entries = (
+            [b._entries for b in browsers] if has_browsers and not tiered else None
+        )
+        # Direct C-level LRU probes (see _run_fast).
+        lru_b = browser_entries is not None and config.browser_policy == "lru"
+        lru_p = proxy is not None and not tiered and config.proxy_policy == "lru"
+        proxy_entries = proxy._entries if lru_p else None
+        index_ttl = config.index_entry_ttl
+        record_insert = index.record_insert if index is not None else None
+        record_evict = index.record_evict if index is not None else None
+        # Inlined _remote_delivery handles (see _run_fast).
+        index_lookup = index.lookup if index is not None else None
+        index_stale = index.is_stale if index is not None else False
+        failover = self._failover_deliver
+        truth_holds = self._truth_holds
+        proxy_get = proxy.get if proxy is not None and not tiered else None
+        proxy_put = proxy.put if proxy is not None else None
+        browser_put = self._browser_put
+        security = self._security
+        sec_transfer = security.transfer_cost if security is not None else None
+        recovery = (
+            self._advance_recovery
+            if self._fault_schedule is not None or self._checkpointer is not None
+            else None
+        )
+        expires_at = policy.expires_at
+
+        # Batched counters (same flush-once discipline as _run_fast;
+        # validation_time and the consistency counters stay direct —
+        # they are exclusively written by coherence_action, so order is
+        # preserved either way and the closure stays simple).
+        n_requests = 0
+        total_bytes = 0
+        lb_hits = lb_bytes = lb_mem_hits = lb_mem_bytes = lb_disk_hits = lb_disk_bytes = 0
+        px_hits = px_bytes = px_mem_hits = px_mem_bytes = px_disk_hits = px_disk_bytes = 0
+        rb_hits = rb_bytes = rb_mem_hits = rb_mem_bytes = rb_disk_hits = rb_disk_bytes = 0
+        og_misses = og_bytes = 0
+        local_hit_time = 0.0
+        proxy_hit_time = 0.0
+        origin_miss_time = 0.0
+        remote_storage_time = 0.0
+        security_time = 0.0
+        peak_entries = result.index_peak_entries
+        peak_footprint = result.index_peak_footprint_bytes
+
+        #: first time each version was observed ~ modification time.
+        last_modified: dict[int, float] = {}
+        seen_version: dict[int, int] = {}
+
+        def coherence_action(entry, v: int, t: float, last_mod: float) -> str:
+            if t <= entry.expires_at:
+                return "serve"
+            cstats.validations += 1
+            overhead.validation_time += wan_conn
+            if entry.version == v:
+                cstats.validated_hits += 1
+                entry.expires_at = expires_at(t, last_mod)
+                return "validated"
+            cstats.validation_misses += 1
+            return "changed"
+
+        def stamp(cache, d: int, t: float, last_mod: float) -> None:
+            entry = cache.peek(d)
+            if entry is not None:
+                entry.expires_at = expires_at(t, last_mod)
+
+        for t, c, d, s, v in self.trace.iter_rows():
+            if recovery is not None and recovery(t):
+                # a crash replaced the proxy/index objects
+                proxy = self.proxy
+                index = self.index
+                proxy_get = proxy.get if proxy is not None and not tiered else None
+                proxy_put = proxy.put if proxy is not None else None
+                record_insert = index.record_insert if index is not None else None
+                record_evict = index.record_evict if index is not None else None
+                index_lookup = index.lookup if index is not None else None
+                index_stale = index.is_stale if index is not None else False
+                proxy_entries = proxy._entries if lru_p else None
+
+            sv = seen_version.get(d)
+            if sv is None or v > sv:
+                seen_version[d] = v
+                last_modified[d] = t
+            last_mod = last_modified[d]
+            served = False
+            go_origin = False
+
+            # 1. local browser cache
+            if has_browsers:
+                if lru_b:
+                    bce = browser_entries[c]
+                    entry = bce.get(d)
+                    if entry is not None:
+                        bce.move_to_end(d)
+                    memory = None
+                elif tiered:
+                    entry, memory = self_get(browsers[c], d)
+                else:
+                    entry = browser_gets[c](d)
+                    memory = None
+                if entry is not None:
+                    action = coherence_action(entry, v, t, last_mod)
+                    if action == "serve" or action == "validated":
+                        if action == "serve" and entry.version != v:
+                            cstats.stale_deliveries += 1
+                            cstats.stale_bytes += s
+                        n_requests += 1
+                        total_bytes += s
+                        lb_hits += 1
+                        lb_bytes += s
+                        if memory is None:
+                            local_hit_time += -(-s // disk_page) * disk_pt
+                        elif memory:
+                            lb_mem_hits += 1
+                            lb_mem_bytes += s
+                            local_hit_time += -(-s // mem_block) * mem_bt
+                        else:
+                            lb_disk_hits += 1
+                            lb_disk_bytes += s
+                            local_hit_time += -(-s // disk_page) * disk_pt
+                        served = True
+                    elif action == "changed":
+                        go_origin = True
+
+            # 2. proxy cache
+            if not served and not go_origin and proxy is not None:
+                if lru_p:
+                    entry = proxy_entries.get(d)
+                    if entry is not None:
+                        proxy_entries.move_to_end(d)
+                    memory = None
+                elif tiered:
+                    entry, memory = self_get(proxy, d)
+                else:
+                    entry = proxy_get(d)
+                    memory = None
+                if entry is not None:
+                    action = coherence_action(entry, v, t, last_mod)
+                    if action == "serve" or action == "validated":
+                        if action == "serve" and entry.version != v:
+                            cstats.stale_deliveries += 1
+                            cstats.stale_bytes += s
+                        n_requests += 1
+                        total_bytes += s
+                        px_hits += 1
+                        px_bytes += s
+                        if memory is None:
+                            stime = -(-s // disk_page) * disk_pt
+                        elif memory:
+                            px_mem_hits += 1
+                            px_mem_bytes += s
+                            stime = -(-s // mem_block) * mem_bt
+                        else:
+                            px_disk_hits += 1
+                            px_disk_bytes += s
+                            stime = -(-s // disk_page) * disk_pt
+                        proxy_hit_time += stime + (lan_setup + s * BITS / lan_bw)
+                        if has_browsers:
+                            ev = entry.version
+                            # inlined _browser_put
+                            if browser_puts is None:
+                                browser_put(c, d, s, ev, t)
+                            elif record_insert is None:
+                                browser_puts[c](d, s, ev)
+                            else:
+                                bce = browser_entries[c]
+                                already = d in bce
+                                self._now = t
+                                browser_puts[c](d, s, ev)
+                                if d in bce:
+                                    record_insert(c, d, ev, s, t, index_ttl, already)
+                                elif already:
+                                    record_evict(c, d, t)
+                            stamp(browsers[c], d, t, last_mod)
+                        served = True
+                    elif action == "changed":
+                        go_origin = True
+
+            # 3. browser index -> remote browser cache (exact match only,
+            #    with failover); inlined _remote_delivery fast path
+            if not served and not go_origin and index is not None:
+                hit = index_lookup(d, c, t, v)
+                if hit is None:
+                    if recovery is not None and self._recovering:
+                        if truth_holds(d, v, c):
+                            result.hits_lost_to_recovery += 1
+                    elif index_stale and truth_holds(d, v, c):
+                        index.record_false_miss()
+                    remote_served = False
+                else:
+                    remote_served, memory = failover(hit, c, d, s, v, t)
+                if remote_served:
+                    n_requests += 1
+                    total_bytes += s
+                    rb_hits += 1
+                    rb_bytes += s
+                    if memory is None:
+                        remote_storage_time += -(-s // disk_page) * disk_pt
+                    elif memory:
+                        rb_mem_hits += 1
+                        rb_mem_bytes += s
+                        remote_storage_time += -(-s // mem_block) * mem_bt
+                    else:
+                        rb_disk_hits += 1
+                        rb_disk_bytes += s
+                        remote_storage_time += -(-s // disk_page) * disk_pt
+                    if sec_transfer is not None:
+                        security_time += sec_transfer(s)
+                    if caches_remote:
+                        # inlined _browser_put
+                        if browser_puts is None:
+                            browser_put(c, d, s, v, t)
+                        else:
+                            bce = browser_entries[c]
+                            already = d in bce
+                            self._now = t
+                            browser_puts[c](d, s, v)
+                            if d in bce:
+                                record_insert(c, d, v, s, t, index_ttl, already)
+                            elif already:
+                                record_evict(c, d, t)
+                        stamp(browsers[c], d, t, last_mod)
+                        if cache_remote_at_proxy and proxy_put is not None:
+                            proxy_put(d, s, v)
+                            stamp(proxy, d, t, last_mod)
+                    served = True
+                    n = index.n_entries
+                    if n > peak_entries:
+                        peak_entries = n
+                        peak_footprint = index.footprint_bytes()
+
+            # 4. origin server
+            if not served:
+                n_requests += 1
+                total_bytes += s
+                og_misses += 1
+                og_bytes += s
+                origin_miss_time += (wan_setup + s * BITS / wan_bw) + (
+                    lan_setup + s * BITS / lan_bw
+                )
+                if proxy_put is not None:
+                    proxy_put(d, s, v)
+                    stamp(proxy, d, t, last_mod)
+                if has_browsers:
+                    # inlined _browser_put
+                    if browser_puts is None:
+                        browser_put(c, d, s, v, t)
+                    elif record_insert is None:
+                        browser_puts[c](d, s, v)
+                    else:
+                        bce = browser_entries[c]
+                        already = d in bce
+                        self._now = t
+                        browser_puts[c](d, s, v)
+                        if d in bce:
+                            record_insert(c, d, v, s, t, index_ttl, already)
+                        elif already:
+                            record_evict(c, d, t)
+                    stamp(browsers[c], d, t, last_mod)
+                if index is not None:
+                    n = index.n_entries
+                    if n > peak_entries:
+                        peak_entries = n
+                        peak_footprint = index.footprint_bytes()
+
+        # -- flush the batched counters --------------------------------
+        result.n_requests += n_requests
+        result.total_bytes += total_bytes
+        by_location = result.by_location
+        stats = by_location[HitLocation.LOCAL_BROWSER]
+        stats.hits += lb_hits
+        stats.hit_bytes += lb_bytes
+        stats.memory_hits += lb_mem_hits
+        stats.memory_hit_bytes += lb_mem_bytes
+        stats.disk_hits += lb_disk_hits
+        stats.disk_hit_bytes += lb_disk_bytes
+        stats = by_location[HitLocation.PROXY]
+        stats.hits += px_hits
+        stats.hit_bytes += px_bytes
+        stats.memory_hits += px_mem_hits
+        stats.memory_hit_bytes += px_mem_bytes
+        stats.disk_hits += px_disk_hits
+        stats.disk_hit_bytes += px_disk_bytes
+        stats = by_location[HitLocation.REMOTE_BROWSER]
+        stats.hits += rb_hits
+        stats.hit_bytes += rb_bytes
+        stats.memory_hits += rb_mem_hits
+        stats.memory_hit_bytes += rb_mem_bytes
+        stats.disk_hits += rb_disk_hits
+        stats.disk_hit_bytes += rb_disk_bytes
+        stats = by_location[HitLocation.ORIGIN]
+        stats.misses += og_misses
+        stats.miss_bytes += og_bytes
+        overhead.local_hit_time += local_hit_time
+        overhead.proxy_hit_time += proxy_hit_time
+        overhead.origin_miss_time += origin_miss_time
+        overhead.remote_storage_time += remote_storage_time
+        overhead.security_time += security_time
+        result.index_peak_entries = peak_entries
+        result.index_peak_footprint_bytes = peak_footprint
+
+        return self._finalise()
+
+    # -- instrumented loop variants ------------------------------------------
+
+    def _run_fast_profiled(self) -> SimulationResult:
+        """The fast loop with per-phase timers (results bit-identical).
+
+        Written in the straight-line style of the reference engine —
+        direct counter updates in request order produce the same float
+        accumulation sequence as the batched fast path, so only the
+        wall-clock observation differs.
+        """
+        features = self.features
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        browsers = self.browsers
+        proxy = self.proxy
+        index = self.index
+        lan = config.lan
+        wan = config.wan
+        prof = self.profile
+        pc = perf_counter
+        security = self._security
         recovery = (
             self._advance_recovery
             if self._fault_schedule is not None or self._checkpointer is not None
             else None
         )
 
-        #: first time each version was observed ~ modification time.
+        for t, c, d, s, v in self.trace.iter_rows():
+            if recovery is not None:
+                t0 = pc()
+                crashed = recovery(t)
+                prof.add("recovery", pc() - t0)
+                if crashed:
+                    proxy = self.proxy
+                    index = self.index
+
+            # 1. local browser cache
+            if features.has_browsers:
+                t0 = pc()
+                entry, memory = self._get(browsers[c], d)
+                hit = entry is not None and entry.version == v
+                if hit:
+                    result.record(HitLocation.LOCAL_BROWSER, s, memory)
+                    overhead.local_hit_time += self._storage_time(s, memory)
+                prof.add("browser_probe", pc() - t0)
+                if hit:
+                    continue
+
+            # 2. proxy cache
+            if proxy is not None:
+                t0 = pc()
+                entry, memory = self._get(proxy, d)
+                hit = entry is not None and entry.version == v
+                if hit:
+                    result.record(HitLocation.PROXY, s, memory)
+                    overhead.proxy_hit_time += self._storage_time(
+                        s, memory
+                    ) + lan.transfer_time(s)
+                    if features.has_browsers:
+                        self._browser_put(c, d, s, v, t)
+                prof.add("proxy_probe", pc() - t0)
+                if hit:
+                    continue
+
+            # 3. browser index -> remote browser cache (with failover)
+            if index is not None:
+                t0 = pc()
+                remote_served, memory = self._remote_delivery(c, d, s, v, t, prof=prof)
+                if remote_served:
+                    result.record(HitLocation.REMOTE_BROWSER, s, memory)
+                    overhead.remote_storage_time += self._storage_time(s, memory)
+                    if security is not None:
+                        overhead.security_time += security.transfer_cost(s)
+                    if features.caches_remote_fetches:
+                        self._browser_put(c, d, s, v, t)
+                        if config.cache_remote_hits_at_proxy and proxy is not None:
+                            proxy.put(d, s, v)
+                    self._track_index_peak()
+                prof.add("remote_delivery", pc() - t0)
+                if remote_served:
+                    continue
+
+            # 4. origin server
+            t0 = pc()
+            result.record(HitLocation.ORIGIN, s)
+            overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
+            if proxy is not None:
+                proxy.put(d, s, v)
+            if features.has_browsers:
+                self._browser_put(c, d, s, v, t)
+            if index is not None:
+                self._track_index_peak()
+            prof.add("origin_fetch", pc() - t0)
+
+        return self._finalise()
+
+    def _run_coherent_profiled(self) -> SimulationResult:
+        """The coherent loop with per-phase timers (results identical)."""
+        features = self.features
+        config = self.config
+        result = self.result
+        overhead = result.overhead
+        cstats = result.consistency_stats
+        browsers = self.browsers
+        proxy = self.proxy
+        index = self.index
+        lan = config.lan
+        wan = config.wan
+        policy = config.consistency
+        prof = self.profile
+        pc = perf_counter
+        security = self._security
+        recovery = (
+            self._advance_recovery
+            if self._fault_schedule is not None or self._checkpointer is not None
+            else None
+        )
+
         last_modified: dict[int, float] = {}
         seen_version: dict[int, int] = {}
 
@@ -622,10 +1515,13 @@ class Simulator:
                 entry.expires_at = policy.expires_at(t, last_mod)
 
         for t, c, d, s, v in self.trace.iter_rows():
-            if recovery is not None and recovery(t):
-                # a crash replaced the proxy/index objects
-                proxy = self.proxy
-                index = self.index
+            if recovery is not None:
+                t0 = pc()
+                crashed = recovery(t)
+                prof.add("recovery", pc() - t0)
+                if crashed:
+                    proxy = self.proxy
+                    index = self.index
 
             sv = seen_version.get(d)
             if sv is None or v > sv:
@@ -637,6 +1533,7 @@ class Simulator:
 
             # 1. local browser cache
             if features.has_browsers:
+                t0 = pc()
                 entry, memory = self._get(browsers[c], d)
                 if entry is not None:
                     action = coherence_action(entry, v, t, last_mod)
@@ -649,9 +1546,11 @@ class Simulator:
                         served = True
                     elif action == "changed":
                         go_origin = True
+                prof.add("browser_probe", pc() - t0)
 
             # 2. proxy cache
             if not served and not go_origin and proxy is not None:
+                t0 = pc()
                 entry, memory = self._get(proxy, d)
                 if entry is not None:
                     action = coherence_action(entry, v, t, last_mod)
@@ -669,12 +1568,18 @@ class Simulator:
                         served = True
                     elif action == "changed":
                         go_origin = True
+                prof.add("proxy_probe", pc() - t0)
 
             # 3. browser index -> remote browser cache (exact match only,
             #    with failover)
             if not served and not go_origin and index is not None:
-                remote_served, _memory = self._remote_delivery(c, d, s, v, t)
+                t0 = pc()
+                remote_served, memory = self._remote_delivery(c, d, s, v, t, prof=prof)
                 if remote_served:
+                    result.record(HitLocation.REMOTE_BROWSER, s, memory)
+                    overhead.remote_storage_time += self._storage_time(s, memory)
+                    if security is not None:
+                        overhead.security_time += security.transfer_cost(s)
                     if features.caches_remote_fetches:
                         self._browser_put(c, d, s, v, t)
                         stamp(browsers[c], d, t, last_mod)
@@ -683,9 +1588,11 @@ class Simulator:
                             stamp(proxy, d, t, last_mod)
                     served = True
                     self._track_index_peak()
+                prof.add("remote_delivery", pc() - t0)
 
             # 4. origin server
             if not served:
+                t0 = pc()
                 result.record(HitLocation.ORIGIN, s)
                 overhead.origin_miss_time += wan.fetch_time(s) + lan.transfer_time(s)
                 if proxy is not None:
@@ -696,6 +1603,7 @@ class Simulator:
                     stamp(browsers[c], d, t, last_mod)
                 if index is not None:
                     self._track_index_peak()
+                prof.add("origin_fetch", pc() - t0)
 
         return self._finalise()
 
@@ -743,6 +1651,11 @@ def simulate(
     trace: Trace,
     organization: Organization,
     config: SimulationConfig,
+    profile: ReplayProfile | None = None,
 ) -> SimulationResult:
-    """Convenience one-shot: build a :class:`Simulator` and run it."""
-    return Simulator(trace, organization, config).run()
+    """Convenience one-shot: build a :class:`Simulator` and run it.
+
+    ``profile`` (a :class:`~repro.util.profiling.ReplayProfile`) opts
+    into the instrumented loops; results are bit-identical either way.
+    """
+    return Simulator(trace, organization, config, profile=profile).run()

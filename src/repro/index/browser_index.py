@@ -27,9 +27,13 @@ class UpdateMode(Enum):
     PERIODIC = "periodic"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class IndexLookup:
-    """A successful index search: the chosen holder's entry."""
+    """A successful index search: the chosen holder's entry.
+
+    Non-frozen slots dataclass for cheap construction (one per index
+    hit on the replay hot path); treated as immutable by convention.
+    """
 
     client: int
     entry: IndexEntry
@@ -72,6 +76,8 @@ class BrowserIndex:
         self.n_clients = n_clients
         self.mode = mode
         self.policy = policy
+        # Hot-path flag: cheaper than an enum identity test per event.
+        self._invalidation = mode is UpdateMode.INVALIDATION
         #: visible index: doc -> {client: IndexEntry}
         self._visible: dict[int, dict[int, IndexEntry]] = {}
         #: pending (periodic mode): client -> {doc: IndexEntry | None}
@@ -109,44 +115,45 @@ class BrowserIndex:
 
         Pass ``replace=True`` when the client is refreshing a document
         it already cached (a new version), so the per-client document
-        count used by the periodic policy stays accurate.
+        count used by the periodic policy stays accurate.  (Under
+        invalidation the per-client counters feed nothing, so the fast
+        path skips them.)
         """
-        entry = IndexEntry(
-            client=client, doc=doc, version=version, size=size, timestamp=now, ttl=ttl
-        )
         self.n_insert_events += 1
-        state = self._client_state[client]
-        if not replace:
-            state.cached_docs += 1
-        if self.mode is UpdateMode.INVALIDATION:
+        if self._invalidation:
             holders = self._visible.setdefault(doc, {})
             if client not in holders:
                 self._n_entries += 1
-            holders[client] = entry
-            self._restored.discard((doc, client))
-        else:
-            self._pending[client][doc] = entry
-            state.pending_changes += 1
-            self._maybe_flush(client, now)
+            holders[client] = IndexEntry(client, doc, version, size, now, ttl)
+            if self._restored:
+                self._restored.discard((doc, client))
+            return
+        state = self._client_state[client]
+        if not replace:
+            state.cached_docs += 1
+        self._pending[client][doc] = IndexEntry(client, doc, version, size, now, ttl)
+        state.pending_changes += 1
+        self._maybe_flush(client, now)
 
     def record_evict(self, client: int, doc: int, now: float) -> None:
         """A document left *client*'s browser cache (evicted or
         invalidated)."""
         self.n_evict_events += 1
-        state = self._client_state[client]
-        state.cached_docs = max(0, state.cached_docs - 1)
-        if self.mode is UpdateMode.INVALIDATION:
+        if self._invalidation:
             holders = self._visible.get(doc)
             if holders and client in holders:
                 del holders[client]
                 self._n_entries -= 1
-                self._restored.discard((doc, client))
+                if self._restored:
+                    self._restored.discard((doc, client))
                 if not holders:
                     del self._visible[doc]
-        else:
-            self._pending[client][doc] = None
-            state.pending_changes += 1
-            self._maybe_flush(client, now)
+            return
+        state = self._client_state[client]
+        state.cached_docs = max(0, state.cached_docs - 1)
+        self._pending[client][doc] = None
+        state.pending_changes += 1
+        self._maybe_flush(client, now)
 
     # -- flushing (periodic mode) -----------------------------------------
 
@@ -214,20 +221,25 @@ class BrowserIndex:
         holders = self._visible.get(doc)
         if not holders:
             return None
+        # The expiry test inlines IndexEntry.expired — one method call
+        # per candidate adds up at millions of lookups.
         candidates = [
             (c, e)
             for c, e in holders.items()
             if c != exclude_client
-            and not e.expired(now)
+            and (e.ttl is None or now <= e.timestamp + e.ttl)
             and (version is None or e.version == version)
         ]
         if not candidates:
             return None
-        candidates.sort()
         self._rr += 1
-        client, entry = candidates[self._rr % len(candidates)]
+        if len(candidates) == 1:
+            client, entry = candidates[0]
+        else:
+            candidates.sort()
+            client, entry = candidates[self._rr % len(candidates)]
         self.n_index_hits += 1
-        return IndexLookup(client=client, entry=entry)
+        return IndexLookup(client, entry)
 
     def holders_of(self, doc: int) -> list[int]:
         """All clients the visible index believes hold *doc*."""

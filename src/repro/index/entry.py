@@ -13,9 +13,17 @@ from dataclasses import dataclass
 __all__ = ["IndexEntry"]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class IndexEntry:
-    """One browser-index item."""
+    """One browser-index item.
+
+    A plain (non-frozen) slots dataclass: construction sits on the
+    replay hot path — one entry per browser-cache insert — and the
+    frozen-dataclass ``__setattr__`` indirection costs real time there.
+    By convention entries are never mutated after construction
+    (checkpoint snapshots share them), which is what ``frozen=True``
+    used to enforce.
+    """
 
     client: int
     doc: int

@@ -1,0 +1,145 @@
+"""Opt-in per-phase replay instrumentation.
+
+A :class:`ReplayProfile` is handed to :class:`repro.core.simulator.
+Simulator` (or :func:`~repro.core.simulator.simulate`) to switch the
+engine onto its instrumented loops, which wrap each request-path phase
+in ``time.perf_counter`` timers:
+
+====================  ====================================================
+phase                 what it covers
+====================  ====================================================
+``recovery``          checkpoint/crash event processing before a request
+``browser_probe``     local browser-cache lookup (and hit accounting)
+``proxy_probe``       proxy-cache lookup (and hit accounting)
+``index_lookup``      the browser-index query inside remote delivery
+``remote_delivery``   the whole remote-hit path: lookup, holder probes,
+                      failover, transfer pricing (includes
+                      ``index_lookup`` — it is a sub-phase, not disjoint)
+``origin_fetch``      the origin miss path: WAN pricing and re-population
+====================  ====================================================
+
+Profiling is deliberately **not** a :class:`~repro.core.config.
+SimulationConfig` field: the journal keys cells by a digest of the
+config's ``repr``, so a config knob would silently invalidate every
+saved journal.  The instrumented loops produce bit-identical
+:class:`~repro.core.metrics.SimulationResult`\\ s (covered by the
+differential suite in ``tests/test_differential.py``); only wall-clock
+observation is added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ReplayProfile", "PHASES"]
+
+#: canonical phase order for reports and ``SweepTiming.phase_seconds``.
+PHASES = (
+    "recovery",
+    "browser_probe",
+    "proxy_probe",
+    "index_lookup",
+    "remote_delivery",
+    "origin_fetch",
+)
+
+
+@dataclass
+class ReplayProfile:
+    """Accumulated per-phase wall-clock time for one or more replays."""
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_counts: dict[str, int] = field(default_factory=dict)
+    #: total requests replayed under this profile.
+    n_requests: int = 0
+    #: total wall-clock seconds of the profiled replays.
+    wall_seconds: float = 0.0
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Charge *seconds* of wall-clock time to *phase*."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.phase_counts[phase] = self.phase_counts.get(phase, 0) + 1
+
+    def merge(self, other: "ReplayProfile") -> None:
+        """Fold another profile's totals into this one."""
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        for phase, count in other.phase_counts.items():
+            self.phase_counts[phase] = self.phase_counts.get(phase, 0) + count
+        self.n_requests += other.n_requests
+        self.wall_seconds += other.wall_seconds
+
+    @property
+    def total_phase_seconds(self) -> float:
+        """Sum of all *disjoint* phases (``index_lookup`` is nested
+        inside ``remote_delivery`` and therefore excluded)."""
+        return sum(
+            seconds
+            for phase, seconds in self.phase_seconds.items()
+            if phase != "index_lookup"
+        )
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.n_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_pairs(self) -> tuple[tuple[str, float], ...]:
+        """(phase, seconds) pairs in canonical order, then any extras
+        alphabetically — a stable, immutable view for ``SweepTiming``."""
+        known = [
+            (phase, self.phase_seconds[phase])
+            for phase in PHASES
+            if phase in self.phase_seconds
+        ]
+        extra = sorted(
+            (phase, seconds)
+            for phase, seconds in self.phase_seconds.items()
+            if phase not in PHASES
+        )
+        return tuple(known + extra)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (used by ``baps profile`` and tests)."""
+        return {
+            "n_requests": self.n_requests,
+            "wall_seconds": self.wall_seconds,
+            "requests_per_second": self.requests_per_second,
+            "phase_seconds": dict(self.as_pairs()),
+            "phase_counts": {
+                phase: self.phase_counts[phase]
+                for phase, _ in self.as_pairs()
+            },
+        }
+
+    def render(self) -> str:
+        """ASCII table of per-phase timings, heaviest first."""
+        from repro.util.fmt import ascii_table
+
+        total = self.total_phase_seconds
+        rows = []
+        for phase, seconds in sorted(
+            self.as_pairs(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = seconds / total if total > 0 else 0.0
+            note = " (within remote_delivery)" if phase == "index_lookup" else ""
+            rows.append(
+                [
+                    phase + note,
+                    f"{seconds:.4f}s",
+                    f"{share:.1%}",
+                    f"{self.phase_counts.get(phase, 0):,}",
+                ]
+            )
+        rows.append(["total (disjoint phases)", f"{total:.4f}s", "100.0%", ""])
+        if self.wall_seconds > 0:
+            rows.append(
+                [
+                    "replay wall clock",
+                    f"{self.wall_seconds:.4f}s",
+                    "",
+                    f"{self.requests_per_second:,.0f} req/s",
+                ]
+            )
+        return ascii_table(
+            ["phase", "seconds", "share", "events"], rows, title="replay profile"
+        )

@@ -7,6 +7,9 @@ traces are exercised by the benchmarks.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.core.config import SimulationConfig
@@ -14,6 +17,32 @@ from repro.traces.record import Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 
 import numpy as np
+
+
+def assert_result_roundtrips(result):
+    """Exhaustive journal round-trip check for a SimulationResult.
+
+    Serialises through :func:`repro.core.journal.result_to_jsonable`,
+    an actual JSON encode/decode, and back; then walks **every** field
+    of the dataclass via :func:`dataclasses.fields`, so a counter added
+    to :class:`~repro.core.metrics.SimulationResult` but forgotten in
+    the journal codec fails here by name instead of silently loading
+    as its default.  Returns the restored result for extra assertions.
+    """
+    from repro.core.journal import result_from_jsonable, result_to_jsonable
+
+    restored = result_from_jsonable(
+        json.loads(json.dumps(result_to_jsonable(result)))
+    )
+    for fld in dataclasses.fields(type(result)):
+        original = getattr(result, fld.name)
+        recovered = getattr(restored, fld.name)
+        assert recovered == original, (
+            f"field {fld.name!r} did not survive the journal round-trip: "
+            f"{original!r} -> {recovered!r}"
+        )
+    assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+    return restored
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,68 @@
+"""Unit and integration tests for :mod:`repro.core.events`."""
+
+import numpy as np
+
+from repro.core import HitLocation, Organization, SimulationConfig, simulate
+from repro.traces.record import Trace
+
+
+def test_every_location_has_stable_wire_value():
+    assert {loc.value for loc in HitLocation} == {
+        "local-browser",
+        "proxy",
+        "remote-browser",
+        "sibling-proxy",
+        "parent-proxy",
+        "origin",
+    }
+
+
+def test_only_origin_is_a_miss():
+    for loc in HitLocation:
+        assert loc.is_hit == (loc is not HitLocation.ORIGIN)
+
+
+def test_hierarchy_locations_count_as_hits():
+    """Sibling/parent proxy hits belong to the hierarchy substrate but
+    still count toward the paper's hit ratio definition."""
+    assert HitLocation.SIBLING_PROXY.is_hit
+    assert HitLocation.PARENT_PROXY.is_hit
+
+
+def _sharing_trace():
+    """Two clients ping-ponging two documents: produces local-browser,
+    proxy, remote-browser hits and origin misses under BAPS."""
+    rows = [
+        (0, 1, 400, 0),
+        (0, 1, 400, 0),  # local-browser hit
+        (1, 1, 400, 0),  # proxy (or remote) hit for the other client
+        (1, 2, 300, 0),  # miss
+        (0, 2, 300, 0),
+        (1, 2, 300, 0),
+    ]
+    return Trace(
+        timestamps=np.arange(len(rows), dtype=float),
+        clients=np.array([r[0] for r in rows]),
+        docs=np.array([r[1] for r in rows]),
+        sizes=np.array([r[2] for r in rows]),
+        versions=np.array([r[3] for r in rows]),
+        name="events",
+    )
+
+
+def test_is_hit_partitions_the_simulator_breakdown():
+    """Through the Simulator: summing per-location hits over ``is_hit``
+    locations must reproduce the headline hit ratio, and the ORIGIN
+    bucket must hold exactly the remaining requests."""
+    trace = _sharing_trace()
+    config = SimulationConfig(proxy_capacity=10_000, browser_capacity=5_000)
+    result = simulate(trace, Organization.BROWSERS_AWARE_PROXY, config)
+    hits = sum(
+        stats.hits for loc, stats in result.by_location.items() if loc.is_hit
+    )
+    misses = result.by_location[HitLocation.ORIGIN].misses
+    assert hits + misses == result.n_requests == len(trace)
+    assert result.hit_ratio == hits / len(trace)
+    # the BAPS organizations never touch the hierarchy-only buckets
+    assert result.by_location[HitLocation.SIBLING_PROXY].hits == 0
+    assert result.by_location[HitLocation.PARENT_PROXY].hits == 0

@@ -16,6 +16,8 @@ from repro.core import (
 from repro.core.journal import result_from_jsonable, result_to_jsonable
 from repro.traces.record import Trace
 
+from tests.conftest import assert_result_roundtrips
+
 
 def build(rows):
     return Trace(
@@ -163,8 +165,8 @@ def test_bloom_index_failover():
 def test_resilience_counters_roundtrip_journal():
     config = _config(holder_availability=0.0, max_holder_retries=1)
     r = simulate(TWO_HOLDER_TRACE, BAPS, config)
-    restored = result_from_jsonable(result_to_jsonable(r))
-    assert dataclasses.asdict(restored) == dataclasses.asdict(r)
+    # exhaustive dataclasses.fields()-driven round-trip (conftest)
+    restored = assert_result_roundtrips(r)
     assert restored.failover_attempts == r.failover_attempts == 1
 
 

@@ -24,12 +24,9 @@ from repro.core import (
     run_cells,
     simulate,
 )
-from repro.core.journal import (
-    load_completed_results,
-    read_journal,
-    result_from_jsonable,
-    result_to_jsonable,
-)
+from repro.core.journal import load_completed_results, read_journal
+
+from tests.conftest import assert_result_roundtrips
 
 ORGS = (Organization.PROXY_AND_LOCAL_BROWSER, Organization.BROWSERS_AWARE_PROXY)
 FRACTIONS = (0.05, 0.2)
@@ -220,14 +217,13 @@ def test_journal_schema(small_trace, tmp_path):
 
 
 def test_result_json_roundtrip_is_lossless(small_trace):
+    # the exhaustive field-by-field check lives in conftest so every
+    # round-trip test shares it
     config = SimulationConfig(
         proxy_capacity=20_000, browser_capacity=5_000, holder_availability=0.5
     )
     result = simulate(small_trace, Organization.BROWSERS_AWARE_PROXY, config)
-    clone = result_from_jsonable(
-        json.loads(json.dumps(result_to_jsonable(result)))
-    )
-    assert fingerprint(clone) == fingerprint(result)
+    assert_result_roundtrips(result)
 
 
 def test_resume_executes_only_unfinished_cells(small_trace, reference, tmp_path):

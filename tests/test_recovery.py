@@ -23,6 +23,8 @@ from repro.index.browser_index import BrowserIndex
 from repro.index.engine_bloom import BloomBrowserIndex
 from repro.traces.record import Trace
 
+from tests.conftest import assert_result_roundtrips
+
 BAPS = Organization.BROWSERS_AWARE_PROXY
 
 
@@ -339,8 +341,9 @@ def test_recovery_counters_roundtrip_through_journal(small_trace):
         ),
     )
     assert result.proxy_crashes == 1
-    restored = result_from_jsonable(result_to_jsonable(result))
-    assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+    # exhaustive dataclasses.fields()-driven round-trip (conftest)
+    restored = assert_result_roundtrips(result)
+    assert restored.proxy_crashes == 1
 
 
 def test_old_journal_records_still_load(small_trace):

@@ -1,0 +1,125 @@
+"""Unit and integration tests for :mod:`repro.core.scaling` (Figure 8)."""
+
+import pytest
+
+from repro.core.scaling import (
+    PAPER_CLIENT_FRACTIONS,
+    ScalingPoint,
+    ScalingResult,
+    run_scaling_experiment,
+)
+from repro.traces.profiles import small_paper_trace
+
+
+def point(frac, hr_plb, hr_baps, bhr_plb=0.1, bhr_baps=0.2, **kw):
+    return ScalingPoint(
+        client_fraction=frac,
+        n_clients=kw.get("n_clients", 10),
+        n_requests=kw.get("n_requests", 100),
+        hit_ratio_plb=hr_plb,
+        hit_ratio_baps=hr_baps,
+        byte_hit_ratio_plb=bhr_plb,
+        byte_hit_ratio_baps=bhr_baps,
+    )
+
+
+# -- ScalingPoint ------------------------------------------------------------
+
+
+def test_increment_is_relative_improvement():
+    p = point(0.5, hr_plb=0.40, hr_baps=0.50)
+    assert p.hit_ratio_increment == pytest.approx((0.50 - 0.40) / 0.40)
+    assert p.byte_hit_ratio_increment == pytest.approx((0.2 - 0.1) / 0.1)
+
+
+def test_increment_guards_division_by_zero():
+    p = point(0.25, hr_plb=0.0, hr_baps=0.3, bhr_plb=0.0)
+    assert p.hit_ratio_increment == 0.0
+    assert p.byte_hit_ratio_increment == 0.0
+
+
+def test_increment_can_be_negative():
+    p = point(1.0, hr_plb=0.5, hr_baps=0.4)
+    assert p.hit_ratio_increment < 0
+
+
+# -- ScalingResult -----------------------------------------------------------
+
+
+def _curve(*hr_pairs):
+    points = [
+        point(frac, hr_plb, hr_baps)
+        for frac, (hr_plb, hr_baps) in zip(PAPER_CLIENT_FRACTIONS, hr_pairs)
+    ]
+    return ScalingResult(trace_name="t", points=points)
+
+
+def test_increments_preserve_fraction_order():
+    r = _curve((0.4, 0.44), (0.4, 0.48), (0.4, 0.52), (0.4, 0.56))
+    fracs = [f for f, _ in r.increments()]
+    assert fracs == list(PAPER_CLIENT_FRACTIONS)
+    incs = [inc for _, inc in r.increments()]
+    assert incs == sorted(incs)
+
+
+def test_is_monotonic_detects_growth_and_dips():
+    growing = _curve((0.4, 0.44), (0.4, 0.48), (0.4, 0.52), (0.4, 0.56))
+    assert growing.is_monotonic()
+    dipping = _curve((0.4, 0.48), (0.4, 0.44), (0.4, 0.52), (0.4, 0.56))
+    assert not dipping.is_monotonic()
+    # slack forgives a dip smaller than its magnitude
+    assert dipping.is_monotonic(slack=1.0)
+
+
+def test_is_monotonic_supports_byte_metric():
+    r = _curve((0.4, 0.44), (0.4, 0.48))
+    # byte columns are constant in the helper -> flat is monotonic
+    assert r.is_monotonic(metric="byte_hit_ratio")
+
+
+def test_table_renders_every_point():
+    r = _curve((0.4, 0.44), (0.4, 0.48), (0.4, 0.52), (0.4, 0.56))
+    text = r.table()
+    assert "t: client scaling" in text
+    for frac in PAPER_CLIENT_FRACTIONS:
+        assert f"{frac * 100:g}%" in text
+
+
+# -- integration through the Simulator ---------------------------------------
+
+
+def test_run_scaling_experiment_end_to_end():
+    """Replays real subsets through the Simulator: capacities frozen
+    from the full trace, per-point request counts growing with the
+    client fraction, and the 100% point covering the whole trace."""
+    trace = small_paper_trace("NLANR-uc", n_requests=2_000)
+    result = run_scaling_experiment(trace, client_fractions=(0.25, 0.5, 1.0))
+    assert result.trace_name == trace.name
+    assert [p.client_fraction for p in result.points] == [0.25, 0.5, 1.0]
+    n_clients = [p.n_clients for p in result.points]
+    n_requests = [p.n_requests for p in result.points]
+    assert n_clients == sorted(n_clients)
+    assert n_requests == sorted(n_requests)
+    assert result.points[-1].n_requests == len(trace)
+    for p in result.points:
+        for value in (
+            p.hit_ratio_plb,
+            p.hit_ratio_baps,
+            p.byte_hit_ratio_plb,
+            p.byte_hit_ratio_baps,
+        ):
+            assert 0.0 <= value <= 1.0
+        # sharing browser contents can only add hit opportunities
+        assert p.hit_ratio_baps >= p.hit_ratio_plb
+
+
+def test_run_scaling_experiment_forwards_config_overrides():
+    trace = small_paper_trace("NLANR-uc", n_requests=1_000)
+    plain = run_scaling_experiment(trace, client_fractions=(1.0,))
+    throttled = run_scaling_experiment(
+        trace, client_fractions=(1.0,), holder_availability=0.0
+    )
+    # with every holder offline, BAPS degrades toward PLB
+    assert (
+        throttled.points[0].hit_ratio_baps <= plain.points[0].hit_ratio_baps
+    )
