@@ -133,6 +133,32 @@ def _build_parser() -> argparse.ArgumentParser:
             "forwarded to experiments that accept it"
         ),
     )
+    run_p.add_argument(
+        "--proxies",
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "cooperating proxy counts for the federation sweep "
+            "(e.g. '2,4'); forwarded to experiments that accept it"
+        ),
+    )
+    run_p.add_argument(
+        "--digest-period",
+        default=None,
+        metavar="T[,T...]",
+        help=(
+            "inter-proxy digest exchange periods in virtual seconds for "
+            "the federation sweep (e.g. '900,3600'; 0 = fresh-digest "
+            "oracle)"
+        ),
+    )
+    run_p.add_argument(
+        "--interproxy-bandwidth",
+        type=float,
+        default=None,
+        metavar="BPS",
+        help="modeled inter-proxy link bandwidth in bits/s (federation sweep)",
+    )
 
     sub.add_parser("traces", help="print trace characteristics (Table 1)")
 
@@ -528,6 +554,11 @@ def main(argv: list[str] | None = None) -> int:
             resume=args.resume,
             profile=args.profile,
         )
+    def _csv(raw: str | None, cast):
+        if raw is None:
+            return None
+        return tuple(cast(part) for part in raw.split(",") if part.strip())
+
     for name in names:
         t0 = time.perf_counter()
         result = run_experiment(
@@ -536,6 +567,9 @@ def main(argv: list[str] | None = None) -> int:
             options=options,
             max_holder_retries=args.max_holder_retries,
             corruption_rate=args.corruption_rate,
+            proxy_counts=_csv(args.proxies, int),
+            digest_periods=_csv(args.digest_period, float),
+            interproxy_bandwidth=args.interproxy_bandwidth,
         )
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))

@@ -15,7 +15,12 @@ Typical use::
 from repro.core.events import HitLocation
 from repro.core.churn import ChurnModel, ChurnProcess
 from repro.core.proxy_faults import ProxyFaultModel, ProxyFaultSchedule
-from repro.core.config import SimulationConfig, minimum_browser_capacity, average_browser_capacity
+from repro.core.config import (
+    FederationConfig,
+    SimulationConfig,
+    minimum_browser_capacity,
+    average_browser_capacity,
+)
 from repro.index.checkpoint import CheckpointPolicy, IndexCheckpointer, IndexSnapshot
 from repro.core.policies import Organization, ORGANIZATION_LABELS
 from repro.core.metrics import SimulationResult, HitBreakdown, SweepTiming
@@ -51,6 +56,7 @@ __all__ = [
     "CheckpointPolicy",
     "IndexCheckpointer",
     "IndexSnapshot",
+    "FederationConfig",
     "SimulationConfig",
     "minimum_browser_capacity",
     "average_browser_capacity",

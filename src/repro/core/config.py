@@ -35,6 +35,7 @@ from repro.network.latency import MemoryDiskModel
 from repro.network.topology import WANModel
 from repro.security.protocols import SecurityOverheadModel
 from repro.traces.record import Trace
+from repro.util.units import BITS_PER_BYTE
 from repro.util.validation import (
     check_non_negative,
     check_positive,
@@ -42,6 +43,7 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "FederationConfig",
     "SimulationConfig",
     "minimum_browser_capacity",
     "average_browser_capacity",
@@ -76,6 +78,65 @@ def average_browser_capacity(trace: Trace, fraction: float) -> int:
     if active.size == 0:
         return 1
     return max(1, int(fraction * float(np.mean(active))))
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Cooperative multi-proxy federation (Summary-Cache digests).
+
+    The client population is sharded over ``n_proxies`` cooperating
+    proxies, each running the full per-proxy machinery (browser index,
+    checkpointing, crash recovery, churn, failover).  Proxies exchange
+    bloom digests of everything they can currently serve — their proxy
+    cache plus their browser index's claimed contents — every
+    ``digest_period`` virtual seconds, so a miss at one proxy can be
+    served as a cross-proxy remote hit over the modeled inter-proxy
+    link.  Stale digests produce accountable errors: a digest that
+    still claims an evicted document costs a wasted inter-proxy round
+    trip (``digest_false_hits``); a document cached after the last
+    exchange is invisible until the next one (``digest_missed_hits``).
+
+    Construction draws no randomness: with ``federation=None`` (the
+    default on :class:`SimulationConfig`) nothing here executes and all
+    existing results are bit-identical.
+    """
+
+    #: cooperating proxies the client population is sharded over.
+    n_proxies: int = 2
+    #: digest exchange period in virtual seconds.  ``0.0`` is the
+    #: *oracle anchor*: digests are rebuilt fresh before every request
+    #: and no exchange bytes/time are charged.
+    digest_period: float = 300.0
+    #: inter-proxy link pricing (connection setup + store-and-forward).
+    interproxy_setup: float = 0.010
+    interproxy_bandwidth_bps: float = 100e6
+    #: digest compression knob (bloom bits per summarised document).
+    digest_bits_per_doc: float = 16.0
+    #: client -> proxy assignment: ``"interleave"`` (client % n) or
+    #: ``"blocks"`` (contiguous ranges), matching the hierarchy layer.
+    partition: str = "interleave"
+    #: does a cross-proxy hit populate the requesting proxy's cache
+    #: (and, for organizations that cache remote fetches, the
+    #: requesting browser)?
+    cache_interproxy_fetches: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("n_proxies", self.n_proxies)
+        check_non_negative("digest_period", self.digest_period)
+        check_non_negative("interproxy_setup", self.interproxy_setup)
+        check_positive("interproxy_bandwidth_bps", self.interproxy_bandwidth_bps)
+        check_positive("digest_bits_per_doc", self.digest_bits_per_doc)
+        if self.partition not in ("interleave", "blocks"):
+            raise ValueError(
+                f"partition must be 'interleave' or 'blocks', got {self.partition!r}"
+            )
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Inter-proxy link time for one document or digest transfer."""
+        return (
+            self.interproxy_setup
+            + n_bytes * BITS_PER_BYTE / self.interproxy_bandwidth_bps
+        )
 
 
 @dataclass(frozen=True)
@@ -172,6 +233,9 @@ class SimulationConfig:
     #: master seed for the deterministic failure draws (Bernoulli
     #: availability, churn sessions, corruption, and proxy crashes).
     availability_seed: int = 0
+    #: cooperative multi-proxy federation; ``None`` keeps the paper's
+    #: single proxy and leaves every replay loop untouched.
+    federation: "FederationConfig | None" = None
 
     def __post_init__(self) -> None:
         check_non_negative("proxy_capacity", self.proxy_capacity)

@@ -111,6 +111,11 @@ def result_to_jsonable(result: SimulationResult) -> dict[str, Any]:
         "degraded_window_requests": result.degraded_window_requests,
         "hits_lost_to_recovery": result.hits_lost_to_recovery,
         "checkpoint_bytes_written": result.checkpoint_bytes_written,
+        "interproxy_hits": result.interproxy_hits,
+        "digest_false_hits": result.digest_false_hits,
+        "digest_missed_hits": result.digest_missed_hits,
+        "digest_bytes_exchanged": result.digest_bytes_exchanged,
+        "interproxy_bandwidth_time": result.interproxy_bandwidth_time,
         "index_peak_entries": result.index_peak_entries,
         "index_peak_footprint_bytes": result.index_peak_footprint_bytes,
         "uses_memory_tier": result.uses_memory_tier,
@@ -144,6 +149,13 @@ def result_from_jsonable(data: dict[str, Any]) -> SimulationResult:
         degraded_window_requests=data.get("degraded_window_requests", 0),
         hits_lost_to_recovery=data.get("hits_lost_to_recovery", 0),
         checkpoint_bytes_written=data.get("checkpoint_bytes_written", 0),
+        # journals written before the federation counters existed load
+        # with zeros, matching what those single-proxy engines measured.
+        interproxy_hits=data.get("interproxy_hits", 0),
+        digest_false_hits=data.get("digest_false_hits", 0),
+        digest_missed_hits=data.get("digest_missed_hits", 0),
+        digest_bytes_exchanged=data.get("digest_bytes_exchanged", 0),
+        interproxy_bandwidth_time=data.get("interproxy_bandwidth_time", 0.0),
         index_peak_entries=data["index_peak_entries"],
         index_peak_footprint_bytes=data["index_peak_footprint_bytes"],
         uses_memory_tier=data["uses_memory_tier"],

@@ -178,6 +178,22 @@ class SimulationResult:
     hits_lost_to_recovery: int = 0
     #: bytes serialised by the index checkpointer (full + incremental).
     checkpoint_bytes_written: int = 0
+    #: requests served from a *sibling proxy's* population after a full
+    #: local miss (federation mode; recorded at SIBLING_PROXY).
+    interproxy_hits: int = 0
+    #: inter-proxy probes sent because a stale digest still claimed a
+    #: document the peer could no longer serve (each costs a wasted
+    #: inter-proxy round trip charged to ``wasted_false_hit_time``).
+    digest_false_hits: int = 0
+    #: requests a peer could have served but whose digest predated the
+    #: document — the cost of digest staleness in the other direction.
+    digest_missed_hits: int = 0
+    #: digest summary bytes shipped between proxies at exchanges.
+    digest_bytes_exchanged: int = 0
+    #: inter-proxy link occupancy (document transfers, failed probes,
+    #: digest exchanges).  Informational — the link runs in parallel
+    #: with the LAN legs, so it is not part of ``total_service_time``.
+    interproxy_bandwidth_time: float = 0.0
     index_peak_entries: int = 0
     index_peak_footprint_bytes: int = 0
     uses_memory_tier: bool = False

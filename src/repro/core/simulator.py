@@ -67,7 +67,29 @@ from repro.util.profiling import ReplayProfile
 from repro.util.rng import derive_seed
 from repro.util.units import BITS_PER_BYTE
 
-__all__ = ["Simulator", "simulate"]
+__all__ = ["Simulator", "simulate", "bloom_expected_docs"]
+
+
+def bloom_expected_docs(
+    trace: Trace, capacities, fallback_capacity: int
+) -> int:
+    """Expected documents per client for bloom-filter sizing.
+
+    The single sizing rule shared by the per-client summary filters of
+    :class:`~repro.index.engine_bloom.BloomBrowserIndex` and the
+    federation's inter-proxy digests
+    (:mod:`repro.federation.digest`).  Both layers validating the same
+    claim must budget false positives from the same arithmetic — a
+    digest sized differently from the index it summarises would hide
+    (or invent) cross-proxy false hits the per-proxy accounting never
+    sees.
+    """
+    avg_doc = max(1, int(trace.sizes.mean())) if len(trace) else 1
+    capacities = list(capacities)
+    mean_capacity = (
+        int(sum(capacities) / len(capacities)) if capacities else fallback_capacity
+    )
+    return max(8, mean_capacity // avg_doc)
 
 
 class Simulator:
@@ -205,18 +227,13 @@ class Simulator:
     def _new_index(self, n_clients: int):
         config = self.config
         if config.index_kind == "bloom":
-            avg_doc = max(1, int(self.trace.sizes.mean())) if len(self.trace) else 1
             # Size filters from the capacities actually deployed: with
             # heterogeneous ``browser_capacities`` the uniform
             # ``browser_capacity`` may be wildly off, skewing the bloom
             # false-positive rate for fig-8-style runs.
-            capacities = self._browser_capacities(n_clients)
-            mean_capacity = (
-                int(sum(capacities) / len(capacities))
-                if capacities
-                else config.browser_capacity
+            expected = bloom_expected_docs(
+                self.trace, self._browser_capacities(n_clients), config.browser_capacity
             )
-            expected = max(8, mean_capacity // avg_doc)
             return BloomBrowserIndex(
                 n_clients,
                 expected_docs_per_client=expected,
@@ -1657,5 +1674,23 @@ def simulate(
 
     ``profile`` (a :class:`~repro.util.profiling.ReplayProfile`) opts
     into the instrumented loops; results are bit-identical either way.
+
+    With ``config.federation`` set the replay dispatches to the
+    cooperative multi-proxy engine (:mod:`repro.federation.engine`)
+    instead — same entry point, so sweeps, the journal, and the
+    process-pool workers need no federation-specific wiring.  The
+    federated loop is straight-line (no instrumented variant);
+    ``profile`` still accumulates wall clock and request counts.
     """
+    if config.federation is not None:
+        # Imported lazily: repro.federation imports this module.
+        from repro.federation.engine import FederatedSimulator
+
+        if profile is None:
+            return FederatedSimulator(trace, organization, config).run()
+        t0 = perf_counter()
+        result = FederatedSimulator(trace, organization, config).run()
+        profile.wall_seconds += perf_counter() - t0
+        profile.n_requests += result.n_requests
+        return result
     return Simulator(trace, organization, config, profile=profile).run()

@@ -1,0 +1,199 @@
+"""Extension experiment — cooperative multi-proxy federation.
+
+The paper evaluates BAPS behind a single proxy.  This sweep shards the
+client population over N cooperating proxies that exchange
+Summary-Cache-style bloom digests (:mod:`repro.federation`) and asks
+what inter-proxy cooperation buys at each digest-exchange period:
+proxies × digest period, every cell bracketed by two anchors sharing
+the per-proxy cache size:
+
+* **single-proxy** (lower) — the plain paper engine, no federation;
+* **fresh-digest oracle** (upper, per proxy count) — federation with
+  ``digest_period == 0``: peers' claims are evaluated against live
+  state on every request, so no real exchange period can serve more.
+
+A federated cell should land strictly between its anchors —
+:meth:`FederationResult.brackets_all` checks exactly that, the
+federation e2e test and the CI smoke assert it — with digest staleness
+showing up as accountable ``digest_false_hits`` / ``digest_missed_hits``
+rather than silent hit-ratio drift.
+
+The grid runs through :func:`repro.core.parallel.run_cells`, so
+``--workers``, the attempt journal, and resume all apply; every cell's
+seed follows the engine's standard identity rule, and the federation
+configs differ per cell, so journal keys stay unique via the config
+digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FederationConfig, SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.parallel import EngineOptions, SweepCell, SweepRun, run_cells
+from repro.core.policies import Organization
+from repro.traces.profiles import load_paper_trace
+from repro.traces.record import Trace
+from repro.util.fmt import ascii_table
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "FederationResult",
+    "run",
+    "DEFAULT_PROXY_COUNTS",
+    "DEFAULT_DIGEST_PERIODS",
+]
+
+#: cooperating proxies swept.
+DEFAULT_PROXY_COUNTS = (2, 4)
+
+#: digest exchange periods swept (virtual seconds): 15 minutes and
+#: 1 hour over the paper profiles' 24-hour days.
+DEFAULT_DIGEST_PERIODS = (900.0, 3600.0)
+
+
+@dataclass
+class FederationResult:
+    """The proxies x digest-period grid, plus its bracketing anchors."""
+
+    trace_name: str
+    proxy_frac: float
+    #: the plain single-proxy engine at the same per-proxy cache size.
+    single_proxy: SimulationResult
+    #: proxy count -> fresh-digest (period 0) oracle.
+    fresh: dict[int, SimulationResult]
+    proxy_counts: tuple[int, ...]
+    digest_periods: tuple[float, ...]
+    cells: dict[tuple[int, float], SimulationResult]
+    #: the underlying engine run (timing, attempts, failures).
+    sweep: SweepRun | None = field(default=None, repr=False)
+
+    def cell(self, proxies: int, period: float) -> SimulationResult:
+        return self.cells[(proxies, period)]
+
+    def brackets_all(self) -> bool:
+        """True when *every* federated cell lands strictly between the
+        single-proxy floor and its fresh-digest ceiling — the
+        acceptance criterion for the federation model."""
+        floor = self.single_proxy.hit_ratio
+        for proxies in self.proxy_counts:
+            top = self.fresh[proxies].hit_ratio
+            for period in self.digest_periods:
+                hr = self.cells[(proxies, period)].hit_ratio
+                if not (floor < hr < top):
+                    return False
+        return True
+
+    def render(self) -> str:
+        headers = ["proxies", "fresh digest"] + [
+            f"HR T={period:g}s" for period in self.digest_periods
+        ] + ["ipx hits (best)", "false hits (best)", "digest MB (best)"]
+        best = min(self.digest_periods)
+        rows = []
+        for proxies in self.proxy_counts:
+            row = [proxies, f"{self.fresh[proxies].hit_ratio * 100:.2f}%"]
+            for period in self.digest_periods:
+                row.append(f"{self.cells[(proxies, period)].hit_ratio * 100:.2f}%")
+            best_cell = self.cells[(proxies, best)]
+            row.append(best_cell.interproxy_hits)
+            row.append(best_cell.digest_false_hits)
+            row.append(f"{best_cell.digest_bytes_exchanged / 1e6:.2f}")
+            rows.append(row)
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"BAPS proxy federation ({self.trace_name}, "
+                f"{self.proxy_frac * 100:g}% cache per proxy; "
+                f"single proxy {self.single_proxy.hit_ratio * 100:.2f}%)"
+            ),
+        )
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    proxy_counts=DEFAULT_PROXY_COUNTS,
+    digest_periods=DEFAULT_DIGEST_PERIODS,
+    proxy_frac: float = 0.10,
+    interproxy_bandwidth: float | None = None,
+    workers: int | None = 0,
+    options: EngineOptions | None = None,
+    trace: Trace | None = None,
+) -> FederationResult:
+    """The federation sweep: proxies x digest period, plus anchors.
+
+    Every cell replays the same trace with the same per-proxy cache
+    sizing (``SimulationConfig.relative`` at *proxy_frac*); only the
+    federation knobs vary, so differences isolate cooperation and
+    digest staleness.  ``trace`` overrides the named paper trace (the
+    tests pass a scaled profile).  ``interproxy_bandwidth`` (bits/s)
+    overrides the modeled inter-proxy link.
+    """
+    if trace is None:
+        trace = load_paper_trace(trace_name)
+    proxy_counts = tuple(int(n) for n in proxy_counts)
+    digest_periods = tuple(float(p) for p in digest_periods)
+    org = Organization.BROWSERS_AWARE_PROXY
+    base = SimulationConfig.relative(
+        trace, proxy_frac=proxy_frac, browser_sizing="minimum"
+    )
+
+    def fed_config(n: int, period: float) -> FederationConfig:
+        kwargs = {"n_proxies": n, "digest_period": period}
+        if interproxy_bandwidth is not None:
+            kwargs["interproxy_bandwidth_bps"] = interproxy_bandwidth
+        return FederationConfig(**kwargs)
+
+    # The engine's standard cell-identity seed; the configs differ per
+    # cell, so journal keys stay unique through the config digest.
+    seed = derive_seed(0, trace.name, org.value, repr(proxy_frac))
+    labels: list[tuple] = [("single",)]
+    configs: list[SimulationConfig] = [base]
+    for n in proxy_counts:
+        labels.append(("fresh", n))
+        configs.append(base.with_(federation=fed_config(n, 0.0)))
+        for period in digest_periods:
+            labels.append(("cell", n, period))
+            configs.append(base.with_(federation=fed_config(n, period)))
+    cells = [
+        SweepCell(
+            index=i,
+            trace_name=trace.name,
+            organization=org,
+            fraction=proxy_frac,
+            config=config,
+            seed=seed,
+        )
+        for i, config in enumerate(configs)
+    ]
+
+    sweep = run_cells(cells, {trace.name: trace}, workers=workers, options=options)
+    if sweep.failures:
+        raise RuntimeError(
+            "federation sweep cells failed:\n"
+            + "\n".join(str(f) for f in sweep.failures)
+        )
+
+    single_proxy: SimulationResult | None = None
+    fresh: dict[int, SimulationResult] = {}
+    grid: dict[tuple[int, float], SimulationResult] = {}
+    for label, cell in zip(labels, cells):
+        result = sweep.results[cell.index]
+        if label[0] == "single":
+            single_proxy = result
+        elif label[0] == "fresh":
+            fresh[label[1]] = result
+        else:
+            grid[(label[1], label[2])] = result
+    assert single_proxy is not None
+    return FederationResult(
+        trace_name=trace.name,
+        proxy_frac=proxy_frac,
+        single_proxy=single_proxy,
+        fresh=fresh,
+        proxy_counts=proxy_counts,
+        digest_periods=digest_periods,
+        cells=grid,
+        sweep=sweep,
+    )

@@ -20,6 +20,7 @@ from repro.experiments import (
     ablation_replacement,
     availability,
     consistency,
+    federation,
     fig2,
     prefetching,
     hierarchy,
@@ -62,6 +63,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "availability": availability.run,
     "churn": availability.run_churn,
     "recovery": recovery.run,
+    "federation": federation.run,
 }
 
 

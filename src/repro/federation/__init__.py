@@ -1,0 +1,34 @@
+"""Cooperative multi-proxy federation (Summary-Cache digest exchange).
+
+The paper evaluates BAPS behind a single proxy.  This package shards
+the client population over N cooperating proxies — each running the
+full per-proxy engine (browser index, checkpointing, crash recovery,
+churn, failover) — and lets a local miss be served as a cross-proxy
+remote hit: proxies periodically exchange bloom digests of everything
+they can currently serve (their proxy cache plus their browser index's
+claimed contents), and a miss probes the peers whose digest claims the
+document over a modeled inter-proxy link.
+
+Digest staleness is accountable, in both directions:
+
+* a digest that still claims a document its proxy can no longer serve
+  costs a wasted inter-proxy round trip (``digest_false_hits``,
+  charged to ``wasted_false_hit_time``);
+* a document that became servable after the last exchange is invisible
+  until the next one (``digest_missed_hits``).
+
+Enable it with :class:`~repro.core.config.FederationConfig` on
+``SimulationConfig.federation``; :func:`repro.core.simulator.simulate`
+dispatches here, so sweeps, the journal, and process-pool workers work
+unchanged.
+"""
+
+from repro.federation.digest import DigestDirectory, build_proxy_digest
+from repro.federation.engine import FederatedSimulator, federated_simulate
+
+__all__ = [
+    "DigestDirectory",
+    "build_proxy_digest",
+    "FederatedSimulator",
+    "federated_simulate",
+]

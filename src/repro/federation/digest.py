@@ -1,0 +1,110 @@
+"""Inter-proxy bloom digests (Summary Cache between proxies).
+
+Each federated proxy periodically summarises everything it can serve —
+its own proxy cache plus every document its browser index claims some
+member client holds — into one bloom filter and sends it to every peer.
+Peers answer local misses by probing whichever proxies' digests claim
+the document.
+
+Digests go stale between exchanges exactly like Summary Cache
+summaries: a claim may outlive the content (false hit — a wasted
+inter-proxy round trip) and fresh content is invisible until the next
+exchange (missed hit).  ``digest_period == 0.0`` is the oracle anchor:
+claims are evaluated against the proxies' *current* state on every
+request, and no exchange bytes or link time are charged — an upper
+bound no real period can beat.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FederationConfig
+from repro.index.bloom import BloomFilter
+
+__all__ = ["DigestDirectory", "build_proxy_digest"]
+
+
+def build_proxy_digest(sim, capacity: int, bits_per_doc: float) -> BloomFilter:
+    """Summarise everything *sim*'s proxy can currently serve.
+
+    Covers the proxy cache and the browser index's claimed contents
+    (``claimed_docs``).  For the exact index that is the visible index;
+    for the bloom index it is the per-client claimed contents — the
+    same knowledge the proxy itself trusts, so the digest is exactly as
+    stale as the proxy's own view, never staler.
+    """
+    digest = BloomFilter.for_capacity(capacity, bits_per_doc)
+    if sim.proxy is not None:
+        for doc in sim.proxy:
+            digest.add(doc)
+    if sim.index is not None:
+        for doc in sim.index.claimed_docs():
+            digest.add(doc)
+    return digest
+
+
+class DigestDirectory:
+    """The digests every federated proxy currently holds about its peers.
+
+    All proxies exchange on the same schedule (first request, then every
+    ``digest_period`` simulated seconds), so one shared directory stands
+    in for N per-proxy copies.  Until the first exchange no proxy claims
+    anything and every miss goes to the origin, exactly like the
+    single-proxy engine.
+    """
+
+    def __init__(self, fed: FederationConfig, capacity: int) -> None:
+        self.fed = fed
+        self.capacity = capacity
+        self.digests: list[BloomFilter | None] = [None] * fed.n_proxies
+        self.exchanges = 0
+        self._last_exchange: float | None = None
+
+    @property
+    def oracle(self) -> bool:
+        """Fresh-digest anchor: claims never go stale, exchanges are free."""
+        return self.fed.digest_period == 0.0
+
+    def maybe_exchange(self, sims, t: float, result) -> None:
+        """Run a digest exchange if one is due at time *t*.
+
+        Charges ``digest_bytes_exchanged`` and
+        ``interproxy_bandwidth_time`` on *result* for the (N-1) copies
+        each proxy sends — except in oracle mode, where claims are read
+        directly from live state (:meth:`claims`) and nothing is built
+        or charged.
+
+        Digests summarise each proxy as of its last processed event: a
+        peer's pending crash/recovery deadline is *not* advanced here,
+        so a digest can briefly claim documents a since-crashed proxy
+        will have to re-learn — accountable as false hits, like every
+        other form of digest staleness.
+        """
+        if self.fed.n_proxies <= 1 or self.oracle:
+            return
+        if self._last_exchange is not None and t - self._last_exchange < self.fed.digest_period:
+            return
+        fanout = self.fed.n_proxies - 1
+        for pid, sim in enumerate(sims):
+            digest = build_proxy_digest(sim, self.capacity, self.fed.digest_bits_per_doc)
+            self.digests[pid] = digest
+            result.digest_bytes_exchanged += digest.size_bytes * fanout
+            result.interproxy_bandwidth_time += (
+                self.fed.transfer_time(digest.size_bytes) * fanout
+            )
+        self._last_exchange = t
+        self.exchanges += 1
+
+    def claims(self, sims, pid: int, doc: int) -> bool:
+        """Does proxy *pid*'s digest (as held by its peers) claim *doc*?
+
+        Oracle mode consults live state instead of a materialised
+        filter; digests carry no version either way, so a claim can
+        still miss-serve a stale version (accounted as a false hit).
+        """
+        if self.oracle:
+            sim = sims[pid]
+            if sim.proxy is not None and doc in sim.proxy:
+                return True
+            return sim.index is not None and sim.index.claims_doc(doc)
+        digest = self.digests[pid]
+        return digest is not None and doc in digest

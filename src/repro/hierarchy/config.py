@@ -10,7 +10,27 @@ from repro.network.latency import MemoryDiskModel
 from repro.network.topology import WANModel
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["HierarchyConfig"]
+__all__ = ["HierarchyConfig", "assign_proxy"]
+
+
+def assign_proxy(
+    client: int, n_proxies: int, n_clients: int, partition: str = "interleave"
+) -> int:
+    """Which of ``n_proxies`` groups serves *client*.
+
+    The single client-partitioning rule shared by the hierarchy's leaf
+    assignment and the federation's proxy sharding:
+    ``"interleave"`` spreads clients round-robin (``client % n``),
+    ``"blocks"`` carves contiguous id ranges.
+    """
+    if partition == "interleave":
+        return client % n_proxies
+    if partition != "blocks":
+        raise ValueError(
+            f"partition must be 'interleave' or 'blocks', got {partition!r}"
+        )
+    block = max(1, -(-n_clients // n_proxies))  # ceil division
+    return min(client // block, n_proxies - 1)
 
 
 @dataclass(frozen=True)
@@ -57,7 +77,4 @@ class HierarchyConfig:
 
     def leaf_of(self, client: int, n_clients: int) -> int:
         """Which leaf proxy serves *client*."""
-        if self.partition == "interleave":
-            return client % self.n_leaves
-        block = max(1, -(-n_clients // self.n_leaves))  # ceil division
-        return min(client // block, self.n_leaves - 1)
+        return assign_proxy(client, self.n_leaves, n_clients, self.partition)

@@ -343,6 +343,18 @@ class BrowserIndex:
         self.reannouncements += 1
         return n_items
 
+    def claimed_docs(self):
+        """Every document the visible index claims some client holds —
+        the proxy-side knowledge an inter-proxy digest can summarise
+        (:mod:`repro.federation.digest`)."""
+        return self._visible.keys()
+
+    def claims_doc(self, doc: int) -> bool:
+        """Whether the visible index claims any client holds *doc* —
+        the O(1) point query behind the federation's fresh-digest
+        (oracle) anchor."""
+        return doc in self._visible
+
     # -- accounting ------------------------------------------------------------
 
     @property

@@ -215,6 +215,23 @@ class BloomBrowserIndex:
         the engine validates each probe against the true cache."""
         return [c for c in self.holders_of(doc) if c != exclude_client]
 
+    def claimed_docs(self):
+        """Every document some client's summary claims to hold — the
+        proxy-side knowledge an inter-proxy digest can summarise
+        (:mod:`repro.federation.digest`).  Deduplicated across clients.
+        """
+        seen: set[int] = set()
+        for contents in self._contents:
+            seen.update(contents)
+        return seen
+
+    def claims_doc(self, doc: int) -> bool:
+        """Whether any client's claimed contents include *doc* — the
+        point query behind the federation's fresh-digest (oracle)
+        anchor.  Uses the claimed contents, not the filters, matching
+        what :meth:`claimed_docs` feeds a freshly built digest."""
+        return any(doc in contents for contents in self._contents)
+
     # -- accounting ----------------------------------------------------------
 
     @property

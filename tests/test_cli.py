@@ -47,6 +47,7 @@ def test_all_experiments_registry_complete():
         "availability",
         "churn",
         "recovery",
+        "federation",
     }
     assert set(ALL_EXPERIMENTS) == expected
 

@@ -142,6 +142,10 @@ def configs(draw):
         kw["consistency"] = AdaptiveTTLPolicy()
     elif consistency == "always":
         kw["consistency"] = AlwaysValidatePolicy()
+    # Invariant under test: federation defaulting *off* must leave the
+    # single-proxy engines untouched for every sampled knob combination
+    # — the frozen reference knows nothing about multi-proxy mode.
+    kw["federation"] = None
     return SimulationConfig(**kw)
 
 

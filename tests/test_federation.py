@@ -1,0 +1,412 @@
+"""Cooperative multi-proxy federation (repro.federation).
+
+Covers the digest layer (build/exchange/staleness accounting), the
+federated engine's request path (cross-proxy hits, digest false hits
+never silently rescued, missed hits), the single-proxy bit-identity
+anchor, the bloom sizing agreement between the browser index and the
+inter-proxy digests, the journal round-trip of the new counters, and
+the end-to-end ``baps run federation`` sweep with its bracketing
+anchors.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FederationConfig,
+    HitLocation,
+    Organization,
+    SimulationConfig,
+    run_policy_sweep,
+    simulate,
+)
+from repro.core.simulator import Simulator, bloom_expected_docs
+from repro.experiments import federation as federation_experiment
+from repro.federation import DigestDirectory, FederatedSimulator, build_proxy_digest
+from repro.hierarchy.config import assign_proxy
+from repro.traces.profiles import small_paper_trace
+from repro.traces.record import Trace
+from tests.conftest import assert_result_roundtrips
+
+ORG = Organization.BROWSERS_AWARE_PROXY
+
+
+def make_trace(rows, name="fed-test"):
+    """rows: (t, client, doc, size, version) tuples."""
+    t, c, d, s, v = zip(*rows)
+    return Trace(
+        timestamps=np.array(t, dtype=np.float64),
+        clients=np.array(c, dtype=np.int64),
+        docs=np.array(d, dtype=np.int64),
+        sizes=np.array(s, dtype=np.int64),
+        versions=np.array(v, dtype=np.int64),
+        name=name,
+    )
+
+
+# -- FederationConfig / partitioning ------------------------------------------
+
+
+def test_federation_config_validates():
+    with pytest.raises(ValueError):
+        FederationConfig(n_proxies=0)
+    with pytest.raises(ValueError):
+        FederationConfig(digest_period=-1.0)
+    with pytest.raises(ValueError):
+        FederationConfig(interproxy_bandwidth_bps=0.0)
+    with pytest.raises(ValueError):
+        FederationConfig(partition="stripes")
+
+
+def test_federation_transfer_time_is_setup_plus_wire_time():
+    fed = FederationConfig(interproxy_setup=0.01, interproxy_bandwidth_bps=8e6)
+    # 1000 bytes at 8 Mbit/s = 1 ms on the wire.
+    assert fed.transfer_time(1000) == pytest.approx(0.01 + 0.001)
+
+
+def test_assign_proxy_partitions():
+    assert [assign_proxy(c, 3, 7, "interleave") for c in range(7)] == [
+        0, 1, 2, 0, 1, 2, 0,
+    ]
+    # blocks: ceil(7/3) = 3 clients per block, last proxy takes the tail.
+    assert [assign_proxy(c, 3, 7, "blocks") for c in range(7)] == [
+        0, 0, 0, 1, 1, 1, 2,
+    ]
+    with pytest.raises(ValueError):
+        assign_proxy(0, 2, 4, "stripes")
+
+
+# -- single-proxy anchor -------------------------------------------------------
+
+
+def test_single_proxy_federation_bit_identical(small_trace):
+    """n_proxies=1 must reproduce the plain engine exactly, field for
+    field — the anchor the experiment's bracketing relies on."""
+    base = SimulationConfig.relative(small_trace, 0.10, browser_sizing="minimum")
+    plain = simulate(small_trace, ORG, base)
+    federated = simulate(
+        small_trace, ORG, base.with_(federation=FederationConfig(n_proxies=1))
+    )
+    assert dataclasses.asdict(federated) == dataclasses.asdict(plain)
+    assert federated.interproxy_hits == 0
+    assert federated.digest_bytes_exchanged == 0
+
+
+@pytest.mark.parametrize("org", list(Organization))
+def test_single_proxy_identity_holds_for_every_organization(small_trace, org):
+    base = SimulationConfig.relative(small_trace, 0.05, browser_sizing="minimum")
+    plain = simulate(small_trace, org, base)
+    federated = simulate(
+        small_trace, org, base.with_(federation=FederationConfig(n_proxies=1))
+    )
+    assert dataclasses.asdict(federated) == dataclasses.asdict(plain)
+
+
+# -- digest build & exchange ---------------------------------------------------
+
+
+def test_build_proxy_digest_covers_proxy_and_index_contents():
+    trace = make_trace([
+        (0.0, 0, 7, 100, 0),
+        (1.0, 0, 8, 100, 0),
+    ])
+    config = SimulationConfig(proxy_capacity=10_000, browser_capacity=10_000)
+    sim = Simulator(trace, ORG, config)
+    sim.run()
+    digest = build_proxy_digest(sim, capacity=64, bits_per_doc=16.0)
+    assert 7 in digest and 8 in digest
+    # the proxy holds both docs and the index claims both for client 0
+    assert set(sim.index.claimed_docs()) == {7, 8}
+    assert sim.index.claims_doc(7) and not sim.index.claims_doc(99)
+
+
+def test_digest_exchange_respects_period_and_charges_bytes():
+    # clients 0 (proxy 0) and 1 (proxy 1); requests at t=0, 50, 100
+    # with a 100 s period: exchanges at t=0 and t=100 only.
+    trace = make_trace([
+        (0.0, 0, 1, 100, 0),
+        (50.0, 1, 2, 100, 0),
+        (100.0, 0, 3, 100, 0),
+    ])
+    fed = FederationConfig(n_proxies=2, digest_period=100.0)
+    config = SimulationConfig(
+        proxy_capacity=10_000, browser_capacity=10_000, federation=fed
+    )
+    engine = FederatedSimulator(trace, ORG, config)
+    result = engine.run()
+    assert engine.directory.exchanges == 2
+    # each exchange: both proxies send one digest to their one peer
+    per_exchange = sum(
+        d.size_bytes for d in engine.directory.digests if d is not None
+    )
+    assert result.digest_bytes_exchanged == 2 * per_exchange
+    assert result.interproxy_bandwidth_time > 0.0
+
+
+def test_oracle_digest_period_charges_no_exchange_bytes():
+    trace = make_trace([
+        (0.0, 1, 1, 100, 0),
+        (1.0, 0, 1, 100, 0),  # cross-proxy hit via live claims
+    ])
+    fed = FederationConfig(n_proxies=2, digest_period=0.0)
+    config = SimulationConfig(
+        proxy_capacity=10_000, browser_capacity=10_000, federation=fed
+    )
+    result = simulate(trace, ORG, config)
+    assert result.interproxy_hits == 1
+    assert result.digest_bytes_exchanged == 0
+    assert result.digest_missed_hits == 0
+
+
+# -- the cross-proxy request path ---------------------------------------------
+
+
+def test_interproxy_hit_is_served_and_priced():
+    # t=0: client 1 (proxy 1) fetches doc A from the origin.
+    # t=100: client 1 re-hits A locally; the exchange at t=100 makes
+    #        proxy 1's digest claim A.
+    # t=101: client 0 (proxy 0) misses locally, digest directs it to
+    #        proxy 1 — a SIBLING_PROXY hit over the inter-proxy link.
+    trace = make_trace([
+        (0.0, 1, 1, 100, 0),
+        (100.0, 1, 1, 100, 0),
+        (101.0, 0, 1, 100, 0),
+    ])
+    fed = FederationConfig(n_proxies=2, digest_period=100.0)
+    config = SimulationConfig(
+        proxy_capacity=10_000, browser_capacity=10_000, federation=fed
+    )
+    result = simulate(trace, ORG, config)
+    assert result.interproxy_hits == 1
+    assert result.hits == 2  # the local browser re-hit + the sibling hit
+    assert result.interproxy_bandwidth_time >= fed.transfer_time(100)
+    assert result.digest_false_hits == 0
+    # the home proxy cached the cross-proxy fetch: a fourth request by
+    # client 0 would now hit locally (checked via the shared ledger)
+    follow_up = simulate(
+        make_trace([
+            (0.0, 1, 1, 100, 0),
+            (100.0, 1, 1, 100, 0),
+            (101.0, 0, 1, 100, 0),
+            (102.0, 0, 1, 100, 0),
+        ]),
+        ORG,
+        config,
+    )
+    assert follow_up.interproxy_hits == 1
+    assert follow_up.hits == 3
+
+
+def test_stale_digest_false_hit_is_charged_not_rescued():
+    """A document evicted at the peer between exchanges: the digest
+    still claims it, the probe must fail, charge
+    ``wasted_false_hit_time``, and escalate to the origin — never be
+    silently served from state the digest could not have known."""
+    # browser_capacity 100 = one doc; proxy_capacity 100 with
+    # cache_remote_hits... the proxy also holds one doc, so doc B
+    # evicts A from both the browser and the proxy at the peer.
+    trace = make_trace([
+        (0.0, 1, 1, 100, 0),    # peer caches A (browser + proxy)
+        (100.0, 1, 1, 100, 0),  # exchange at t=100: digest claims A
+        (101.0, 1, 2, 100, 0),  # B evicts A everywhere at the peer
+        (102.0, 0, 1, 100, 0),  # stale claim: probe fails, origin serves
+    ])
+    fed = FederationConfig(n_proxies=2, digest_period=100.0)
+    config = SimulationConfig(
+        proxy_capacity=100, browser_capacity=100, federation=fed
+    )
+    result = simulate(trace, ORG, config)
+    assert result.digest_false_hits == 1
+    assert result.interproxy_hits == 0
+    assert result.overhead.wasted_false_hit_time >= fed.interproxy_setup
+    # the request still completed — from the origin
+    assert result.by_location[HitLocation.ORIGIN].misses == result.n_requests - result.hits
+
+
+def test_stale_digest_false_hit_agrees_with_bloom_index_accounting():
+    """Same eviction race with a bloom browser index at the peer: the
+    per-proxy index charges its own false hit for the stale filter
+    claim AND the federation charges the digest false hit — the two
+    layers account the same wasted probe consistently."""
+    trace = make_trace([
+        (0.0, 1, 1, 100, 0),
+        (100.0, 1, 1, 100, 0),
+        (101.0, 1, 2, 100, 0),
+        (102.0, 0, 1, 100, 0),
+    ])
+    fed = FederationConfig(n_proxies=2, digest_period=100.0)
+    config = SimulationConfig(
+        proxy_capacity=100,
+        browser_capacity=100,
+        index_kind="bloom",
+        bloom_rebuild_threshold=1.0,  # keep the stale filter claim alive
+        federation=fed,
+    )
+    result = simulate(trace, ORG, config)
+    assert result.digest_false_hits == 1
+    assert result.interproxy_hits == 0
+    # the peer's own bloom index also recorded the stale-claim probe
+    assert result.index_false_hits >= 1
+    lan_setup = config.lan.connection_setup
+    assert result.overhead.wasted_false_hit_time >= (
+        fed.interproxy_setup + lan_setup
+    )
+
+
+def test_missed_hit_counts_content_invisible_until_next_exchange():
+    # digests exchanged at t=0 (empty); the peer acquires A afterwards;
+    # client 0's request at t=5 cannot see it until the next exchange.
+    trace = make_trace([
+        (1.0, 1, 1, 100, 0),   # peer caches A after the t=1 exchange...
+        (5.0, 0, 1, 100, 0),   # ...invisible: origin serves, missed hit
+    ])
+    fed = FederationConfig(n_proxies=2, digest_period=1000.0)
+    config = SimulationConfig(
+        proxy_capacity=10_000, browser_capacity=10_000, federation=fed
+    )
+    result = simulate(trace, ORG, config)
+    assert result.interproxy_hits == 0
+    assert result.digest_missed_hits == 1
+    assert result.digest_false_hits == 0
+
+
+def test_blocks_partition_changes_ownership():
+    # 3 clients over 2 proxies.  Interleave puts clients 0 and 1 on
+    # different proxies (cross-proxy hit); blocks groups them on proxy
+    # 0 (plain home-proxy hit, no inter-proxy traffic for doc 1).
+    rows = [
+        (0.0, 1, 1, 100, 0),
+        (0.5, 2, 9, 50, 0),  # client 2 only widens the population
+        (1.0, 0, 1, 100, 0),
+    ]
+    roomy = dict(proxy_capacity=10_000, browser_capacity=10_000)
+    interleave = simulate(
+        make_trace(rows), ORG,
+        SimulationConfig(
+            federation=FederationConfig(n_proxies=2, digest_period=0.0), **roomy
+        ),
+    )
+    blocks = simulate(
+        make_trace(rows), ORG,
+        SimulationConfig(
+            federation=FederationConfig(
+                n_proxies=2, digest_period=0.0, partition="blocks"
+            ),
+            **roomy,
+        ),
+    )
+    assert interleave.interproxy_hits == 1
+    assert blocks.interproxy_hits == 0
+    assert blocks.by_location[HitLocation.PROXY].hits == 1
+
+
+# -- bloom sizing agreement (regression) --------------------------------------
+
+
+def test_bloom_index_and_digest_share_sizing_arithmetic(small_trace):
+    """``Simulator._new_index`` and the federation digest must size
+    their filters from the same ``bloom_expected_docs`` arithmetic, so
+    both layers budget false positives for the same claim set."""
+    config = SimulationConfig.relative(
+        small_trace, 0.10, browser_sizing="minimum"
+    ).with_(index_kind="bloom")
+    sim = Simulator(small_trace, ORG, config)
+    n_clients = int(small_trace.clients.max()) + 1
+    expected = bloom_expected_docs(
+        small_trace, sim._browser_capacities(n_clients), config.browser_capacity
+    )
+    assert sim.index.expected_docs == expected
+
+    engine = FederatedSimulator(
+        small_trace, ORG,
+        config.with_(federation=FederationConfig(n_proxies=2)),
+    )
+    members = -(-n_clients // 2)
+    avg_doc = max(1, int(small_trace.sizes.mean()))
+    assert engine.directory.capacity == (
+        max(1, config.proxy_capacity // avg_doc) + expected * members
+    )
+
+
+def test_bloom_expected_docs_fallback_paths():
+    empty = Trace.empty()
+    assert bloom_expected_docs(empty, [], 4096) == max(8, 4096 // 1)
+    trace = make_trace([(0.0, 0, 1, 100, 0)])
+    assert bloom_expected_docs(trace, [1000], 0) == max(8, 1000 // 100)
+
+
+# -- journal round-trip --------------------------------------------------------
+
+
+def test_federated_result_roundtrips_through_journal(small_trace):
+    config = SimulationConfig.relative(
+        small_trace, 0.10, browser_sizing="minimum"
+    ).with_(federation=FederationConfig(n_proxies=2, digest_period=600.0))
+    result = simulate(small_trace, ORG, config)
+    assert result.interproxy_hits > 0
+    assert result.digest_bytes_exchanged > 0
+    restored = assert_result_roundtrips(result)
+    assert restored.interproxy_hits == result.interproxy_hits
+    assert restored.digest_false_hits == result.digest_false_hits
+    assert restored.digest_missed_hits == result.digest_missed_hits
+    assert restored.digest_bytes_exchanged == result.digest_bytes_exchanged
+    assert restored.interproxy_bandwidth_time == result.interproxy_bandwidth_time
+
+
+# -- the end-to-end experiment -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def federation_run():
+    trace = small_paper_trace("NLANR-uc")
+    return trace, federation_experiment.run(trace=trace, workers=0)
+
+
+def test_experiment_single_anchor_matches_plain_sweep(federation_run):
+    """The sweep's single-proxy anchor must be the existing ``baps
+    run`` result for the same cell — bit-identical, not just 1e-9."""
+    trace, res = federation_run
+    sweep = run_policy_sweep(
+        trace, organizations=(ORG,), fractions=(0.10,),
+        browser_sizing="minimum",
+    )
+    anchor = sweep.results[(ORG, 0.10)]
+    assert dataclasses.asdict(res.single_proxy) == dataclasses.asdict(anchor)
+    assert abs(res.single_proxy.hit_ratio - anchor.hit_ratio) < 1e-9
+
+
+def test_experiment_brackets_every_federated_cell(federation_run):
+    """Every federated point lands strictly between the single-proxy
+    floor and its fresh-digest oracle ceiling."""
+    _, res = federation_run
+    assert res.brackets_all()
+    floor = res.single_proxy.hit_ratio
+    for n in res.proxy_counts:
+        top = res.fresh[n].hit_ratio
+        assert floor < top
+        for period in res.digest_periods:
+            assert floor < res.cell(n, period).hit_ratio < top
+
+
+def test_experiment_counters_are_exercised(federation_run):
+    _, res = federation_run
+    for cell in res.cells.values():
+        assert cell.interproxy_hits > 0
+        assert cell.digest_bytes_exchanged > 0
+        assert cell.interproxy_bandwidth_time > 0.0
+    # staleness must actually show up somewhere in the grid
+    assert sum(c.digest_false_hits for c in res.cells.values()) > 0
+    assert sum(c.digest_missed_hits for c in res.cells.values()) > 0
+    # the oracle anchors exchange nothing
+    for n in res.proxy_counts:
+        assert res.fresh[n].digest_bytes_exchanged == 0
+        assert res.fresh[n].digest_missed_hits == 0
+
+
+def test_experiment_render_mentions_anchors(federation_run):
+    _, res = federation_run
+    table = res.render()
+    assert "fresh digest" in table
+    assert "single proxy" in table

@@ -75,6 +75,54 @@ def test_sweep_with_availability_draws_is_deterministic(small_trace):
     assert all(r.holder_unavailable > 0 for r in baps)
 
 
+@pytest.mark.parametrize("workers", [1, 4])
+def test_federated_sweep_bit_identical_across_worker_counts(small_trace, workers):
+    """Federation runs through the same cell machinery: workers 0/1/4
+    must agree exactly, including every new inter-proxy counter."""
+    from repro.core import FederationConfig
+
+    fed = FederationConfig(n_proxies=2, digest_period=600.0)
+    serial = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=0,
+        federation=fed,
+    )
+    parallel = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=workers,
+        federation=fed,
+    )
+    assert not serial.failures and not parallel.failures
+    for key in serial.results:
+        assert result_fingerprint(serial.results[key]) == result_fingerprint(
+            parallel.results[key]
+        ), f"federated cell {key} diverged at workers={workers}"
+    assert any(r.interproxy_hits > 0 for r in serial.results.values())
+
+
+def test_federated_sweep_resumes_from_journal_bit_identical(small_trace, tmp_path):
+    """A federated sweep journaled and resumed restores every cell —
+    new counters included — without re-simulating anything."""
+    from repro.core import EngineOptions, FederationConfig
+
+    fed = FederationConfig(n_proxies=2, digest_period=600.0)
+    journal = str(tmp_path / "federation.jsonl")
+    live = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=0,
+        options=EngineOptions(journal=journal), federation=fed,
+    )
+    assert not live.failures
+    resumed = run_policy_sweep(
+        small_trace, organizations=ORGS, fractions=FRACTIONS, workers=0,
+        options=EngineOptions(resume=journal), federation=fed,
+    )
+    assert not resumed.failures
+    assert all(n == 0 for n in resumed.attempts.values())
+    for key in live.results:
+        assert result_fingerprint(live.results[key]) == result_fingerprint(
+            resumed.results[key]
+        )
+        assert resumed.results[key].interproxy_hits == live.results[key].interproxy_hits
+
+
 def test_synthetic_trace_generation_byte_identical():
     config = SyntheticTraceConfig(n_requests=5_000, n_clients=16, name="twice")
     a = generate_trace(config, seed=7)

@@ -27,9 +27,15 @@ re-runs the sweep with ``--resume`` and asserts every cell is restored
 from the journal bit-identically (the new recovery counters must
 round-trip).
 
+With ``--federation`` every cell runs the cooperative two-proxy
+federation with a digest exchange every 1/12th of the trace.  The
+smoke asserts cooperation actually fired — cross-proxy hits were
+served and digest staleness produced accountable false hits — and the
+generic journal/resume block covers the new counters' round-trip.
+
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
         [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
-        [--proxy-crash]
+        [--proxy-crash] [--federation]
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ from repro.core import (  # noqa: E402
     ChurnModel,
     EngineOptions,
     FaultPlan,
+    FederationConfig,
     Organization,
     ProxyFaultModel,
     resolve_workers,
@@ -78,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="inject two proxy cold restarts per cell with "
                              "checkpointing and re-announcement armed; the "
                              "smoke asserts the recovery model fired")
+    parser.add_argument("--federation", action="store_true",
+                        help="run every cell as a cooperative two-proxy "
+                             "federation with periodic digest exchange; the "
+                             "smoke asserts cross-proxy hits and digest "
+                             "false hits occurred")
     args = parser.parse_args(argv)
 
     workers = resolve_workers(args.workers)
@@ -102,6 +114,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"proxy crashes at t={0.35 * duration:.0f}s and "
               f"t={0.70 * duration:.0f}s, checkpoint every "
               f"{duration / 24:.0f}s, re-announce 0.02 clients/s")
+    if args.federation:
+        duration = float(trace.timestamps.max())
+        grid["federation"] = FederationConfig(
+            n_proxies=2, digest_period=duration / 12
+        )
+        print(f"federation: 2 proxies, digest exchange every "
+              f"{duration / 12:.0f}s")
     n_cells = len(grid["organizations"]) * len(grid["fractions"])
     print(f"smoke sweep: {trace.name}, {len(trace):,} requests, {n_cells} cells")
 
@@ -187,6 +206,22 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if ck_bytes <= 0:
             print("FAIL: --proxy-crash wrote no checkpoint bytes")
+            return 1
+
+    if args.federation:
+        ipx = sum(r.interproxy_hits for r in parallel.results.values())
+        false_hits = sum(r.digest_false_hits for r in parallel.results.values())
+        digest_bytes = sum(
+            r.digest_bytes_exchanged for r in parallel.results.values()
+        )
+        print()
+        print(f"federation: {ipx} cross-proxy hits, {false_hits} digest "
+              f"false hits, {digest_bytes:,} digest bytes exchanged")
+        if ipx <= 0:
+            print("FAIL: --federation served no cross-proxy hits")
+            return 1
+        if false_hits <= 0:
+            print("FAIL: --federation produced no digest false hits")
             return 1
 
     if args.journal:
