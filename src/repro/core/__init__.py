@@ -25,6 +25,7 @@ from repro.index.checkpoint import CheckpointPolicy, IndexCheckpointer, IndexSna
 from repro.core.policies import Organization, ORGANIZATION_LABELS
 from repro.core.metrics import SimulationResult, HitBreakdown, SweepTiming
 from repro.core.simulator import Simulator, simulate
+from repro.core.stream_engine import StreamSimulator, simulate_stream
 from repro.core.overhead import OverheadReport
 from repro.core.faults import FaultPlan, InjectedFault
 from repro.core.journal import (
@@ -67,6 +68,8 @@ __all__ = [
     "SweepTiming",
     "Simulator",
     "simulate",
+    "StreamSimulator",
+    "simulate_stream",
     "OverheadReport",
     "SweepCell",
     "SweepRun",

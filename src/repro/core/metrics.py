@@ -53,6 +53,17 @@ class SweepTiming:
     #: when a timeout was requested but the platform lacks SIGALRM (or
     #: the engine ran off the main thread), so cells ran unbounded.
     timeout_supported: bool = True
+    #: lifetime peak resident set size (bytes), maxed across the engine
+    #: process and every worker that ran a cell; 0 when the platform
+    #: exposes no RSS counter.  This is the capacity-planning figure:
+    #: the smallest machine that could have replayed this sweep.
+    peak_rss_bytes: int = 0
+    #: peak tracemalloc-traced allocation (bytes) in the engine
+    #: process, populated only when the caller was already tracing —
+    #: attributes growth to Python objects, excludes numpy buffers
+    #: allocated outside the traced allocator and the interpreter
+    #: baseline, so it is a floor rather than a total.
+    peak_traced_bytes: int | None = None
 
     @property
     def fell_back_to_serial(self) -> bool:
@@ -108,6 +119,12 @@ class SweepTiming:
             ["speedup vs serial", f"{self.speedup_vs_serial:.2f}x"],
             ["parallel efficiency", f"{self.parallel_efficiency:.2f}"],
         ]
+        from repro.util.units import format_bytes
+
+        if self.peak_rss_bytes > 0:
+            rows.append(["peak RSS", format_bytes(self.peak_rss_bytes)])
+        if self.peak_traced_bytes is not None:
+            rows.append(["peak traced alloc", format_bytes(self.peak_traced_bytes)])
         if not self.timeout_supported:
             rows.append(["cell timeout", "UNSUPPORTED on this platform"])
         for phase, seconds in self.phase_seconds:

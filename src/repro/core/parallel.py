@@ -64,6 +64,7 @@ from repro.core.metrics import SimulationResult, SweepTiming
 from repro.core.policies import Organization
 from repro.core.simulator import simulate
 from repro.traces.record import Trace
+from repro.util.memory import peak_rss_bytes, tracemalloc_peak_bytes
 from repro.util.profiling import ReplayProfile
 from repro.util.rng import derive_seed
 
@@ -390,10 +391,13 @@ def _execute_cell(
     profile: ReplayProfile | None = None,
 ):
     """Run one attempt of one cell; never raises.  Returns
-    ``(index, ok, payload, elapsed, outcome)`` where payload is a
-    result or an ``(error, traceback)`` pair and outcome is
-    ``"ok"`` / ``"error"`` / ``"timeout"``.  When *profile* is given
-    the replay accumulates its per-phase timers into it."""
+    ``(index, ok, payload, elapsed, outcome, peak_rss)`` where payload
+    is a result or an ``(error, traceback)`` pair, outcome is
+    ``"ok"`` / ``"error"`` / ``"timeout"``, and peak_rss is the
+    executing process's lifetime RSS high-water mark in bytes (so the
+    sweep can report its memory footprint across workers).  When
+    *profile* is given the replay accumulates its per-phase timers
+    into it."""
     t0 = time.perf_counter()
     try:
         with _deadline(timeout):
@@ -403,8 +407,15 @@ def _execute_cell(
         elapsed = time.perf_counter() - t0
         error = f"{type(exc).__name__}: {exc}"
         outcome = "timeout" if isinstance(exc, CellTimeout) else "error"
-        return cell.index, False, (error, traceback.format_exc()), elapsed, outcome
-    return cell.index, True, result, time.perf_counter() - t0, "ok"
+        return (
+            cell.index,
+            False,
+            (error, traceback.format_exc()),
+            elapsed,
+            outcome,
+            peak_rss_bytes(),
+        )
+    return cell.index, True, result, time.perf_counter() - t0, "ok", peak_rss_bytes()
 
 
 def _run_cell_in_worker(cell: SweepCell, attempt: int = 0):
@@ -438,6 +449,9 @@ class _Engine:
         self.run = SweepRun(cells=cells)
         self.cell_seconds = {cell.index: 0.0 for cell in cells}
         self.attempt_of = {cell.index: 0 for cell in cells}
+        #: max per-process RSS high-water mark observed across attempts
+        #: (engine process and workers alike).
+        self.peak_rss = 0
         self.unresolved: set[int] = set()
         self.completed = 0
         #: shared per-phase timers (serial path only; see EngineOptions).
@@ -514,9 +528,19 @@ class _Engine:
             self.journal.write_result(cell, result)
         self.emit(cell, True, 0.0, resumed=True)
 
-    def absorb_attempt(self, index: int, ok: bool, payload, elapsed: float, outcome: str) -> bool:
+    def absorb_attempt(
+        self,
+        index: int,
+        ok: bool,
+        payload,
+        elapsed: float,
+        outcome: str,
+        peak_rss: int = 0,
+    ) -> bool:
         """Bookkeep one finished attempt.  Returns True if the cell is
         now resolved, False if it goes back in the retry queue."""
+        if peak_rss > self.peak_rss:
+            self.peak_rss = peak_rss
         cell = self.cells[index]
         attempt = self.attempt_of[index]
         self.run.attempts[index] = attempt + 1
@@ -751,5 +775,7 @@ def run_cells(
         phase_seconds=(
             engine.profile.as_pairs() if engine.profile is not None else ()
         ),
+        peak_rss_bytes=max(engine.peak_rss, peak_rss_bytes()),
+        peak_traced_bytes=tracemalloc_peak_bytes(),
     )
     return run

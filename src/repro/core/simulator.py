@@ -67,7 +67,34 @@ from repro.util.profiling import ReplayProfile
 from repro.util.rng import derive_seed
 from repro.util.units import BITS_PER_BYTE
 
-__all__ = ["Simulator", "simulate", "bloom_expected_docs"]
+__all__ = ["Simulator", "simulate", "bloom_expected_docs", "dense_client_count"]
+
+
+def _dense_client_count(trace: Trace) -> int:
+    """Validate the dense-client-id contract and return the count.
+
+    Per-client state is indexed by client id, so ids must be exactly
+    ``0..n_clients-1`` (the :class:`~repro.traces.record.Trace`
+    contract).  Sparse ids are rejected instead of silently allocating
+    ``max_id + 1`` slots, which is both a memory bug (state for ids
+    that never occur) and an aliasing hazard.  Empty traces replay
+    against a single idle client, as before.
+    """
+    if len(trace) == 0:
+        return 1
+    if not trace.has_dense_clients:
+        n_distinct, max_id = trace._client_id_info()
+        raise ValueError(
+            f"trace {trace.name!r} has sparse client ids ({n_distinct} "
+            f"distinct ids, max id {max_id}): the simulator requires dense "
+            "ids 0..n_clients-1; renumber with Trace.renumbered() or "
+            "repro.traces.filters.select_clients() first"
+        )
+    return trace.n_clients
+
+
+#: public alias (kept out of the hot path's way).
+dense_client_count = _dense_client_count
 
 
 def bloom_expected_docs(
@@ -84,7 +111,7 @@ def bloom_expected_docs(
     (or invent) cross-proxy false hits the per-proxy accounting never
     sees.
     """
-    avg_doc = max(1, int(trace.sizes.mean())) if len(trace) else 1
+    avg_doc = max(1, int(trace.mean_request_size)) if len(trace) else 1
     capacities = list(capacities)
     mean_capacity = (
         int(sum(capacities) / len(capacities)) if capacities else fallback_capacity
@@ -119,9 +146,13 @@ class Simulator:
         ):
             raise ValueError("the tiered memory model supports only LRU caches")
 
-        # Client ids index per-client state directly, so size arrays by
-        # the highest id (ids may be sparse in filtered traces).
-        n_clients = int(trace.clients.max()) + 1 if len(trace) else 1
+        # Client ids index per-client state (browser caches, index
+        # filters, churn sessions) directly, so the trace must honour
+        # its documented contract: dense ids 0..n_clients-1.  Sizing by
+        # the raw maximum id instead used to allocate per-client state
+        # for every id *below* the maximum — a 2-request trace with
+        # client id 2,999,999 cost ~2.7 GB of peak RSS.
+        n_clients = _dense_client_count(trace)
         self._tiered = config.memory_fraction is not None
 
         browser_mem = (

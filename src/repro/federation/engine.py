@@ -45,7 +45,7 @@ from repro.core.config import SimulationConfig
 from repro.core.events import HitLocation
 from repro.core.metrics import SimulationResult
 from repro.core.policies import Organization
-from repro.core.simulator import Simulator, bloom_expected_docs
+from repro.core.simulator import Simulator, _dense_client_count, bloom_expected_docs
 from repro.federation.digest import DigestDirectory
 from repro.hierarchy.config import assign_proxy
 from repro.index.staleness import StalenessStats
@@ -72,7 +72,10 @@ class FederatedSimulator:
         self.config = config
         self.fed = fed
         self.features = organization.features
-        n_clients = int(trace.clients.max()) + 1 if len(trace) else 1
+        # Same dense-id contract as the per-proxy engines (which
+        # re-validate it); aligning on Trace.n_clients keeps the owner
+        # table sized by clients that exist, not by the highest raw id.
+        n_clients = _dense_client_count(trace)
         self.n_clients = n_clients
 
         # Each per-proxy engine runs the plain single-proxy config; the
@@ -126,7 +129,7 @@ class FederatedSimulator:
         summaries it aggregates.
         """
         trace = self.trace
-        avg_doc = max(1, int(trace.sizes.mean())) if len(trace) else 1
+        avg_doc = max(1, int(trace.mean_request_size)) if len(trace) else 1
         capacity = 0
         if self.features.has_proxy:
             capacity += max(1, self.base.proxy_capacity // avg_doc)

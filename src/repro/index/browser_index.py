@@ -82,10 +82,12 @@ class BrowserIndex:
         self._visible: dict[int, dict[int, IndexEntry]] = {}
         #: pending (periodic mode): client -> {doc: IndexEntry | None}
         #: (None = eviction); dict form coalesces insert+evict churn.
-        self._pending: list[dict[int, IndexEntry | None]] = [
-            {} for _ in range(n_clients)
-        ]
-        self._client_state = [ClientUpdateState() for _ in range(n_clients)]
+        #: Allocated lazily per client: under invalidation mode (and for
+        #: clients that never batch a change) nothing is created, so the
+        #: index costs O(entries), not O(n_clients) — the difference
+        #: between megabytes and nothing at a million clients.
+        self._pending: dict[int, dict[int, IndexEntry | None]] = {}
+        self._client_state: dict[int, ClientUpdateState] = {}
         self._rr = 0  # round-robin cursor for holder selection
         self._n_entries = 0
         #: (doc, client) pairs restored from a checkpoint and not yet
@@ -98,6 +100,20 @@ class BrowserIndex:
         self.n_insert_events = 0
         self.n_evict_events = 0
         self.reannouncements = 0
+
+    # -- lazy per-client state -------------------------------------------
+
+    def _state_of(self, client: int) -> ClientUpdateState:
+        state = self._client_state.get(client)
+        if state is None:
+            state = self._client_state[client] = ClientUpdateState()
+        return state
+
+    def _pending_of(self, client: int) -> dict[int, IndexEntry | None]:
+        pending = self._pending.get(client)
+        if pending is None:
+            pending = self._pending[client] = {}
+        return pending
 
     # -- event intake ----------------------------------------------------
 
@@ -128,10 +144,10 @@ class BrowserIndex:
             if self._restored:
                 self._restored.discard((doc, client))
             return
-        state = self._client_state[client]
+        state = self._state_of(client)
         if not replace:
             state.cached_docs += 1
-        self._pending[client][doc] = IndexEntry(client, doc, version, size, now, ttl)
+        self._pending_of(client)[doc] = IndexEntry(client, doc, version, size, now, ttl)
         state.pending_changes += 1
         self._maybe_flush(client, now)
 
@@ -149,9 +165,9 @@ class BrowserIndex:
                 if not holders:
                     del self._visible[doc]
             return
-        state = self._client_state[client]
+        state = self._state_of(client)
         state.cached_docs = max(0, state.cached_docs - 1)
-        self._pending[client][doc] = None
+        self._pending_of(client)[doc] = None
         state.pending_changes += 1
         self._maybe_flush(client, now)
 
@@ -159,7 +175,7 @@ class BrowserIndex:
 
     def _maybe_flush(self, client: int, now: float) -> None:
         assert self.policy is not None
-        if self.policy.should_flush(self._client_state[client], now):
+        if self.policy.should_flush(self._state_of(client), now):
             self.flush(client, now)
 
     def flush(self, client: int, now: float) -> int:
@@ -168,8 +184,8 @@ class BrowserIndex:
         Returns the number of items in the batch (the §5 overhead model
         charges one message per flush).
         """
-        pending = self._pending[client]
-        n_items = len(pending)
+        pending = self._pending.get(client)
+        n_items = len(pending) if pending else 0
         if n_items == 0:
             return 0
         for doc, entry in pending.items():
@@ -187,7 +203,7 @@ class BrowserIndex:
                     self._n_entries += 1
                 holders[client] = entry
         pending.clear()
-        state = self._client_state[client]
+        state = self._state_of(client)
         state.pending_changes = 0
         state.last_flush = now
         self.stats.flushes += 1
@@ -321,7 +337,7 @@ class BrowserIndex:
                 self._restored.discard((doc, client))
                 if not holders:
                     del self._visible[doc]
-        self._pending[client].clear()
+        self._pending.pop(client, None)
         n_items = 0
         for doc, version, size in items:
             holders = self._visible.setdefault(doc, {})
@@ -336,7 +352,7 @@ class BrowserIndex:
                 ttl=ttl,
             )
             n_items += 1
-        state = self._client_state[client]
+        state = self._state_of(client)
         state.cached_docs = n_items
         state.pending_changes = 0
         state.last_flush = now

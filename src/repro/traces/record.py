@@ -113,16 +113,16 @@ class Trace:
     def __len__(self) -> int:
         return len(self.timestamps)
 
+    #: rows converted per ``iter_rows`` batch: large enough that the
+    #: per-chunk ``tolist()`` overhead vanishes, small enough that the
+    #: transient Python-object copies stay a few MB regardless of trace
+    #: size (five columns at once used to ~double resident memory at
+    #: replay start for multi-million-request traces).
+    ITER_CHUNK_ROWS = 65_536
+
     def __iter__(self) -> Iterator[Request]:
-        # tolist() converts to native Python scalars once, which is much
-        # faster than per-element numpy scalar boxing in the hot loop.
-        ts = self.timestamps.tolist()
-        cl = self.clients.tolist()
-        dc = self.docs.tolist()
-        sz = self.sizes.tolist()
-        vr = self.versions.tolist()
-        for i in range(len(ts)):
-            yield Request(ts[i], cl[i], dc[i], sz[i], vr[i])
+        for row in self.iter_rows():
+            yield Request(*row)
 
     def __getitem__(self, index: int) -> Request:
         i = int(index)
@@ -134,28 +134,69 @@ class Trace:
             int(self.versions[i]),
         )
 
-    def iter_rows(self) -> Iterator[tuple[float, int, int, int, int]]:
+    def iter_rows(
+        self, chunk_rows: int | None = None
+    ) -> Iterator[tuple[float, int, int, int, int]]:
         """Iterate ``(timestamp, client, doc, size, version)`` tuples.
 
         This is the simulator's hot path; it avoids constructing
-        :class:`Request` objects.
+        :class:`Request` objects.  Columns are converted to native
+        Python scalars (``tolist()`` — much faster in the replay loop
+        than per-element numpy scalar boxing) in bounded chunks of
+        ``chunk_rows`` rows (default :attr:`ITER_CHUNK_ROWS`), so the
+        transient conversion memory is O(chunk), not O(trace).
+        Iteration order and yielded values are identical to the old
+        whole-column conversion.
         """
-        return zip(
-            self.timestamps.tolist(),
-            self.clients.tolist(),
-            self.docs.tolist(),
-            self.sizes.tolist(),
-            self.versions.tolist(),
-        )
+        n = len(self.timestamps)
+        step = chunk_rows if chunk_rows else self.ITER_CHUNK_ROWS
+        if step <= 0:
+            raise ValueError(f"chunk_rows must be > 0, got {step}")
+        for start in range(0, n, step):
+            end = start + step
+            yield from zip(
+                self.timestamps[start:end].tolist(),
+                self.clients[start:end].tolist(),
+                self.docs[start:end].tolist(),
+                self.sizes[start:end].tolist(),
+                self.versions[start:end].tolist(),
+            )
 
     # -- derived properties -------------------------------------------
+
+    def _client_id_info(self) -> tuple[int, int]:
+        """``(n_distinct, max_id)`` for the client column, memoized.
+
+        Instances are immutable by convention, so the scan runs once no
+        matter how many sweep cells replay the same trace.
+        """
+        cached = getattr(self, "_client_info_cache", None)
+        if cached is None:
+            if len(self) == 0:
+                cached = (0, -1)
+            else:
+                cached = (
+                    int(np.unique(self.clients).size),
+                    int(self.clients.max()),
+                )
+            self._client_info_cache = cached
+        return cached
 
     @property
     def n_clients(self) -> int:
         """Number of distinct clients appearing in the trace."""
-        if len(self) == 0:
-            return 0
-        return int(np.unique(self.clients).size)
+        return self._client_id_info()[0]
+
+    @property
+    def has_dense_clients(self) -> bool:
+        """True when client ids are exactly ``0..n_clients-1``.
+
+        Dense ids are the documented contract (the simulator indexes
+        per-client state by id); filtering can leave gaps, which
+        :meth:`renumbered` repairs.
+        """
+        n_distinct, max_id = self._client_id_info()
+        return max_id + 1 == n_distinct
 
     @property
     def n_docs(self) -> int:
@@ -168,6 +209,13 @@ class Trace:
     def total_bytes(self) -> int:
         """Total bytes requested (sum of response sizes over requests)."""
         return int(self.sizes.sum())
+
+    @property
+    def mean_request_size(self) -> float:
+        """Mean response size in bytes over all requests (0.0 if empty)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.sizes.mean())
 
     @property
     def duration(self) -> float:

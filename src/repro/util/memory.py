@@ -1,0 +1,75 @@
+"""Peak-memory observability without external dependencies.
+
+Million-client streaming replays are memory-bound, not time-bound, so
+the sweep harness reports the high-water mark of resident set size
+alongside wall-clock timing.  Linux exposes this two ways:
+
+* ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` — kibibytes on Linux
+  (bytes on macOS, hence the platform scale factor), and
+* ``/proc/self/status`` ``VmHWM`` — used as a cross-check/fallback.
+
+Both report a per-process lifetime maximum: it never decreases, so a
+cell's *own* peak can only be bounded from above in a reused worker.
+The harness therefore records the max across processes, which is the
+quantity a capacity planner needs ("how big a box replays this
+sweep"), and optionally supplements it with :mod:`tracemalloc` deltas
+for allocator-level attribution.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["peak_rss_bytes", "tracemalloc_peak_bytes"]
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+#: ru_maxrss unit: kibibytes on Linux, bytes on macOS/BSD.
+_RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
+def _proc_vm_hwm_bytes() -> int:
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak resident set size, in bytes.
+
+    Returns 0 when the platform exposes neither ``getrusage`` nor
+    ``/proc/self/status`` (the harness then simply omits the figure).
+    """
+    peak = 0
+    if resource is not None:
+        try:
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RU_MAXRSS_SCALE
+        except (OSError, ValueError):  # pragma: no cover
+            peak = 0
+    if peak <= 0:
+        peak = _proc_vm_hwm_bytes()
+    return peak
+
+
+def tracemalloc_peak_bytes() -> int | None:
+    """Peak *traced* Python allocation since tracing started, or None
+    when :mod:`tracemalloc` is not running.
+
+    Unlike RSS this excludes the interpreter baseline and any memory
+    not routed through the Python allocator, so it under-reports —
+    but it attributes growth to Python objects, which is what the
+    streaming-engine memory budget is written in.
+    """
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        return None
+    return tracemalloc.get_traced_memory()[1]

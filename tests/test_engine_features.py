@@ -71,7 +71,7 @@ def test_per_client_capacities_applied():
 
 
 def test_capacities_must_cover_all_clients():
-    t = build([(0.0, 0, 0, 100), (1.0, 2, 1, 100)])  # clients 0..2
+    t = build([(0.0, 0, 0, 100), (1.0, 1, 1, 100), (2.0, 2, 1, 100)])  # clients 0..2
     config = SimulationConfig(
         proxy_capacity=1000, browser_capacity=0, browser_capacities=(10, 10)
     )

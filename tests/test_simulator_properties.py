@@ -23,6 +23,10 @@ def traces(draw):
     clients = draw(
         st.lists(st.integers(0, n_clients - 1), min_size=n, max_size=n)
     )
+    # Dense-id contract: the engine rejects gaps in the client id space,
+    # so remap the drawn ids to 0..k-1 (ascending, like Trace.renumbered).
+    remap = {c: i for i, c in enumerate(sorted(set(clients)))}
+    clients = [remap[c] for c in clients]
     docs = draw(st.lists(st.integers(0, n_docs - 1), min_size=n, max_size=n))
     base_sizes = draw(
         st.lists(st.integers(1, 2_000), min_size=n_docs, max_size=n_docs)

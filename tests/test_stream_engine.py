@@ -1,0 +1,246 @@
+"""The flat-state streaming engine is bit-identical to the simulator.
+
+``simulate_stream`` replays the same request path as ``simulate`` with
+per-client hot state in flat arrays instead of per-client cache
+objects; every field of the returned :class:`SimulationResult` —
+counters, accumulated float overheads, index statistics — must match
+exactly for every supported configuration, whether the source is a
+materialised ``Trace`` or a ``TraceStream``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import Organization, SimulationConfig, simulate, simulate_stream
+from repro.core.stream_engine import check_stream_config
+from repro.traces import SyntheticTraceConfig, TraceStream, generate_trace
+from repro.traces.record import Trace
+
+ALL_ORGS = list(Organization)
+
+
+def assert_identical(trace, config, orgs=ALL_ORGS, source=None):
+    for org in orgs:
+        a = dataclasses.asdict(simulate(trace, org, config))
+        b = dataclasses.asdict(simulate_stream(source or trace, org, config))
+        assert a == b, f"stream engine diverged for {org}"
+
+
+def small_trace(seed=0, n=2_000, clients=25):
+    return generate_trace(
+        SyntheticTraceConfig(n_requests=n, n_clients=clients), seed=seed
+    )
+
+
+def test_identical_base_config():
+    t = small_trace()
+    assert_identical(t, SimulationConfig.relative(t, proxy_frac=0.1, browser_sizing="minimum"))
+
+
+def test_identical_with_index_ttl():
+    t = small_trace(1)
+    cfg = SimulationConfig.relative(t, proxy_frac=0.05, browser_sizing="minimum").with_(
+        index_entry_ttl=30.0
+    )
+    assert_identical(t, cfg)
+
+
+def test_identical_fifo_proxy():
+    t = small_trace(2)
+    cfg = SimulationConfig.relative(t, proxy_frac=0.1, browser_sizing="minimum").with_(
+        proxy_policy="fifo"
+    )
+    assert_identical(t, cfg)
+
+
+def test_identical_remote_hit_knobs():
+    t = small_trace(3)
+    cfg = SimulationConfig.relative(t, proxy_frac=0.1, browser_sizing="minimum").with_(
+        remote_hit_refreshes_holder=False, cache_remote_hits_at_proxy=True
+    )
+    assert_identical(t, cfg)
+
+
+def test_identical_heterogeneous_capacities():
+    t = small_trace(4)
+    base = SimulationConfig.relative(t, proxy_frac=0.1, browser_sizing="minimum")
+    caps = tuple(
+        int(base.browser_capacity * (1.6 if i % 2 == 0 else 0.4))
+        for i in range(t.n_clients)
+    )
+    assert_identical(t, base.with_(browser_capacities=caps))
+
+
+def test_identical_security_model():
+    from repro.security.protocols import SecurityOverheadModel
+
+    t = small_trace(5)
+    cfg = SimulationConfig.relative(t, proxy_frac=0.1, browser_sizing="minimum").with_(
+        security=SecurityOverheadModel()
+    )
+    assert_identical(t, cfg)
+
+
+def test_identical_from_trace_stream():
+    tc = SyntheticTraceConfig(n_requests=1_500, n_clients=20)
+    trace = generate_trace(tc, seed=7)
+    stream = TraceStream(tc, seed=7, chunk_rows=256)
+    cfg = SimulationConfig.relative(trace, proxy_frac=0.1, browser_sizing="minimum")
+    assert_identical(trace, cfg, source=stream)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(1, 300),
+    clients=st.integers(1, 12),
+    proxy_frac=st.sampled_from([0.02, 0.1, 0.5]),
+    ttl=st.sampled_from([None, 15.0]),
+)
+@settings(max_examples=30, deadline=None)
+def test_identical_property(seed, n, clients, proxy_frac, ttl):
+    t = generate_trace(
+        SyntheticTraceConfig(n_requests=n, n_clients=clients), seed=seed
+    )
+    if not t.has_dense_clients:  # n < clients cannot cover every id
+        t = t.renumbered()
+    cfg = SimulationConfig.relative(
+        t, proxy_frac=proxy_frac, browser_sizing="minimum"
+    ).with_(index_entry_ttl=ttl)
+    assert_identical(t, cfg)
+
+
+# -- tiny hand traces hit the cache corner cases -------------------------------
+
+
+def hand(rows, versions=None):
+    n = len(rows)
+    return Trace(
+        timestamps=np.array([float(r[0]) for r in rows]),
+        clients=np.array([r[1] for r in rows], dtype=np.int64),
+        docs=np.array([r[2] for r in rows], dtype=np.int64),
+        sizes=np.array([r[3] for r in rows], dtype=np.int64),
+        versions=np.array(versions or [0] * n, dtype=np.int64),
+        name="hand",
+    )
+
+
+def test_identical_oversized_and_refresh_corners():
+    # oversized insert, oversized refresh (evicts itself), and a
+    # version bump refreshing in place
+    t = hand(
+        [(0.0, 0, 0, 80), (1.0, 0, 1, 200), (2.0, 0, 0, 150), (3.0, 1, 0, 150)],
+        versions=[0, 0, 1, 1],
+    )
+    cfg = SimulationConfig(proxy_capacity=0, browser_capacity=100)
+    assert_identical(t, cfg)
+
+
+def test_identical_zero_capacity_and_empty():
+    t = hand([(0.0, 0, 0, 10), (1.0, 1, 0, 10)])
+    cfg = SimulationConfig(
+        proxy_capacity=0, browser_capacity=0, browser_capacities=(50, 0)
+    )
+    assert_identical(t, cfg)
+    empty = Trace(
+        timestamps=np.array([]),
+        clients=np.array([], dtype=np.int64),
+        docs=np.array([], dtype=np.int64),
+        sizes=np.array([], dtype=np.int64),
+        versions=np.array([], dtype=np.int64),
+        name="empty",
+    )
+    assert_identical(empty, SimulationConfig(proxy_capacity=10, browser_capacity=10))
+
+
+# -- subset validation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "knob",
+    [
+        dict(memory_fraction=0.5),
+        dict(browser_policy="fifo"),
+        dict(corruption_rate=0.1),
+        dict(index_kind="bloom"),
+        dict(holder_availability=0.9),
+        dict(index_update_policy="periodic"),
+    ],
+)
+def test_unsupported_knobs_rejected(knob):
+    t = hand([(0.0, 0, 0, 10)])
+    cfg = SimulationConfig(proxy_capacity=100, browser_capacity=100).with_(**knob)
+    with pytest.raises(ValueError, match="simulate_stream does not support"):
+        simulate_stream(t, Organization.BROWSERS_AWARE_PROXY, cfg)
+
+
+def test_check_stream_config_accepts_defaults():
+    check_stream_config(SimulationConfig(proxy_capacity=1, browser_capacity=1))
+
+
+def test_sparse_source_rejected():
+    t = hand([(0.0, 0, 0, 10), (1.0, 7, 0, 10)])
+    cfg = SimulationConfig(proxy_capacity=100, browser_capacity=100)
+    with pytest.raises(ValueError, match="sparse client ids"):
+        simulate_stream(t, Organization.PROXY_AND_LOCAL_BROWSER, cfg)
+
+
+def test_capacities_must_cover_clients():
+    t = hand([(0.0, 0, 0, 10), (1.0, 1, 0, 10), (2.0, 2, 0, 10)])
+    cfg = SimulationConfig(
+        proxy_capacity=100, browser_capacity=0, browser_capacities=(10, 10)
+    )
+    with pytest.raises(ValueError, match="covers 2 clients"):
+        simulate_stream(t, Organization.PROXY_AND_LOCAL_BROWSER, cfg)
+
+
+def test_flat_state_no_per_client_objects():
+    """A high-client-count replay must not allocate per-client cache
+    objects: flat arrays keep per-client cost to a few machine words."""
+    import tracemalloc
+
+    n_clients = 200_000
+    n = 250_000
+    rng = np.random.default_rng(0)
+    clients = np.concatenate(
+        [
+            np.arange(n_clients, dtype=np.int64),  # every id appears
+            rng.integers(0, n_clients, size=n - n_clients, dtype=np.int64),
+        ]
+    )
+    t = Trace(
+        timestamps=np.arange(n, dtype=float),
+        clients=clients,
+        docs=rng.integers(0, 5_000, size=n, dtype=np.int64),
+        sizes=np.full(n, 1_000, dtype=np.int64),
+        versions=np.zeros(n, dtype=np.int64),
+        name="wide",
+    )
+    cfg = SimulationConfig(proxy_capacity=10_000_000, browser_capacity=10_000)
+
+    tracemalloc.start()
+    try:
+        simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, cfg)
+        _, object_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    tracemalloc.start()
+    try:
+        simulate_stream(t, Organization.PROXY_AND_LOCAL_BROWSER, cfg)
+        _, flat_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    # the materialised engine allocates an LRUCache + OrderedDict per
+    # client plus per-client handle lists; the flat slot pool must cost
+    # well under half of that at this client width.
+    assert flat_peak < object_peak / 2, (
+        f"flat replay peaked at {flat_peak:,} B, object engine at "
+        f"{object_peak:,} B — expected < half"
+    )

@@ -1,0 +1,149 @@
+"""The streaming workload generator is bit-identical to the
+materialised one.
+
+``TraceStream`` must reproduce ``generate_trace`` exactly — same five
+columns, same dtypes, same derived statistics — for the same
+``(config, seed)``, regardless of chunk size, and without retaining
+O(n) float columns between passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.traces import SyntheticTraceConfig, TraceStream, generate_trace, stream_trace
+
+
+def assert_stream_matches(config: SyntheticTraceConfig, seed: int, chunk_rows=None):
+    ref = generate_trace(config, seed=seed)
+    stream = (
+        TraceStream(config, seed=seed, chunk_rows=chunk_rows)
+        if chunk_rows
+        else TraceStream(config, seed=seed)
+    )
+    got = stream.materialise()
+    for col in ("timestamps", "clients", "docs", "sizes", "versions"):
+        a, b = getattr(ref, col), getattr(got, col)
+        assert a.dtype == b.dtype, col
+        np.testing.assert_array_equal(a, b, err_msg=col)
+    assert stream.n_requests == len(ref)
+    assert stream.n_clients == ref.n_clients
+    assert stream.total_bytes == ref.total_bytes
+    assert stream.mean_request_size == ref.mean_request_size
+    return ref, stream
+
+
+@given(
+    n_requests=st.integers(1, 400),
+    n_clients=st.integers(1, 30),
+    seed=st.integers(0, 2**31),
+    p_mutate=st.sampled_from([0.0, 0.05]),
+    diurnal=st.sampled_from([0.0, 0.8]),
+    embedded=st.sampled_from([0.0, 1.5]),
+)
+@settings(max_examples=40, deadline=None)
+def test_streamed_equals_generate_trace(
+    n_requests, n_clients, seed, p_mutate, diurnal, embedded
+):
+    config = SyntheticTraceConfig(
+        n_requests=n_requests,
+        n_clients=n_clients,
+        p_mutate=p_mutate,
+        diurnal_amplitude=diurnal,
+        embedded_per_page_mean=embedded,
+    )
+    assert_stream_matches(config, seed)
+
+
+def test_chunk_size_invariance():
+    config = SyntheticTraceConfig(n_requests=2_000, n_clients=40)
+    ref = generate_trace(config, seed=5)
+    for chunk in (1, 7, 63, 1024, 100_000):
+        got = TraceStream(config, seed=5, chunk_rows=chunk).materialise()
+        for col in ("timestamps", "clients", "docs", "sizes", "versions"):
+            np.testing.assert_array_equal(
+                getattr(ref, col), getattr(got, col), err_msg=f"chunk={chunk} {col}"
+            )
+
+
+def test_repair_heavy_shape_matches():
+    """n_requests=30/n_clients=25 exercises the client-planting repair
+    on most seeds; the stream must replicate it draw for draw."""
+    config = SyntheticTraceConfig(n_requests=30, n_clients=25)
+    for seed in range(25):
+        assert_stream_matches(config, seed)
+
+
+def test_single_request_and_sub_client_shapes():
+    assert_stream_matches(SyntheticTraceConfig(n_requests=1, n_clients=1), 0)
+    assert_stream_matches(SyntheticTraceConfig(n_requests=3, n_clients=50), 2)
+
+
+def test_chunks_reiterable_and_bounded():
+    config = SyntheticTraceConfig(n_requests=1_500, n_clients=20)
+    stream = TraceStream(config, seed=1, chunk_rows=256)
+    first = [c[0].copy() for c in stream.chunks()]
+    second = [c[0].copy() for c in stream.chunks()]
+    assert all(np.array_equal(a, b) for a, b in zip(first, second))
+    for cols in stream.chunks():
+        assert len(cols) == 5
+        assert all(len(col) <= 256 for col in cols)
+
+
+def test_iter_rows_matches_materialised_rows():
+    config = SyntheticTraceConfig(n_requests=500, n_clients=10)
+    stream = TraceStream(config, seed=9, chunk_rows=128)
+    assert list(stream.iter_rows()) == list(stream.materialise().iter_rows())
+
+
+def test_stream_trace_helper_and_len():
+    config = SyntheticTraceConfig(n_requests=64, n_clients=4)
+    stream = stream_trace(config, seed=3)
+    assert len(stream) == 64
+    assert stream.has_dense_clients
+    assert stream.duration == generate_trace(config, seed=3).duration
+
+
+def test_generator_seed_rejected():
+    config = SyntheticTraceConfig(n_requests=8, n_clients=2)
+    with pytest.raises(TypeError):
+        TraceStream(config, seed=np.random.default_rng(0))
+
+
+def test_streaming_memory_below_materialised_generation():
+    """Streaming retains ~8 B/request (int32 client + pair index) and
+    its transient peak must stay well under ``generate_trace``'s, which
+    allocates five O(n) result columns plus O(n) float temporaries."""
+    import tracemalloc
+
+    config = SyntheticTraceConfig(n_requests=120_000, n_clients=500)
+
+    tracemalloc.start()
+    try:
+        trace = generate_trace(config, seed=0)
+        mat_current, mat_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    del trace
+
+    tracemalloc.start()
+    try:
+        stream = TraceStream(config, seed=0, chunk_rows=4_096)
+        for _ in stream.chunks():
+            pass
+        stream_current, stream_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    # measured locally: ~37 MB / ~10 MB peak, ~5.5 MB / ~3.2 MB retained
+    assert stream_peak < mat_peak / 2, (
+        f"streaming peak {stream_peak:,} B not well below "
+        f"materialised generation peak {mat_peak:,} B"
+    )
+    assert stream_current < mat_current, (
+        f"streaming retains {stream_current:,} B, more than a "
+        f"materialised trace ({mat_current:,} B)"
+    )

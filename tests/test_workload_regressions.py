@@ -1,0 +1,195 @@
+"""Regression tests for three workload-path bugs.
+
+1. ``_draw_clients`` could *lose* clients while repairing the
+   every-client-appears invariant: the blind repair pass overwrote the
+   sole occurrence of another client (at ``n_requests=30,
+   n_clients=25`` that re-violated the invariant on 294 of 300 seeds).
+   The count-aware fixpoint repair never steals a sole occurrence, and
+   non-violating initial draws consume an unchanged RNG stream.
+
+2. Sparse client ids silently allocated ``max_id + 1`` per-client
+   slots: a 3-row trace with a stray client id of 300 million cost
+   ~2.7 GB of RSS.  The engine now rejects sparse ids with an error
+   naming the repair (``Trace.renumbered()``).
+
+3. ``Trace.__iter__``/``iter_rows`` converted all five columns with
+   ``.tolist()`` up front, roughly doubling resident memory at replay
+   start; conversion is now chunked so the transient is O(chunk).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import Organization, SimulationConfig, Simulator, simulate
+from repro.traces.record import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, _draw_clients, generate_trace
+from repro.util.rng import make_rng
+
+
+def _trace(clients, n_docs=3):
+    n = len(clients)
+    return Trace(
+        timestamps=np.arange(n, dtype=float),
+        clients=np.array(clients, dtype=np.int64),
+        docs=np.arange(n, dtype=np.int64) % n_docs,
+        sizes=np.full(n, 100, dtype=np.int64),
+        versions=np.zeros(n, dtype=np.int64),
+        name="hand",
+    )
+
+
+# -- bug 1: client-planting repair loses clients -------------------------------
+
+
+def test_every_client_appears_across_seeds():
+    """The shape that broke 294/300 seeds before the fixpoint repair."""
+    config = SyntheticTraceConfig(n_requests=30, n_clients=25)
+    for seed in range(300):
+        clients = _draw_clients(config, make_rng(seed))
+        present = np.unique(clients)
+        assert present.size == 25, (
+            f"seed {seed}: repair lost clients, only {present.size}/25 appear"
+        )
+
+
+def test_generated_trace_covers_all_clients():
+    config = SyntheticTraceConfig(n_requests=30, n_clients=25)
+    for seed in range(40):
+        t = generate_trace(config, seed=seed)
+        assert t.n_clients == 25
+
+
+def test_non_violating_draws_bit_identical():
+    """The repair only runs on violation, so seeds whose initial draw
+    already covers every client must get the exact pre-fix stream."""
+    config = SyntheticTraceConfig(n_requests=5_000, n_clients=10)
+    checked = 0
+    for seed in range(20):
+        rng = make_rng(seed)
+        weights = rng.dirichlet(
+            np.full(config.n_clients, config.client_activity_alpha)
+        )
+        raw = rng.choice(config.n_clients, size=config.n_requests, p=weights)
+        if np.unique(raw).size < config.n_clients:
+            continue  # this seed would trigger the repair
+        checked += 1
+        via_fix = _draw_clients(config, make_rng(seed))
+        np.testing.assert_array_equal(via_fix, raw.astype(np.int64))
+    assert checked > 0, "no non-violating seed in range; widen the sweep"
+
+
+def test_repair_preserves_request_count_and_dtype():
+    config = SyntheticTraceConfig(n_requests=30, n_clients=25)
+    clients = _draw_clients(config, make_rng(1))
+    assert clients.shape == (30,)
+    assert clients.dtype == np.int64
+    assert clients.min() >= 0 and clients.max() < 25
+
+
+def test_fewer_requests_than_clients_unrepaired():
+    """With n_requests < n_clients full coverage is impossible; the
+    invariant (and its repair) must not apply."""
+    config = SyntheticTraceConfig(n_requests=4, n_clients=100)
+    clients = _draw_clients(config, make_rng(0))
+    assert clients.shape == (4,)
+
+
+# -- bug 2: sparse client ids blow up per-client allocations -------------------
+
+
+def test_sparse_client_ids_rejected():
+    t = _trace([0, 1, 300_000_000])
+    config = SimulationConfig(proxy_capacity=1000, browser_capacity=1000)
+    with pytest.raises(ValueError, match="sparse client ids"):
+        Simulator(t, Organization.BROWSERS_AWARE_PROXY, config)
+
+
+def test_sparse_rejection_names_the_repair():
+    t = _trace([0, 5])
+    config = SimulationConfig(proxy_capacity=1000, browser_capacity=1000)
+    with pytest.raises(ValueError, match="renumbered"):
+        simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, config)
+
+
+def test_renumbered_sparse_trace_simulates():
+    t = _trace([0, 1, 300_000_000]).renumbered()
+    config = SimulationConfig(proxy_capacity=1000, browser_capacity=1000)
+    r = simulate(t, Organization.BROWSERS_AWARE_PROXY, config)
+    assert r.n_requests == 3
+
+
+def test_sparse_rejection_is_alloc_bounded():
+    """The pre-fix failure mode was a ~2.7 GB allocation *before* any
+    error; rejection must trigger without per-client allocations."""
+    t = _trace([0, 1, 300_000_000])
+    config = SimulationConfig(proxy_capacity=1000, browser_capacity=1000)
+    tracemalloc.start()
+    try:
+        with pytest.raises(ValueError):
+            Simulator(t, Organization.BROWSERS_AWARE_PROXY, config)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert peak < 50 * 1024 * 1024, f"rejection allocated {peak:,} bytes"
+
+
+def test_dense_ids_still_accepted():
+    t = _trace([0, 1, 2, 1])
+    config = SimulationConfig(proxy_capacity=1000, browser_capacity=1000)
+    assert simulate(t, Organization.PROXY_AND_LOCAL_BROWSER, config).n_requests == 4
+
+
+# -- bug 3: whole-trace .tolist() doubling in iteration ------------------------
+
+
+def test_iter_rows_chunked_equivalence():
+    t = generate_trace(SyntheticTraceConfig(n_requests=1_000, n_clients=20), seed=3)
+    whole = list(
+        zip(
+            t.timestamps.tolist(),
+            t.clients.tolist(),
+            t.docs.tolist(),
+            t.sizes.tolist(),
+            t.versions.tolist(),
+        )
+    )
+    assert list(t.iter_rows()) == whole
+    assert list(t.iter_rows(chunk_rows=7)) == whole
+    assert [
+        (r.timestamp, r.client, r.doc, r.size, r.version) for r in t
+    ] == whole
+
+
+def test_iter_rows_rejects_bad_chunk():
+    t = _trace([0, 1])
+    with pytest.raises(ValueError):
+        next(t.iter_rows(chunk_rows=-1))
+
+
+def test_iter_rows_transient_is_chunk_bounded():
+    """Peak traced allocation while iterating must track the chunk
+    size, not the trace size (the old code converted all 5 columns)."""
+    n = 200_000
+    t = Trace(
+        timestamps=np.arange(n, dtype=float),
+        clients=np.zeros(n, dtype=np.int64),
+        docs=np.zeros(n, dtype=np.int64),
+        sizes=np.ones(n, dtype=np.int64),
+        versions=np.zeros(n, dtype=np.int64),
+        name="big",
+    )
+    chunk = 1_000
+    tracemalloc.start()
+    try:
+        for _ in t.iter_rows(chunk_rows=chunk):
+            pass
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    # full-trace conversion would be ~5 columns x n x ~30B of boxed
+    # scalars (tens of MB); a chunked transient stays well under 5 MB.
+    assert peak < 5 * 1024 * 1024, f"iteration transient {peak:,} bytes"

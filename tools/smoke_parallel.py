@@ -33,9 +33,16 @@ smoke asserts cooperation actually fired — cross-proxy hits were
 served and digest staleness produced accountable false hits — and the
 generic journal/resume block covers the new counters' round-trip.
 
+With ``--stream`` every base-grid cell is additionally replayed
+through the flat-state streaming engine
+(:func:`repro.core.simulate_stream`) and must be bit-identical to the
+serial run; the process's peak RSS must also stay under
+``--stream-rss-ceiling-mb``.  Incompatible with the churn / crash /
+federation grids (outside the streaming subset).
+
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
         [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
-        [--proxy-crash] [--federation]
+        [--proxy-crash] [--federation] [--stream]
 """
 
 from __future__ import annotations
@@ -90,7 +97,19 @@ def main(argv: list[str] | None = None) -> int:
                              "federation with periodic digest exchange; the "
                              "smoke asserts cross-proxy hits and digest "
                              "false hits occurred")
+    parser.add_argument("--stream", action="store_true",
+                        help="also replay every cell through the flat-state "
+                             "streaming engine; results must be bit-identical "
+                             "and peak RSS must stay under the ceiling")
+    parser.add_argument("--stream-rss-ceiling-mb", type=int, default=2048,
+                        metavar="MB",
+                        help="peak-RSS ceiling for the --stream check "
+                             "(default 2048)")
     args = parser.parse_args(argv)
+
+    if args.stream and (args.churn or args.proxy_crash or args.federation):
+        parser.error("--stream covers only the base grid; drop --churn/"
+                     "--proxy-crash/--federation")
 
     workers = resolve_workers(args.workers)
     trace = get_profile(args.trace).scaled(args.requests).generate()
@@ -255,6 +274,34 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"resume: all {len(resumed.results)} cells restored from "
               "the journal bit-identically")
+
+    if args.stream:
+        from repro.core import SimulationConfig, simulate_stream
+        from repro.util.memory import peak_rss_bytes
+
+        stream_diverged = []
+        for (org, frac), ref in serial.results.items():
+            config = SimulationConfig.relative(
+                trace, proxy_frac=frac, browser_sizing=grid["browser_sizing"]
+            )
+            got = simulate_stream(trace, org, config)
+            if dataclasses.asdict(got) != dataclasses.asdict(ref):
+                stream_diverged.append((org, frac))
+        rss = peak_rss_bytes()
+        ceiling = args.stream_rss_ceiling_mb * 1024 * 1024
+        print()
+        print(f"stream engine: {len(serial.results)} cells replayed "
+              f"flat-state, process peak RSS {rss / (1024 * 1024):.0f} MB "
+              f"(ceiling {args.stream_rss_ceiling_mb} MB)")
+        if stream_diverged:
+            print(f"FAIL: {len(stream_diverged)} streamed cells diverged "
+                  "from the serial run:")
+            for org, frac in stream_diverged:
+                print(f"  ({org.value}, {frac:g})")
+            return 1
+        if rss > ceiling:
+            print("FAIL: peak RSS exceeds the --stream ceiling")
+            return 1
 
     speedup = parallel.timing.speedup_vs_serial
     print()
