@@ -1,0 +1,124 @@
+"""Adversarial peer populations: polluters and correlated flappers.
+
+The paper's §6 reliability analysis assumes peers misbehave *uniformly*
+— the engine modelled that with one global ``corruption_rate`` coin per
+transfer.  Real browser-peer populations are not uniform: a small
+*persistent* minority serves corrupted documents on every transfer
+(pollution attacks dominate cooperative-cache threat models), and
+another minority flaps — churning in correlated waves (office networks
+rebooting, mobile cohorts crossing coverage gaps) rather than as
+independent sessions.
+
+This package assigns such *behaviour profiles* to individual peers:
+
+* **polluters** corrupt the transfers they serve with
+  ``polluter_corruption_rate`` (default 1.0: every transfer);
+* **flappers** go offline together during the windows of a
+  :class:`~repro.core.churn.MassChurnSchedule`;
+* everyone else stays honest and keeps the background
+  ``corruption_rate`` of the plain engine.
+
+Role assignment is a seeded shuffle (:class:`PeerPopulation`), so a
+population is deterministic per ``(config, n_clients, seed)`` and
+bit-identical across worker counts.  With no :class:`AdversarialConfig`
+on the simulation config, nothing here is constructed at all — the
+engine keeps its single global draw and every golden stays
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.rng import derive_seed
+from repro.util.validation import check_fraction, check_polluter_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports us)
+    from repro.core.churn import MassChurnSchedule
+
+__all__ = ["AdversarialConfig", "PeerPopulation"]
+
+
+@dataclass(frozen=True)
+class AdversarialConfig:
+    """Which fractions of the peer population misbehave, and how.
+
+    Defaults describe an *empty* adversary (no polluters, no flappers);
+    attaching a default config to a simulation changes which RNG streams
+    the integrity draws come from but introduces no misbehaviour.
+    """
+
+    #: fraction of clients that are persistent polluters.
+    polluter_fraction: float = 0.0
+    #: probability a polluter corrupts each transfer it serves (1.0 =
+    #: every transfer, the persistent-polluter threat model).
+    polluter_corruption_rate: float = 1.0
+    #: fraction of clients that flap in correlated waves.
+    flapper_fraction: float = 0.0
+    #: when flappers are offline — explicit windows, so arming flappers
+    #: constructs no RNG.
+    flap_schedule: "MassChurnSchedule | None" = None
+
+    def __post_init__(self) -> None:
+        check_polluter_fraction(self.polluter_fraction)
+        check_fraction("polluter_corruption_rate", self.polluter_corruption_rate)
+        check_fraction("flapper_fraction", self.flapper_fraction)
+        if self.polluter_fraction + self.flapper_fraction > 1.0:
+            raise ValueError(
+                "polluter_fraction + flapper_fraction must be <= 1 (each "
+                "peer holds one profile), got "
+                f"{self.polluter_fraction!r} + {self.flapper_fraction!r}"
+            )
+        if self.flapper_fraction > 0.0 and self.flap_schedule is None:
+            raise ValueError(
+                "flapper_fraction > 0 needs a flap_schedule naming the "
+                "offline windows (see repro.core.churn.MassChurnSchedule)"
+            )
+
+
+class PeerPopulation:
+    """Seeded assignment of behaviour profiles to a client population.
+
+    Clients are shuffled with a :class:`random.Random` seeded from
+    ``derive_seed(seed, "adversarial-roles")``; the first
+    ``round(polluter_fraction * n)`` of the shuffle become polluters and
+    the next ``round(flapper_fraction * n)`` become flappers.  The same
+    ``(config, n_clients, seed)`` always yields the same roles, so an
+    experiment can reconstruct the simulator's population — e.g. to
+    build an oracle blacklist of exactly the polluters.
+    """
+
+    __slots__ = ("config", "n_clients", "seed", "polluters", "flappers")
+
+    def __init__(
+        self, config: AdversarialConfig, n_clients: int, seed: int = 0
+    ) -> None:
+        self.config = config
+        self.n_clients = n_clients
+        self.seed = seed
+        order = list(range(n_clients))
+        random.Random(derive_seed(seed, "adversarial-roles")).shuffle(order)
+        n_polluters = round(config.polluter_fraction * n_clients)
+        n_flappers = round(config.flapper_fraction * n_clients)
+        #: the polluter client ids (frozen — feed ``static_blacklist``
+        #: with these for the oracle-defense anchor).
+        self.polluters = frozenset(order[:n_polluters])
+        #: the flapper client ids.
+        self.flappers = frozenset(order[n_polluters:n_polluters + n_flappers])
+
+    @classmethod
+    def for_simulation(
+        cls, config: AdversarialConfig, n_clients: int, availability_seed: int
+    ) -> "PeerPopulation":
+        """The population a :class:`~repro.core.simulator.Simulator`
+        builds for ``availability_seed`` — the single place the role
+        seed is derived, so experiments and the engine always agree."""
+        return cls(config, n_clients, derive_seed(availability_seed, "adversarial"))
+
+    def is_polluter(self, client: int) -> bool:
+        return client in self.polluters
+
+    def is_flapper(self, client: int) -> bool:
+        return client in self.flappers

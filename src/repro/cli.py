@@ -159,6 +159,33 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="BPS",
         help="modeled inter-proxy link bandwidth in bits/s (federation sweep)",
     )
+    run_p.add_argument(
+        "--polluter-fraction",
+        default=None,
+        metavar="F[,F...]",
+        help=(
+            "polluter client fractions for the stress sweep "
+            "(e.g. '0.1,0.2')"
+        ),
+    )
+    run_p.add_argument(
+        "--quarantine-threshold",
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "integrity-failure counts before a holder is quarantined, "
+            "for the stress sweep (e.g. '1,3')"
+        ),
+    )
+    run_p.add_argument(
+        "--flash-crowd",
+        action="store_true",
+        help=(
+            "replay the stress sweep on a flash-crowd surge trace "
+            "(hottest document's popularity multiplied over the middle "
+            "third of the trace)"
+        ),
+    )
 
     sub.add_parser("traces", help="print trace characteristics (Table 1)")
 
@@ -570,6 +597,9 @@ def main(argv: list[str] | None = None) -> int:
             proxy_counts=_csv(args.proxies, int),
             digest_periods=_csv(args.digest_period, float),
             interproxy_bandwidth=args.interproxy_bandwidth,
+            polluter_fractions=_csv(args.polluter_fraction, float),
+            quarantine_thresholds=_csv(args.quarantine_threshold, int),
+            flash_crowd=args.flash_crowd or None,
         )
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))

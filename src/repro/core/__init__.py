@@ -12,8 +12,9 @@ Typical use::
     print(result.hit_ratio, result.byte_hit_ratio, result.breakdown())
 """
 
+from repro.adversarial import AdversarialConfig, PeerPopulation
 from repro.core.events import HitLocation
-from repro.core.churn import ChurnModel, ChurnProcess
+from repro.core.churn import ChurnModel, ChurnProcess, MassChurnSchedule
 from repro.core.proxy_faults import ProxyFaultModel, ProxyFaultSchedule
 from repro.core.config import (
     FederationConfig,
@@ -49,9 +50,12 @@ from repro.core.scaling import ScalingResult, run_scaling_experiment
 from repro.core.sweep import SweepResult, run_policy_sweep, run_size_sweep
 
 __all__ = [
+    "AdversarialConfig",
+    "PeerPopulation",
     "HitLocation",
     "ChurnModel",
     "ChurnProcess",
+    "MassChurnSchedule",
     "ProxyFaultModel",
     "ProxyFaultSchedule",
     "CheckpointPolicy",

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.util.rng import derive_seed
 
-__all__ = ["ChurnModel", "ChurnProcess"]
+__all__ = ["ChurnModel", "ChurnProcess", "MassChurnSchedule"]
 
 #: supported session-duration distributions.
 DISTRIBUTIONS = ("exponential", "pareto")
@@ -76,6 +76,53 @@ class ChurnModel:
     def availability(self) -> float:
         """Stationary fraction of time a client is online."""
         return self.mean_on_seconds / (self.mean_on_seconds + self.mean_off_seconds)
+
+
+@dataclass(frozen=True)
+class MassChurnSchedule:
+    """Explicit windows during which a correlated cohort is offline.
+
+    Session churn (:class:`ChurnModel`) makes clients independent;
+    *mass* churn takes a whole cohort down together — office networks
+    rebooting, a mobile population crossing a coverage gap.  The
+    schedule is a sorted tuple of non-overlapping half-open
+    ``(start, end)`` windows in virtual seconds, so arming it
+    constructs no RNG (use
+    :func:`repro.traces.synthetic.mass_churn_schedule` to generate
+    wave schedules deterministically from a seed).
+    """
+
+    windows: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        windows = tuple(
+            (float(start), float(end)) for start, end in self.windows
+        )
+        if not windows:
+            raise ValueError("MassChurnSchedule needs at least one window")
+        previous_end = 0.0
+        for start, end in windows:
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"mass-churn windows must satisfy 0 <= start < end, "
+                    f"got {(start, end)!r}"
+                )
+            if start < previous_end:
+                raise ValueError(
+                    f"mass-churn windows must be sorted and non-overlapping, "
+                    f"got {windows!r}"
+                )
+            previous_end = end
+        object.__setattr__(self, "windows", windows)
+
+    def offline_at(self, now: float) -> bool:
+        """Is the cohort inside an offline window at time *now*?"""
+        for start, end in self.windows:
+            if now < start:
+                return False
+            if now < end:
+                return True
+        return False
 
 
 class _ClientSessions:

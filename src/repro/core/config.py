@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.adversarial import AdversarialConfig
 from repro.consistency.policies import ConsistencyPolicy
 from repro.core.churn import ChurnModel
 from repro.core.proxy_faults import ProxyFaultModel
@@ -39,6 +40,7 @@ from repro.util.units import BITS_PER_BYTE
 from repro.util.validation import (
     check_non_negative,
     check_positive,
+    check_quarantine,
     check_reannounce_rate,
 )
 
@@ -236,6 +238,23 @@ class SimulationConfig:
     #: cooperative multi-proxy federation; ``None`` keeps the paper's
     #: single proxy and leaves every replay loop untouched.
     federation: "FederationConfig | None" = None
+    #: adversarial peer profiles (see :mod:`repro.adversarial`):
+    #: persistent polluters and correlated flappers assigned by a seeded
+    #: :class:`~repro.adversarial.PeerPopulation`.  ``None`` keeps the
+    #: single global ``corruption_rate`` draw (bit-identical goldens).
+    adversarial: "AdversarialConfig | None" = None
+    #: reputation defense: quarantine a holder after this many integrity
+    #: failures — the index then skips it as a remote-hit candidate.
+    #: 0 = defense off.
+    quarantine_threshold: int = 0
+    #: re-admission window (virtual seconds): a quarantined holder is
+    #: forgiven after this long without serving.  ``None`` = permanent
+    #: quarantine.  Requires ``quarantine_threshold > 0``.
+    quarantine_decay: float | None = None
+    #: holders excluded from remote-hit candidacy for the whole replay —
+    #: the oracle-defense anchor (e.g. exactly the polluter ids from
+    #: :meth:`~repro.adversarial.PeerPopulation.for_simulation`).
+    static_blacklist: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         check_non_negative("proxy_capacity", self.proxy_capacity)
@@ -283,6 +302,19 @@ class SimulationConfig:
                 "the tiered model"
             )
         check_reannounce_rate(self.reannounce_rate)
+        check_quarantine(self.quarantine_threshold, self.quarantine_decay)
+        if self.static_blacklist is not None:
+            if any(c < 0 for c in self.static_blacklist):
+                raise ValueError(
+                    f"static_blacklist client ids must be >= 0, got "
+                    f"{self.static_blacklist!r}"
+                )
+            object.__setattr__(
+                self, "static_blacklist",
+                tuple(sorted(set(self.static_blacklist))),
+            )
+        # adversarial (like proxy_faults / checkpoint) validates itself
+        # in its own __post_init__.
         # proxy_faults and checkpoint validate themselves in their own
         # __post_init__.  A checkpoint policy without proxy_faults is
         # legal: nothing ever crashes, so nothing is restored, but the

@@ -106,6 +106,10 @@ def result_to_jsonable(result: SimulationResult) -> dict[str, Any]:
         "failover_attempts": result.failover_attempts,
         "failover_rescued_hits": result.failover_rescued_hits,
         "integrity_failures": result.integrity_failures,
+        "corrupt_deliveries": result.corrupt_deliveries,
+        "poisoned_requests": result.poisoned_requests,
+        "quarantined_peers": result.quarantined_peers,
+        "quarantine_rescued_hits": result.quarantine_rescued_hits,
         "proxy_crashes": result.proxy_crashes,
         "recovery_time": result.recovery_time,
         "degraded_window_requests": result.degraded_window_requests,
@@ -144,6 +148,12 @@ def result_from_jsonable(data: dict[str, Any]) -> SimulationResult:
         failover_attempts=data.get("failover_attempts", 0),
         failover_rescued_hits=data.get("failover_rescued_hits", 0),
         integrity_failures=data.get("integrity_failures", 0),
+        # journals written before the adversarial counters existed load
+        # with zeros, matching what those engines measured.
+        corrupt_deliveries=data.get("corrupt_deliveries", 0),
+        poisoned_requests=data.get("poisoned_requests", 0),
+        quarantined_peers=data.get("quarantined_peers", 0),
+        quarantine_rescued_hits=data.get("quarantine_rescued_hits", 0),
         proxy_crashes=data.get("proxy_crashes", 0),
         recovery_time=data.get("recovery_time", 0.0),
         degraded_window_requests=data.get("degraded_window_requests", 0),

@@ -182,6 +182,22 @@ class SimulationResult:
     #: remote transfers rejected by the §6 integrity check and
     #: retransmitted (from the next holder or the origin).
     integrity_failures: int = 0
+    #: corrupted transfers served by configured *polluter* peers — the
+    #: adversarial subset of ``integrity_failures`` (0 without an
+    #: :class:`~repro.adversarial.AdversarialConfig`).
+    corrupt_deliveries: int = 0
+    #: requests whose delivery path hit at least one corrupted transfer
+    #: (adversarial mode only; a request probing several polluters
+    #: counts once).
+    poisoned_requests: int = 0
+    #: quarantine events: a holder crossing ``quarantine_threshold``
+    #: integrity failures and being blacklisted.  A holder re-admitted
+    #: after ``quarantine_decay`` and quarantined again counts again.
+    quarantined_peers: int = 0
+    #: remote hits served after the blacklist filtered at least one
+    #: quarantined candidate out of the index lookup — requests the
+    #: undefended engine would have steered into a bad holder.
+    quarantine_rescued_hits: int = 0
     #: proxy cold restarts injected by the crash model.
     proxy_crashes: int = 0
     #: virtual seconds spent in degraded mode (crash until the last

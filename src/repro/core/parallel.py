@@ -276,6 +276,7 @@ def build_cells(
                 or config.churn is not None
                 or config.corruption_rate > 0.0
                 or config.proxy_faults is not None
+                or config.adversarial is not None
             ):
                 cell_config = config.with_(availability_seed=seed)
             cells.append(

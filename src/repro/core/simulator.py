@@ -48,6 +48,7 @@ from __future__ import annotations
 import random
 from time import perf_counter
 
+from repro.adversarial import PeerPopulation
 from repro.cache import TieredLRUCache, make_cache
 from repro.cache.base import CacheEntry
 from repro.core.churn import ChurnProcess
@@ -197,11 +198,47 @@ class Simulator:
             if config.corruption_rate > 0.0
             else None
         )
+        # Adversarial peer profiles (repro.adversarial).  None — the
+        # default — constructs nothing and keeps the single global
+        # corruption draw above, so every golden stays bit-identical.
+        adversarial = config.adversarial
+        if adversarial is not None:
+            self._population = PeerPopulation.for_simulation(
+                adversarial, n_clients, config.availability_seed
+            )
+            self._flap_schedule = adversarial.flap_schedule
+        else:
+            self._population = None
+            self._flap_schedule = None
+        #: lazy per-holder integrity RNG streams (adversarial mode only).
+        self._holder_corrupt_rngs: dict[int, random.Random] = {}
         # A nonzero corruption rate implies the §6 integrity machinery
         # is active: price it even when no explicit model was given.
+        # Polluters likewise: their corrupted transfers are only
+        # detectable — and chargeable, on every failed probe — with the
+        # integrity layer on.
         self._security = config.security
-        if self._security is None and config.corruption_rate > 0.0:
+        if self._security is None and (
+            config.corruption_rate > 0.0
+            or (
+                adversarial is not None
+                and adversarial.polluter_fraction > 0.0
+                and adversarial.polluter_corruption_rate > 0.0
+            )
+        ):
             self._security = SecurityOverheadModel()
+
+        # Reputation/quarantine defense.  The blacklist starts from the
+        # oracle static_blacklist (if any); learned quarantines join it
+        # when a holder crosses quarantine_threshold integrity failures.
+        self._quarantine_active = (
+            config.quarantine_threshold > 0 or bool(config.static_blacklist)
+        )
+        self._banned_set: set[int] = set(config.static_blacklist or ())
+        self._quarantined_at: dict[int, float] = {}
+        self._integrity_strikes: dict[int, int] = {}
+        self._lookup_skipped_banned = False
+        self._request_poisoned = False
 
         # Proxy crash recovery.  Nothing below constructs an RNG unless
         # a rate-based fault model is actually configured; the default
@@ -302,18 +339,108 @@ class Simulator:
 
     def _holder_online(self, holder: int, now: float) -> bool:
         """Client churn: is *holder* reachable at virtual time *now*?"""
+        population = self._population
+        if (
+            population is not None
+            and self._flap_schedule is not None
+            and population.is_flapper(holder)
+            and self._flap_schedule.offline_at(now)
+        ):
+            # Correlated mass churn: the flapper cohort is down together
+            # during a wave window, regardless of its session state.
+            return False
         if self._churn is not None:
             return self._churn.online(holder, now)
         if self._avail_rng is None:
             return True
         return self._avail_rng.random() < self.config.holder_availability
 
-    def _transfer_corrupted(self) -> bool:
-        """Integrity draw: does this remote transfer arrive corrupted?"""
-        return (
-            self._corrupt_rng is not None
-            and self._corrupt_rng.random() < self.config.corruption_rate
-        )
+    def _transfer_corrupted(self, holder: int) -> bool:
+        """Integrity draw: does *holder*'s transfer arrive corrupted?
+
+        Without an adversarial population every transfer shares one
+        global stream — the original engine's draw, kept verbatim for
+        bit-identical goldens.  With profiles configured the draw is
+        per-holder: polluters corrupt at ``polluter_corruption_rate``,
+        honest peers at the background ``corruption_rate``, each from
+        its own lazily-seeded stream (so a population reshuffle never
+        perturbs another holder's draws).
+        """
+        population = self._population
+        if population is None:
+            return (
+                self._corrupt_rng is not None
+                and self._corrupt_rng.random() < self.config.corruption_rate
+            )
+        if population.is_polluter(holder):
+            rate = self.config.adversarial.polluter_corruption_rate
+        else:
+            rate = self.config.corruption_rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        rng = self._holder_corrupt_rngs.get(holder)
+        if rng is None:
+            rng = self._holder_corrupt_rngs[holder] = random.Random(
+                derive_seed(self.config.availability_seed, "integrity", holder)
+            )
+        return rng.random() < rate
+
+    # -- reputation / quarantine defense -------------------------------------
+
+    def _record_integrity_failure(self, holder: int, t: float) -> None:
+        """One more strike against *holder*; quarantine at the threshold."""
+        strikes = self._integrity_strikes.get(holder, 0) + 1
+        if strikes >= self.config.quarantine_threshold:
+            if holder not in self._banned_set:
+                self._banned_set.add(holder)
+                self._quarantined_at[holder] = t
+                self.result.quarantined_peers += 1
+            # Re-admission after decay starts from a clean slate.
+            self._integrity_strikes[holder] = 0
+        else:
+            self._integrity_strikes[holder] = strikes
+
+    def _active_banned(self, t: float):
+        """The blacklist at time *t*, purging decayed quarantines."""
+        decay = self.config.quarantine_decay
+        if decay is not None and self._quarantined_at:
+            expired = [
+                h for h, at in self._quarantined_at.items() if t >= at + decay
+            ]
+            for h in expired:
+                del self._quarantined_at[h]
+                self._banned_set.discard(h)
+        return self._banned_set
+
+    def _guarded_lookup_fn(self, index):
+        """The ``index.lookup`` binding for the replay loops.
+
+        Quarantine off — the raw bound method, so the hot path is
+        untouched.  Quarantine armed — a wrapper filtering blacklisted
+        holders out of candidacy and flagging *rescues* (lookups where
+        the filter actually removed a qualifying candidate), which
+        :meth:`_failover_deliver` converts into
+        ``quarantine_rescued_hits`` on successful delivery.  Must be
+        re-invoked whenever ``self.index`` is replaced (proxy crash).
+        """
+        if not self._quarantine_active:
+            return index.lookup
+        lookup = index.lookup
+
+        def guarded(d, c, t, v):
+            self._lookup_skipped_banned = False
+            banned = self._active_banned(t)
+            if not banned:
+                return lookup(d, c, t, v)
+            before = index.banned_candidates_skipped
+            hit = lookup(d, c, t, v, banned)
+            if index.banned_candidates_skipped != before:
+                self._lookup_skipped_banned = True
+            return hit
+
+        return guarded
 
     # -- resilient remote-hit delivery --------------------------------------
 
@@ -353,12 +480,19 @@ class Simulator:
             overhead.wasted_round_trip_time += setup
             overhead.wasted_false_hit_time += setup
             return False, None
-        if self._transfer_corrupted():
+        if self._transfer_corrupted(holder):
             # The transfer completes but fails the §6 watermark/MD5
             # check: pay for the discarded transfer and the verify CPU,
             # then let the caller retransmit from the next candidate
             # (or the origin).
             result.integrity_failures += 1
+            population = self._population
+            if population is not None:
+                self._request_poisoned = True
+                if population.is_polluter(holder):
+                    result.corrupt_deliveries += 1
+            if config.quarantine_threshold > 0:
+                self._record_integrity_failure(holder, t)
             cost = lan.transfer_time(s)
             if self._security is not None:
                 cost += self._security.verify_cost(s)
@@ -382,11 +516,12 @@ class Simulator:
         """
         index = self.index
         result = self.result
+        lookup = self._guarded_lookup_fn(index)
         if prof is None:
-            hit = index.lookup(d, exclude_client=c, now=t, version=v)
+            hit = lookup(d, c, t, v)
         else:
             t0 = perf_counter()
-            hit = index.lookup(d, exclude_client=c, now=t, version=v)
+            hit = lookup(d, c, t, v)
             prof.add("index_lookup", perf_counter() - t0)
         if hit is None:
             # Was this a lost opportunity?  Check the truth.
@@ -413,29 +548,59 @@ class Simulator:
         """
         index = self.index
         result = self.result
+        self._request_poisoned = False
+        quarantine = self._quarantine_active
         tried = {hit.client}
         holder = hit.client
         retries_left = self.config.max_holder_retries
         candidates: list[int] | None = None
+        served = False
+        memory: bool | None = None
         while True:
             served, memory = self._probe_holder(holder, d, s, v, t)
             if served:
                 if len(tried) > 1:
                     result.failover_rescued_hits += 1
-                return True, memory
+                break
             if retries_left <= 0:
-                return False, None
+                break
             if candidates is None:
-                candidates = index.candidate_holders(
-                    d, exclude_client=c, now=t, version=v
+                if quarantine:
+                    candidates = index.candidate_holders(
+                        d, exclude_client=c, now=t, version=v,
+                        banned=self._banned_set or None,
+                    )
+                else:
+                    candidates = index.candidate_holders(
+                        d, exclude_client=c, now=t, version=v
+                    )
+            if quarantine:
+                # A strike during *this* request may have quarantined a
+                # candidate after the list was built — skip it too.
+                banned_set = self._banned_set
+                backup = next(
+                    (
+                        x
+                        for x in candidates
+                        if x not in tried and x not in banned_set
+                    ),
+                    None,
                 )
-            backup = next((x for x in candidates if x not in tried), None)
+            else:
+                backup = next((x for x in candidates if x not in tried), None)
             if backup is None:
-                return False, None
+                break
             tried.add(backup)
             holder = backup
             retries_left -= 1
             result.failover_attempts += 1
+        if self._request_poisoned:
+            result.poisoned_requests += 1
+            self._request_poisoned = False
+        if served and quarantine and self._lookup_skipped_banned:
+            result.quarantine_rescued_hits += 1
+            self._lookup_skipped_banned = False
+        return (True, memory) if served else (False, None)
 
     def _storage_time(self, n_bytes: int, memory: bool | None) -> float:
         storage = self.config.storage
@@ -675,7 +840,7 @@ class Simulator:
         # Inlined _remote_delivery: the lookup (and its far more common
         # miss outcome) runs in the loop; only an index hit pays the
         # _failover_deliver call.
-        index_lookup = index.lookup if index is not None else None
+        index_lookup = self._guarded_lookup_fn(index) if index is not None else None
         index_stale = index.is_stale if index is not None else False
         failover = self._failover_deliver
         truth_holds = self._truth_holds
@@ -718,7 +883,7 @@ class Simulator:
                 proxy_put = proxy.put if proxy is not None else None
                 record_insert = index.record_insert if index is not None else None
                 record_evict = index.record_evict if index is not None else None
-                index_lookup = index.lookup if index is not None else None
+                index_lookup = self._guarded_lookup_fn(index) if index is not None else None
                 index_stale = index.is_stale if index is not None else False
                 proxy_entries = proxy._entries if lru_p else None
 
@@ -1131,7 +1296,7 @@ class Simulator:
         record_insert = index.record_insert if index is not None else None
         record_evict = index.record_evict if index is not None else None
         # Inlined _remote_delivery handles (see _run_fast).
-        index_lookup = index.lookup if index is not None else None
+        index_lookup = self._guarded_lookup_fn(index) if index is not None else None
         index_stale = index.is_stale if index is not None else False
         failover = self._failover_deliver
         truth_holds = self._truth_holds
@@ -1195,7 +1360,7 @@ class Simulator:
                 proxy_put = proxy.put if proxy is not None else None
                 record_insert = index.record_insert if index is not None else None
                 record_evict = index.record_evict if index is not None else None
-                index_lookup = index.lookup if index is not None else None
+                index_lookup = self._guarded_lookup_fn(index) if index is not None else None
                 index_stale = index.is_stale if index is not None else False
                 proxy_entries = proxy._entries if lru_p else None
 

@@ -232,6 +232,14 @@ def check_stream_config(config: SimulationConfig) -> None:
         raise _reject("holder availability models", "per-client stochastic state")
     if config.corruption_rate > 0.0:
         raise _reject("transfer corruption", "per-transfer stochastic draws")
+    if config.adversarial is not None:
+        raise _reject(
+            "adversarial peer profiles", "per-holder stochastic draws"
+        )
+    if config.quarantine_threshold > 0 or config.static_blacklist:
+        raise _reject(
+            "holder quarantine", "per-holder reputation state"
+        )
     if config.proxy_faults is not None or config.checkpoint is not None:
         raise _reject("proxy crash/checkpoint models", "whole-index snapshots")
     if config.federation is not None:

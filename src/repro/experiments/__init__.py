@@ -25,6 +25,7 @@ from repro.experiments import (
     prefetching,
     availability,
     recovery,
+    stress,
 )
 from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
 
@@ -47,6 +48,7 @@ __all__ = [
     "prefetching",
     "availability",
     "recovery",
+    "stress",
     "ALL_EXPERIMENTS",
     "run_experiment",
 ]

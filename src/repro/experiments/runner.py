@@ -34,6 +34,7 @@ from repro.experiments import (
     recovery,
     security_overhead,
     staleness,
+    stress,
     table1,
 )
 
@@ -64,6 +65,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "churn": availability.run_churn,
     "recovery": recovery.run,
     "federation": federation.run,
+    "stress": stress.run,
 }
 
 

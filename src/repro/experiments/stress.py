@@ -1,0 +1,240 @@
+"""Extension experiment — adversarial peers vs. the quarantine defense.
+
+The paper's §6 integrity analysis prices the *verification* of remote
+transfers but never asks what a hostile peer population does to the
+cooperative hit ratio.  This sweep asks exactly that: a fraction of
+clients become persistent polluters (every transfer they serve fails
+the watermark/MD5 check), crossed with the reputation defense's
+``quarantine_threshold`` — how many integrity failures a holder is
+allowed before the index stops offering it as a remote-hit candidate.
+
+Three anchors bracket every cell:
+
+* **no-adversary** — the plain engine: the ceiling;
+* **no-defense** (per polluter fraction) — the attack with
+  ``quarantine_threshold=0``: the floor;
+* **oracle blacklist** (per polluter fraction) — the same attack with
+  ``static_blacklist`` naming exactly the polluters from request one:
+  the best any reactive defense can do, since blacklisting cannot
+  restore the serving capacity the polluter cohort withdrew.
+
+A quarantined cell should land between its no-defense floor and the
+oracle — :meth:`StressResult.betweenness_holds` checks every cell and
+:meth:`StressResult.has_strict_cell` the strict version, which the CI
+smoke asserts.  :meth:`StressResult.recovered_fraction` measures
+defense quality against the *recoverable* loss (the floor-to-oracle
+gap).
+
+Every cell of one polluter-fraction row shares one availability seed
+(derived from ``(trace, "stress", fraction)``), so the same clients
+are polluters in the floor, the oracle, and every threshold column —
+differences along a row isolate the defense.  With ``flash_crowd``
+the whole grid replays a surge trace (the hottest document's
+popularity multiplied 8x over the middle third of the trace), attacks
+and anchors alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversarial import AdversarialConfig, PeerPopulation
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.policies import Organization
+from repro.core.simulator import simulate
+from repro.traces.profiles import load_paper_trace
+from repro.traces.synthetic import FlashCrowdSpec, inject_flash_crowd
+from repro.util.fmt import ascii_table
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "StressResult",
+    "run",
+    "DEFAULT_POLLUTER_FRACTIONS",
+    "DEFAULT_QUARANTINE_THRESHOLDS",
+    "FLASH_CROWD_MULTIPLIER",
+]
+
+#: polluter fractions swept (the paper-scale populations run ~100
+#: clients, so 0.1 plants ~10 persistent polluters).
+DEFAULT_POLLUTER_FRACTIONS = (0.1, 0.2)
+
+#: quarantine thresholds swept: ban on first strike, and a lenient
+#: three-strikes variant.
+DEFAULT_QUARANTINE_THRESHOLDS = (1, 3)
+
+#: in-window popularity multiplier for the ``flash_crowd`` variant.
+FLASH_CROWD_MULTIPLIER = 8.0
+
+
+@dataclass
+class StressResult:
+    """The polluter-fraction x quarantine-threshold grid + anchors."""
+
+    trace_name: str
+    flash_crowd: bool
+    no_adversary: SimulationResult
+    #: polluter fraction -> the undefended attack (the floor).
+    no_defense: dict[float, SimulationResult]
+    #: polluter fraction -> the oracle static blacklist (the best
+    #: defense can do).
+    oracle: dict[float, SimulationResult]
+    polluter_fractions: tuple[float, ...]
+    quarantine_thresholds: tuple[int, ...]
+    cells: dict[tuple[float, int], SimulationResult]
+
+    def cell(self, fraction: float, threshold: int) -> SimulationResult:
+        return self.cells[(fraction, threshold)]
+
+    def recovered_fraction(self, fraction: float, threshold: int) -> float:
+        """How much of the *recoverable* hit-ratio loss this threshold
+        buys back (1.0 = as good as the oracle blacklist).  The
+        recoverable loss is the floor-to-oracle gap: not even an oracle
+        recovers the serving capacity the polluter cohort withdrew."""
+        floor = self.no_defense[fraction].hit_ratio
+        recoverable = self.oracle[fraction].hit_ratio - floor
+        if recoverable <= 0:
+            return 0.0
+        return (self.cells[(fraction, threshold)].hit_ratio - floor) / recoverable
+
+    def best_recovered_fraction(self, fraction: float) -> float:
+        """The best threshold's :meth:`recovered_fraction` for a row."""
+        return max(
+            self.recovered_fraction(fraction, threshold)
+            for threshold in self.quarantine_thresholds
+        )
+
+    def betweenness_holds(self) -> bool:
+        """True when every row is bracketed: no-defense floor <= each
+        quarantined cell <= oracle blacklist <= no-adversary ceiling."""
+        top = self.no_adversary.hit_ratio
+        for fraction in self.polluter_fractions:
+            floor = self.no_defense[fraction].hit_ratio
+            oracle = self.oracle[fraction].hit_ratio
+            if not floor <= oracle <= top:
+                return False
+            for threshold in self.quarantine_thresholds:
+                hr = self.cells[(fraction, threshold)].hit_ratio
+                if not floor <= hr <= oracle:
+                    return False
+        return True
+
+    def has_strict_cell(self) -> bool:
+        """True when at least one quarantined cell lands *strictly*
+        between its no-defense floor and the no-adversary ceiling —
+        the defense demonstrably did something, and the attack
+        demonstrably cost something."""
+        top = self.no_adversary.hit_ratio
+        for fraction in self.polluter_fractions:
+            floor = self.no_defense[fraction].hit_ratio
+            for threshold in self.quarantine_thresholds:
+                hr = self.cells[(fraction, threshold)].hit_ratio
+                if floor < hr < top:
+                    return True
+        return False
+
+    def render(self) -> str:
+        headers = (
+            ["polluters", "no defense"]
+            + [f"HR q={threshold}" for threshold in self.quarantine_thresholds]
+            + ["oracle", "recovered (best)", "corrupt (best)", "quarantined (best)"]
+        )
+        best_threshold = min(self.quarantine_thresholds)
+        rows = []
+        for fraction in self.polluter_fractions:
+            floor = self.no_defense[fraction]
+            row = [f"{fraction:g}", f"{floor.hit_ratio * 100:.2f}%"]
+            for threshold in self.quarantine_thresholds:
+                hr = self.cells[(fraction, threshold)].hit_ratio
+                row.append(f"{hr * 100:.2f}%")
+            best_cell = self.cells[(fraction, best_threshold)]
+            row.append(f"{self.oracle[fraction].hit_ratio * 100:.2f}%")
+            row.append(f"{self.best_recovered_fraction(fraction) * 100:.0f}%")
+            row.append(best_cell.corrupt_deliveries)
+            row.append(best_cell.quarantined_peers)
+            rows.append(row)
+        surge = " + flash crowd" if self.flash_crowd else ""
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"BAPS adversarial stress ({self.trace_name}{surge}, 10% cache; "
+                f"no adversary {self.no_adversary.hit_ratio * 100:.2f}%)"
+            ),
+        )
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    polluter_fractions=DEFAULT_POLLUTER_FRACTIONS,
+    quarantine_thresholds=DEFAULT_QUARANTINE_THRESHOLDS,
+    proxy_frac: float = 0.10,
+    flash_crowd: bool = False,
+) -> StressResult:
+    """The stress sweep: polluter fraction x quarantine threshold.
+
+    Each polluter-fraction row derives one availability seed from
+    ``(trace, "stress", fraction)``, shared by the floor, the oracle,
+    and every threshold cell — the polluter cohort and its corruption
+    draws are identical along the row, so the columns isolate the
+    defense.  The oracle anchor rebuilds the simulator's
+    :class:`~repro.adversarial.PeerPopulation` (same seed derivation)
+    and pins ``static_blacklist`` to exactly the polluters.
+    """
+    polluter_fractions = tuple(float(f) for f in polluter_fractions)
+    quarantine_thresholds = tuple(int(t) for t in quarantine_thresholds)
+    for threshold in quarantine_thresholds:
+        if threshold < 1:
+            raise ValueError(
+                f"quarantine thresholds (--quarantine-threshold) must be "
+                f">= 1 (0 is the no-defense anchor), got {threshold!r}"
+            )
+    trace = load_paper_trace(trace_name)
+    if flash_crowd:
+        duration = float(trace.timestamps.max()) if len(trace) else 0.0
+        trace = inject_flash_crowd(
+            trace,
+            FlashCrowdSpec(
+                start=duration / 3,
+                end=2 * duration / 3,
+                multiplier=FLASH_CROWD_MULTIPLIER,
+            ),
+        )
+    base = SimulationConfig.relative(
+        trace, proxy_frac=proxy_frac, browser_sizing="average"
+    )
+    no_adversary = simulate(trace, Organization.BROWSERS_AWARE_PROXY, base)
+    no_defense: dict[float, SimulationResult] = {}
+    oracle: dict[float, SimulationResult] = {}
+    cells: dict[tuple[float, int], SimulationResult] = {}
+    for fraction in polluter_fractions:
+        seed = derive_seed(0, trace.name, "stress", repr(float(fraction)))
+        adversarial = AdversarialConfig(polluter_fraction=fraction)
+        attacked = base.with_(adversarial=adversarial, availability_seed=seed)
+        no_defense[fraction] = simulate(
+            trace, Organization.BROWSERS_AWARE_PROXY, attacked
+        )
+        population = PeerPopulation.for_simulation(
+            adversarial, trace.n_clients, seed
+        )
+        oracle[fraction] = simulate(
+            trace,
+            Organization.BROWSERS_AWARE_PROXY,
+            attacked.with_(static_blacklist=tuple(sorted(population.polluters))),
+        )
+        for threshold in quarantine_thresholds:
+            config = attacked.with_(quarantine_threshold=threshold)
+            cells[(fraction, threshold)] = simulate(
+                trace, Organization.BROWSERS_AWARE_PROXY, config
+            )
+    return StressResult(
+        trace_name=trace.name,
+        flash_crowd=flash_crowd,
+        no_adversary=no_adversary,
+        no_defense=no_defense,
+        oracle=oracle,
+        polluter_fractions=polluter_fractions,
+        quarantine_thresholds=quarantine_thresholds,
+        cells=cells,
+    )

@@ -89,6 +89,9 @@ class BrowserIndex:
         self._pending: dict[int, dict[int, IndexEntry | None]] = {}
         self._client_state: dict[int, ClientUpdateState] = {}
         self._rr = 0  # round-robin cursor for holder selection
+        #: lookups where the ``banned`` filter removed at least one
+        #: otherwise-qualifying candidate (quarantine defense).
+        self.banned_candidates_skipped = 0
         self._n_entries = 0
         #: (doc, client) pairs restored from a checkpoint and not yet
         #: refreshed by a live event — false hits against these are
@@ -222,6 +225,7 @@ class BrowserIndex:
         exclude_client: int,
         now: float,
         version: int | None = None,
+        banned=None,
     ) -> IndexLookup | None:
         """Search the (visible) index for a browser holding *doc*.
 
@@ -229,9 +233,11 @@ class BrowserIndex:
         missed.  When *version* is given, only entries recorded with
         that version qualify (the proxy knows the current version from
         the origin's headers).  Expired-TTL entries never qualify.
-        Holder choice is round-robin over qualifying clients so repeat
-        lookups spread load, as the paper's non-bursty traffic
-        measurement assumes.
+        *banned* holders (the engine's quarantine blacklist) are
+        filtered out after qualification; ``None`` skips the filter
+        entirely.  Holder choice is round-robin over qualifying clients
+        so repeat lookups spread load, as the paper's non-bursty
+        traffic measurement assumes.
         """
         self.n_lookups += 1
         holders = self._visible.get(doc)
@@ -246,6 +252,11 @@ class BrowserIndex:
             and (e.ttl is None or now <= e.timestamp + e.ttl)
             and (version is None or e.version == version)
         ]
+        if banned:
+            kept = [(c, e) for c, e in candidates if c not in banned]
+            if len(kept) != len(candidates):
+                self.banned_candidates_skipped += 1
+                candidates = kept
         if not candidates:
             return None
         self._rr += 1
@@ -267,6 +278,7 @@ class BrowserIndex:
         exclude_client: int,
         now: float,
         version: int | None = None,
+        banned=None,
     ) -> list[int]:
         """Every client that would qualify for :meth:`lookup`, sorted.
 
@@ -282,6 +294,7 @@ class BrowserIndex:
             c
             for c, e in holders.items()
             if c != exclude_client
+            and (not banned or c not in banned)
             and not e.expired(now)
             and (version is None or e.version == version)
         )

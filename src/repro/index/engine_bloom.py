@@ -60,6 +60,9 @@ class BloomBrowserIndex:
         ]
         self._changes_since_rebuild = [0] * n_clients
         self._rr = 0
+        #: lookups where the ``banned`` filter removed at least one
+        #: otherwise-qualifying candidate (quarantine defense).
+        self.banned_candidates_skipped = 0
         #: clients whose filter was restored from a checkpoint and not
         #: yet refreshed by a rebuild or re-announcement — false hits
         #: against them are recovery staleness.
@@ -171,12 +174,15 @@ class BloomBrowserIndex:
         exclude_client: int,
         now: float,
         version: int | None = None,
+        banned=None,
     ) -> IndexLookup | None:
         """Pick a candidate holder from the summaries.
 
         Bloom summaries carry no version or size, so the returned
         entry echoes the client's *claimed* contents when known; the
-        engine always validates against the true cache.
+        engine always validates against the true cache.  *banned*
+        holders (the engine's quarantine blacklist) are filtered out;
+        ``None`` skips the filter entirely.
         """
         self.n_lookups += 1
         candidates = [
@@ -184,6 +190,11 @@ class BloomBrowserIndex:
             for c in range(self.n_clients)
             if c != exclude_client and doc in self._filters[c]
         ]
+        if banned:
+            kept = [c for c in candidates if c not in banned]
+            if len(kept) != len(candidates):
+                self.banned_candidates_skipped += 1
+                candidates = kept
         if not candidates:
             return None
         self._rr += 1
@@ -209,11 +220,16 @@ class BloomBrowserIndex:
         exclude_client: int,
         now: float,
         version: int | None = None,
+        banned=None,
     ) -> list[int]:
         """Failover candidates: every other client whose filter claims
         *doc*.  Summaries carry no version, so candidates may be wrong —
         the engine validates each probe against the true cache."""
-        return [c for c in self.holders_of(doc) if c != exclude_client]
+        return [
+            c
+            for c in self.holders_of(doc)
+            if c != exclude_client and (not banned or c not in banned)
+        ]
 
     def claimed_docs(self):
         """Every document some client's summary claims to hold — the

@@ -37,8 +37,9 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.churn import MassChurnSchedule
 from repro.traces.record import Trace
-from repro.util.rng import make_rng
+from repro.util.rng import derive_seed, make_rng
 from repro.util.validation import (
     check_fraction,
     check_non_negative,
@@ -46,7 +47,13 @@ from repro.util.validation import (
     check_probability,
 )
 
-__all__ = ["SyntheticTraceConfig", "generate_trace"]
+__all__ = [
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "FlashCrowdSpec",
+    "inject_flash_crowd",
+    "mass_churn_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -416,3 +423,146 @@ def _assign_sizes(
         np.rint(request_sizes * scale), config.min_doc_size
     ).astype(np.int64)
     return request_sizes
+
+
+# ---------------------------------------------------------------------------
+# surge generators: flash crowds and correlated mass churn
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """One document going viral during ``[start, end)``.
+
+    ``multiplier`` scales the document's in-window popularity: requests
+    inside the window are redirected to the target until it has
+    ``multiplier`` times its original in-window reference count.
+    ``doc`` names the target explicitly; ``None`` picks the most
+    popular document seen up to the end of the window (the realistic
+    case — things that go viral were already warm).
+    """
+
+    start: float
+    end: float
+    multiplier: float = 10.0
+    doc: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"flash-crowd window must satisfy 0 <= start < end, got "
+                f"{(self.start, self.end)!r}"
+            )
+        if not self.multiplier > 1.0:
+            raise ValueError(
+                f"flash-crowd multiplier must be > 1, got {self.multiplier!r}"
+            )
+        if self.doc is not None and self.doc < 0:
+            raise ValueError(f"flash-crowd doc must be >= 0, got {self.doc!r}")
+
+
+def inject_flash_crowd(
+    trace: Trace, spec: FlashCrowdSpec, seed: int = 0
+) -> Trace:
+    """Return a copy of *trace* with a flash-crowd spike injected.
+
+    A deterministic post-transform on a materialised trace (the
+    streaming generator stays bit-identical to :func:`generate_trace`):
+    randomly chosen in-window requests — seeded from ``(seed, spec)``
+    via :func:`~repro.util.rng.derive_seed` — are redirected to the
+    target document, which keeps clients, timestamps, and the request
+    count untouched.  A redirected request observes the target's
+    version (and per-version size) as of its position in the stream,
+    preserving the sizes-constant-per-(doc, version) property.
+    """
+    timestamps = trace.timestamps
+    in_window = np.flatnonzero(
+        (timestamps >= spec.start) & (timestamps < spec.end)
+    )
+    if in_window.size == 0:
+        return trace
+    docs = trace.docs.copy()
+    target = spec.doc
+    if target is None:
+        seen = docs[timestamps < spec.end]
+        if seen.size == 0:
+            seen = docs
+        target = int(np.argmax(np.bincount(seen)))
+    occurrences = np.flatnonzero(trace.docs == target)
+    if occurrences.size == 0:
+        raise ValueError(
+            f"flash-crowd doc {target} never occurs in trace {trace.name!r}"
+        )
+    already = int(np.count_nonzero(docs[in_window] == target))
+    wanted = int(round(spec.multiplier * max(already, 1)))
+    victims = in_window[docs[in_window] != target]
+    extra = min(wanted - already, victims.size)
+    if extra > 0:
+        rng = make_rng(
+            derive_seed(
+                seed, "flash-crowd", spec.start, spec.end,
+                spec.multiplier, target,
+            )
+        )
+        chosen = rng.choice(victims, size=extra, replace=False)
+        # Each redirected request observes the target's state as of its
+        # stream position (the last preceding occurrence; requests
+        # before the first occurrence see its initial state).
+        source = np.maximum(np.searchsorted(occurrences, chosen) - 1, 0)
+        source_idx = occurrences[source]
+        docs[chosen] = target
+        versions = trace.versions.copy()
+        sizes = trace.sizes.copy()
+        versions[chosen] = trace.versions[source_idx]
+        sizes[chosen] = trace.sizes[source_idx]
+    else:
+        versions = trace.versions.copy()
+        sizes = trace.sizes.copy()
+    return Trace(
+        timestamps=timestamps.copy(),
+        clients=trace.clients.copy(),
+        docs=docs,
+        sizes=sizes,
+        versions=versions,
+        name=f"{trace.name}:flash",
+    )
+
+
+def mass_churn_schedule(
+    duration: float,
+    n_waves: int = 3,
+    offline_seconds: float = 600.0,
+    jitter: float = 0.25,
+    seed: int = 0,
+) -> MassChurnSchedule:
+    """Correlated mass-churn waves for a flapper cohort.
+
+    ``n_waves`` offline windows of ``offline_seconds`` each, centred at
+    evenly spaced points over ``duration`` with each centre jittered by
+    up to ``jitter`` of the inter-wave spacing — deterministic per
+    ``(arguments, seed)`` via :func:`~repro.util.rng.derive_seed`.
+    Overlapping windows are merged, so the result is always a valid
+    :class:`~repro.core.churn.MassChurnSchedule`.
+    """
+    check_positive("duration", duration)
+    check_positive("n_waves", n_waves)
+    check_positive("offline_seconds", offline_seconds)
+    check_fraction("jitter", jitter)
+    rng = make_rng(
+        derive_seed(seed, "mass-churn", duration, n_waves, offline_seconds)
+    )
+    spacing = duration / (n_waves + 1)
+    centers = np.arange(1, n_waves + 1) * spacing
+    centers = centers + rng.uniform(-jitter, jitter, size=n_waves) * spacing
+    half = offline_seconds / 2.0
+    windows: list[tuple[float, float]] = []
+    for center in np.sort(centers):
+        start = max(0.0, float(center) - half)
+        end = min(duration, float(center) + half)
+        if end <= start:
+            continue
+        if windows and start < windows[-1][1]:
+            windows[-1] = (windows[-1][0], max(windows[-1][1], end))
+        else:
+            windows.append((start, end))
+    return MassChurnSchedule(windows=tuple(windows))

@@ -16,6 +16,8 @@ __all__ = [
     "check_crash_rate",
     "check_crash_schedule",
     "check_reannounce_rate",
+    "check_polluter_fraction",
+    "check_quarantine",
 ]
 
 
@@ -102,3 +104,37 @@ def check_reannounce_rate(value: float) -> float:
             f"per virtual second, got {value!r}"
         )
     return value
+
+
+# -- adversarial-peer / quarantine knobs -------------------------------------
+
+
+def check_polluter_fraction(value: float) -> float:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(
+            f"polluter fraction (--polluter-fraction) must be in [0, 1], "
+            f"got {value!r}"
+        )
+    return value
+
+
+def check_quarantine(threshold: int, decay: float | None) -> None:
+    """The quarantine threshold counts integrity failures (0 = defense
+    off); a decay window only makes sense with the defense armed."""
+    if threshold < 0 or threshold != int(threshold):
+        raise ValueError(
+            f"quarantine threshold (--quarantine-threshold) must be a "
+            f"non-negative integer number of integrity failures, got "
+            f"{threshold!r}"
+        )
+    if decay is not None:
+        if threshold <= 0:
+            raise ValueError(
+                "quarantine_decay needs the defense armed: set a quarantine "
+                "threshold (--quarantine-threshold) > 0"
+            )
+        if not decay > 0:
+            raise ValueError(
+                f"quarantine_decay must be > 0 seconds of virtual time, "
+                f"got {decay!r}"
+            )

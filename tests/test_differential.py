@@ -150,6 +150,11 @@ def configs(draw):
     # single-proxy engines untouched for every sampled knob combination
     # — the frozen reference knows nothing about multi-proxy mode.
     kw["federation"] = None
+    # Same invariant for the adversarial-peer and quarantine knobs: off
+    # by default, and the frozen reference must keep matching — the new
+    # counters stay zero on every config the reference can express.
+    kw["adversarial"] = None
+    kw["quarantine_threshold"] = 0
     return SimulationConfig(**kw)
 
 

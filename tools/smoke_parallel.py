@@ -33,6 +33,15 @@ smoke asserts cooperation actually fired — cross-proxy hits were
 served and digest staleness produced accountable false hits — and the
 generic journal/resume block covers the new counters' round-trip.
 
+With ``--adversarial`` every cell runs against a hostile peer
+population — 20% persistent polluters (every transfer they serve fails
+the integrity check) and 20% flappers churning offline over the middle
+40% of the trace — with the quarantine defense armed at two strikes.
+The smoke asserts the attack and the defense both fired (corrupt
+deliveries attributed, peers quarantined) and re-runs the same grid
+with the defense disarmed: quarantine must strictly reduce the summed
+``wasted_round_trip_time`` versus the no-defense run.
+
 With ``--stream`` every base-grid cell is additionally replayed
 through the flat-state streaming engine
 (:func:`repro.core.simulate_stream`) and must be bit-identical to the
@@ -42,7 +51,7 @@ federation grids (outside the streaming subset).
 
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
         [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
-        [--proxy-crash] [--federation] [--stream]
+        [--proxy-crash] [--federation] [--adversarial] [--stream]
 """
 
 from __future__ import annotations
@@ -55,11 +64,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import (  # noqa: E402
+    AdversarialConfig,
     CheckpointPolicy,
     ChurnModel,
     EngineOptions,
     FaultPlan,
     FederationConfig,
+    MassChurnSchedule,
     Organization,
     ProxyFaultModel,
     resolve_workers,
@@ -97,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
                              "federation with periodic digest exchange; the "
                              "smoke asserts cross-proxy hits and digest "
                              "false hits occurred")
+    parser.add_argument("--adversarial", action="store_true",
+                        help="run every cell against 20%% polluters + 20%% "
+                             "flappers with two-strike quarantine armed; the "
+                             "smoke asserts the defense fired and strictly "
+                             "reduced wasted round-trip time vs. no defense")
     parser.add_argument("--stream", action="store_true",
                         help="also replay every cell through the flat-state "
                              "streaming engine; results must be bit-identical "
@@ -107,9 +123,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 2048)")
     args = parser.parse_args(argv)
 
-    if args.stream and (args.churn or args.proxy_crash or args.federation):
+    if args.stream and (args.churn or args.proxy_crash or args.federation
+                        or args.adversarial):
         parser.error("--stream covers only the base grid; drop --churn/"
-                     "--proxy-crash/--federation")
+                     "--proxy-crash/--federation/--adversarial")
 
     workers = resolve_workers(args.workers)
     trace = get_profile(args.trace).scaled(args.requests).generate()
@@ -140,6 +157,23 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"federation: 2 proxies, digest exchange every "
               f"{duration / 12:.0f}s")
+    if args.adversarial:
+        duration = float(trace.timestamps.max())
+        grid["adversarial"] = AdversarialConfig(
+            polluter_fraction=0.2,
+            flapper_fraction=0.2,
+            flap_schedule=MassChurnSchedule(
+                windows=((0.30 * duration, 0.70 * duration),)
+            ),
+        )
+        grid["quarantine_threshold"] = 2
+        grid["max_holder_retries"] = max(
+            int(grid.get("max_holder_retries", 0)), args.max_holder_retries, 2
+        )
+        print(f"adversarial: 20% polluters, 20% flappers offline "
+              f"t={0.30 * duration:.0f}-{0.70 * duration:.0f}s, "
+              f"quarantine after 2 strikes, "
+              f"max_holder_retries={grid['max_holder_retries']}")
     n_cells = len(grid["organizations"]) * len(grid["fractions"])
     print(f"smoke sweep: {trace.name}, {len(trace):,} requests, {n_cells} cells")
 
@@ -241,6 +275,48 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if false_hits <= 0:
             print("FAIL: --federation produced no digest false hits")
+            return 1
+
+    if args.adversarial:
+        corrupt = sum(r.corrupt_deliveries for r in parallel.results.values())
+        poisoned = sum(r.poisoned_requests for r in parallel.results.values())
+        quarantined = sum(
+            r.quarantined_peers for r in parallel.results.values()
+        )
+        rescued = sum(
+            r.quarantine_rescued_hits for r in parallel.results.values()
+        )
+        defended_wasted = sum(
+            r.overhead.wasted_round_trip_time for r in parallel.results.values()
+        )
+        print()
+        print(f"adversarial: {corrupt} corrupt deliveries over "
+              f"{poisoned} poisoned requests, {quarantined} peers "
+              f"quarantined, {rescued} hits rescued by the ban list")
+        if corrupt <= 0:
+            print("FAIL: --adversarial attributed no corrupt deliveries")
+            return 1
+        if quarantined <= 0:
+            print("FAIL: --adversarial quarantined no peers")
+            return 1
+        # the same attack with the defense disarmed: quarantine must
+        # strictly reduce the time wasted on failed remote probes.
+        undefended_grid = {
+            k: v for k, v in grid.items() if k != "quarantine_threshold"
+        }
+        undefended = run_policy_sweep(trace, workers=0, **undefended_grid)
+        if undefended.failures:
+            print("FAIL: no-defense comparison run had cell failures")
+            return 1
+        undefended_wasted = sum(
+            r.overhead.wasted_round_trip_time
+            for r in undefended.results.values()
+        )
+        print(f"wasted round-trip time: defended {defended_wasted:,.2f}s "
+              f"vs no defense {undefended_wasted:,.2f}s")
+        if not defended_wasted < undefended_wasted:
+            print("FAIL: quarantine did not strictly reduce wasted "
+                  "round-trip time vs. the no-defense run")
             return 1
 
     if args.journal:
