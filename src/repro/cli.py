@@ -160,6 +160,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="modeled inter-proxy link bandwidth in bits/s (federation sweep)",
     )
     run_p.add_argument(
+        "--partition-length",
+        default=None,
+        metavar="S[,S...]",
+        help=(
+            "inter-proxy partition window lengths in virtual seconds for "
+            "the chaos sweep (one mid-trace window per length; default "
+            "scales with the trace span)"
+        ),
+    )
+    run_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra seed folded into every chaos cell's stochastic "
+            "sub-streams (chaos sweep; explicit windows stay RNG-free)"
+        ),
+    )
+    run_p.add_argument(
         "--polluter-fraction",
         default=None,
         metavar="F[,F...]",
@@ -298,6 +318,64 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sim.add_argument(
+        "--proxies",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the clients over N cooperating proxies exchanging "
+            "bloom digests (federation model); required by the "
+            "partition flags below"
+        ),
+    )
+    sim.add_argument(
+        "--digest-period",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help=(
+            "inter-proxy digest exchange period for --proxies "
+            "(0 = fresh-digest oracle; default: 900)"
+        ),
+    )
+    sim.add_argument(
+        "--partition-at",
+        metavar="T1,T2,...",
+        help=(
+            "open an inter-proxy partition at each listed virtual time "
+            "(the federation splits into two halves; heals after "
+            "--partition-length seconds)"
+        ),
+    )
+    sim.add_argument(
+        "--partition-length",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="length of each --partition-at window (default: 600)",
+    )
+    sim.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "compose the failure flags through a seeded chaos plan: "
+            "folds N into every stochastic sub-stream's seed"
+        ),
+    )
+    sim.add_argument(
+        "--check-invariants",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "assert the engine's conservation laws every N requests "
+            "mid-replay (0 = off); a violated invariant aborts at the "
+            "violating request"
+        ),
+    )
+    sim.add_argument(
         "--reannounce-rate",
         type=float,
         default=1.0,
@@ -414,6 +492,45 @@ def _cmd_simulate(args) -> int:
         failure_kwargs["checkpoint"] = CheckpointPolicy(
             interval=args.checkpoint_interval
         )
+    link_faults = None
+    if args.partition_at is not None:
+        if args.proxies is None or args.proxies < 2:
+            print(
+                "--partition-at needs a federation to split: set --proxies "
+                "to 2 or more",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.federation.linkfaults import LinkFaultModel
+        from repro.util.validation import check_partition_windows
+
+        try:
+            starts = tuple(
+                float(t) for t in args.partition_at.split(",") if t.strip()
+            )
+            windows = tuple(
+                (t, t + args.partition_length) for t in sorted(starts)
+            )
+            check_partition_windows(windows, span=trace.duration)
+            link_faults = LinkFaultModel(partition_windows=windows)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.proxies is not None:
+        from repro.core.config import FederationConfig
+
+        failure_kwargs["federation"] = FederationConfig(
+            n_proxies=args.proxies,
+            digest_period=args.digest_period,
+            link_faults=link_faults,
+        )
+    if args.chaos_seed is not None or args.check_invariants:
+        from repro.core.chaos import ChaosPlan
+
+        failure_kwargs["chaos"] = ChaosPlan(
+            seed=args.chaos_seed,
+            check_invariants_every=args.check_invariants,
+        )
     config = SimulationConfig.relative(
         trace,
         proxy_frac=args.proxy_frac,
@@ -460,6 +577,15 @@ def _cmd_simulate(args) -> int:
     if result.checkpoint_bytes_written:
         rows.insert(-1, ["checkpoint bytes written",
                          f"{result.checkpoint_bytes_written:,}"])
+    if result.interproxy_hits:
+        rows.insert(-1, ["inter-proxy hits", f"{result.interproxy_hits:,}"])
+    if result.partition_windows:
+        rows.insert(-1, ["partition windows", f"{result.partition_windows:,}"])
+        rows.insert(-1, ["digest exchanges lost",
+                         f"{result.digest_exchanges_lost:,}"])
+        rows.insert(-1, ["wasted partition time",
+                         f"{result.wasted_partition_time:,.2f}s"])
+        rows.insert(-1, ["anti-entropy bytes", f"{result.antientropy_bytes:,}"])
     print(ascii_table(["quantity", "value"], rows, title="simulation result"))
     return 0
 
@@ -600,6 +726,8 @@ def main(argv: list[str] | None = None) -> int:
             polluter_fractions=_csv(args.polluter_fraction, float),
             quarantine_thresholds=_csv(args.quarantine_threshold, int),
             flash_crowd=args.flash_crowd or None,
+            partition_lengths=_csv(args.partition_length, float),
+            chaos_seed=args.chaos_seed,
         )
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))

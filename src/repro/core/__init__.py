@@ -13,6 +13,7 @@ Typical use::
 """
 
 from repro.adversarial import AdversarialConfig, PeerPopulation
+from repro.core.chaos import ChaosPlan, InvariantMonitor, InvariantViolation
 from repro.core.events import HitLocation
 from repro.core.churn import ChurnModel, ChurnProcess, MassChurnSchedule
 from repro.core.proxy_faults import ProxyFaultModel, ProxyFaultSchedule
@@ -52,6 +53,9 @@ from repro.core.sweep import SweepResult, run_policy_sweep, run_size_sweep
 __all__ = [
     "AdversarialConfig",
     "PeerPopulation",
+    "ChaosPlan",
+    "InvariantMonitor",
+    "InvariantViolation",
     "HitLocation",
     "ChurnModel",
     "ChurnProcess",

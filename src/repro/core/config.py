@@ -22,6 +22,7 @@ the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -43,6 +44,10 @@ from repro.util.validation import (
     check_quarantine,
     check_reannounce_rate,
 )
+
+if TYPE_CHECKING:  # imported lazily to avoid a package cycle at runtime
+    from repro.core.chaos import ChaosPlan
+    from repro.federation.linkfaults import LinkFaultModel
 
 __all__ = [
     "FederationConfig",
@@ -121,6 +126,10 @@ class FederationConfig:
     #: (and, for organizations that cache remote fetches, the
     #: requesting browser)?
     cache_interproxy_fetches: bool = True
+    #: inter-proxy link partitions (see
+    #: :mod:`repro.federation.linkfaults`); ``None`` keeps the perfect
+    #: fabric and every existing federation result bit-identical.
+    link_faults: "LinkFaultModel | None" = None
 
     def __post_init__(self) -> None:
         check_positive("n_proxies", self.n_proxies)
@@ -255,6 +264,11 @@ class SimulationConfig:
     #: the oracle-defense anchor (e.g. exactly the polluter ids from
     #: :meth:`~repro.adversarial.PeerPopulation.for_simulation`).
     static_blacklist: tuple[int, ...] | None = None
+    #: composed chaos schedule (see :mod:`repro.core.chaos`): one seeded
+    #: spec installing several fault models at once, plus the opt-in
+    #: mid-replay invariant monitor.  ``None`` leaves every replay loop
+    #: untouched.
+    chaos: "ChaosPlan | None" = None
 
     def __post_init__(self) -> None:
         check_non_negative("proxy_capacity", self.proxy_capacity)
@@ -313,6 +327,30 @@ class SimulationConfig:
                 self, "static_blacklist",
                 tuple(sorted(set(self.static_blacklist))),
             )
+        if self.chaos is not None:
+            chaos = self.chaos
+            for name in ("churn", "proxy_faults", "adversarial"):
+                if (
+                    getattr(chaos, name) is not None
+                    and getattr(self, name) is not None
+                ):
+                    raise ValueError(
+                        f"both chaos.{name} and config.{name} are set; a "
+                        f"chaos plan owns the fault models it composes — "
+                        f"give the model to one of the two"
+                    )
+            if chaos.link_faults is not None:
+                if self.federation is None:
+                    raise ValueError(
+                        "chaos.link_faults partitions the inter-proxy "
+                        "fabric: set SimulationConfig.federation "
+                        "(n_proxies > 1) to have links to cut"
+                    )
+                if self.federation.link_faults is not None:
+                    raise ValueError(
+                        "both chaos.link_faults and federation.link_faults "
+                        "are set; give the model to one of the two"
+                    )
         # adversarial (like proxy_faults / checkpoint) validates itself
         # in its own __post_init__.
         # proxy_faults and checkpoint validate themselves in their own

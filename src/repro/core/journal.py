@@ -119,6 +119,10 @@ def result_to_jsonable(result: SimulationResult) -> dict[str, Any]:
         "digest_false_hits": result.digest_false_hits,
         "digest_missed_hits": result.digest_missed_hits,
         "digest_bytes_exchanged": result.digest_bytes_exchanged,
+        "digest_exchanges_lost": result.digest_exchanges_lost,
+        "partition_windows": result.partition_windows,
+        "wasted_partition_time": result.wasted_partition_time,
+        "antientropy_bytes": result.antientropy_bytes,
         "interproxy_bandwidth_time": result.interproxy_bandwidth_time,
         "index_peak_entries": result.index_peak_entries,
         "index_peak_footprint_bytes": result.index_peak_footprint_bytes,
@@ -165,6 +169,12 @@ def result_from_jsonable(data: dict[str, Any]) -> SimulationResult:
         digest_false_hits=data.get("digest_false_hits", 0),
         digest_missed_hits=data.get("digest_missed_hits", 0),
         digest_bytes_exchanged=data.get("digest_bytes_exchanged", 0),
+        # journals written before the partition counters existed load
+        # with zeros, matching what those perfect-fabric engines measured.
+        digest_exchanges_lost=data.get("digest_exchanges_lost", 0),
+        partition_windows=data.get("partition_windows", 0),
+        wasted_partition_time=data.get("wasted_partition_time", 0.0),
+        antientropy_bytes=data.get("antientropy_bytes", 0),
         interproxy_bandwidth_time=data.get("interproxy_bandwidth_time", 0.0),
         index_peak_entries=data["index_peak_entries"],
         index_peak_footprint_bytes=data["index_peak_footprint_bytes"],

@@ -222,7 +222,23 @@ class SimulationResult:
     #: document — the cost of digest staleness in the other direction.
     digest_missed_hits: int = 0
     #: digest summary bytes shipped between proxies at exchanges.
+    #: Copies a partition dropped are *not* charged here (see
+    #: ``digest_exchanges_lost``).
     digest_bytes_exchanged: int = 0
+    #: digest copies a partition prevented from being delivered — the
+    #: receiving proxy keeps serving from its stale view (link-fault
+    #: mode; each undelivered per-peer copy counts one).
+    digest_exchanges_lost: int = 0
+    #: inter-proxy partition windows entered during the replay
+    #: (link-fault mode).
+    partition_windows: int = 0
+    #: connection-setup time burnt probing digest-claimed peers that a
+    #: partition made unreachable (also charged to
+    #: ``wasted_round_trip_time``; this counter attributes it).
+    wasted_partition_time: float = 0.0
+    #: digest bytes shipped by post-heal anti-entropy refreshes, kept
+    #: separate from the periodic ``digest_bytes_exchanged``.
+    antientropy_bytes: int = 0
     #: inter-proxy link occupancy (document transfers, failed probes,
     #: digest exchanges).  Informational — the link runs in parallel
     #: with the LAN legs, so it is not part of ``total_service_time``.

@@ -277,6 +277,11 @@ def build_cells(
                 or config.corruption_rate > 0.0
                 or config.proxy_faults is not None
                 or config.adversarial is not None
+                or config.chaos is not None
+                or (
+                    config.federation is not None
+                    and config.federation.link_faults is not None
+                )
             ):
                 cell_config = config.with_(availability_seed=seed)
             cells.append(

@@ -51,6 +51,7 @@ from time import perf_counter
 from repro.adversarial import PeerPopulation
 from repro.cache import TieredLRUCache, make_cache
 from repro.cache.base import CacheEntry
+from repro.core.chaos import InvariantMonitor
 from repro.core.churn import ChurnProcess
 from repro.core.config import SimulationConfig
 from repro.core.events import HitLocation
@@ -137,6 +138,11 @@ class Simulator:
         config: SimulationConfig,
         profile: ReplayProfile | None = None,
     ) -> None:
+        if config.chaos is not None:
+            # Resolve a composed chaos plan once, up front, so every
+            # knob below sees the installed fault models; compose() is
+            # idempotent, leaving only the monitor cadence behind.
+            config = config.chaos.compose(config)
         self.trace = trace
         self.organization = organization
         self.config = config
@@ -266,6 +272,16 @@ class Simulator:
         self._prior_stats = StalenessStats()
         self._prior_lookups = 0
         self._prior_update_messages = 0
+
+        # Opt-in mid-replay invariant monitor (repro.core.chaos).  The
+        # default (chaos=None) adds one never-taken branch per request
+        # to each replay loop and constructs nothing.
+        chaos = config.chaos
+        self._monitor = (
+            InvariantMonitor(config, chaos.check_invariants_every)
+            if chaos is not None and chaos.monitored
+            else None
+        )
 
         self.bus = SharedBus(config.lan)
         self.result = SimulationResult(
@@ -874,6 +890,8 @@ class Simulator:
         peak_entries = result.index_peak_entries
         peak_footprint = result.index_peak_footprint_bytes
 
+        monitor = self._monitor
+
         for t, c, d, s, v in self.trace.iter_rows():
             if recovery is not None and recovery(t):
                 # a crash replaced the proxy/index objects
@@ -886,6 +904,13 @@ class Simulator:
                 index_lookup = self._guarded_lookup_fn(index) if index is not None else None
                 index_stale = index.is_stale if index is not None else False
                 proxy_entries = proxy._entries if lru_p else None
+            if monitor is not None:
+                # Conservation is checked from the loop's batched local
+                # tallies (the result's per-location counters flush
+                # only at the end); ledger/gate laws read live state.
+                monitor.tick_fast(
+                    result, n_requests, lb_hits + px_hits + rb_hits, og_misses
+                )
 
             # 1. local browser cache
             if has_browsers:
@@ -1351,6 +1376,8 @@ class Simulator:
             if entry is not None:
                 entry.expires_at = expires_at(t, last_mod)
 
+        monitor = self._monitor
+
         for t, c, d, s, v in self.trace.iter_rows():
             if recovery is not None and recovery(t):
                 # a crash replaced the proxy/index objects
@@ -1363,6 +1390,11 @@ class Simulator:
                 index_lookup = self._guarded_lookup_fn(index) if index is not None else None
                 index_stale = index.is_stale if index is not None else False
                 proxy_entries = proxy._entries if lru_p else None
+            if monitor is not None:
+                # Same batched-locals conservation check as _run_fast.
+                monitor.tick_fast(
+                    result, n_requests, lb_hits + px_hits + rb_hits, og_misses
+                )
 
             sv = seen_version.get(d)
             if sv is None or v > sv:
@@ -1857,6 +1889,8 @@ class Simulator:
             result.overhead.index_update_messages = messages
         if self._checkpointer is not None:
             result.checkpoint_bytes_written = self._checkpointer.bytes_written
+        if self._monitor is not None:
+            self._monitor.check_final(result)
         return result
 
 

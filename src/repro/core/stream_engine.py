@@ -242,7 +242,15 @@ def check_stream_config(config: SimulationConfig) -> None:
         )
     if config.proxy_faults is not None or config.checkpoint is not None:
         raise _reject("proxy crash/checkpoint models", "whole-index snapshots")
+    if config.chaos is not None:
+        raise _reject(
+            "chaos plans", "composed fault models and mid-replay invariants"
+        )
     if config.federation is not None:
+        if config.federation.link_faults is not None:
+            raise _reject(
+                "link_faults", "time-varying inter-proxy connectivity"
+            )
         raise _reject("federation", "multi-proxy replay")
     if config.index_kind != "exact":
         raise _reject("bloom indexes", "lookups scan every client filter")

@@ -26,6 +26,7 @@ from repro.experiments import (
     availability,
     recovery,
     stress,
+    chaos,
 )
 from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
 
@@ -49,6 +50,7 @@ __all__ = [
     "availability",
     "recovery",
     "stress",
+    "chaos",
     "ALL_EXPERIMENTS",
     "run_experiment",
 ]

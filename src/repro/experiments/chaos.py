@@ -1,0 +1,266 @@
+"""Extension experiment — partition tolerance under composed chaos.
+
+The federation sweep (:mod:`repro.experiments.federation`) assumes the
+inter-proxy links never fail.  This sweep cuts them: a two-proxy
+federation replays the trace while a :class:`~repro.federation.linkfaults.LinkFaultModel`
+opens a partition window in the middle of the day, and the grid asks
+how much of the cooperation benefit survives at each partition length ×
+digest-exchange period.  Every cell runs through a
+:class:`~repro.core.chaos.ChaosPlan` with the
+:class:`~repro.core.chaos.InvariantMonitor` armed, so a soak that
+corrupts a counter fails at the violating request instead of producing
+a quietly wrong table.
+
+Each digest period carries its own pair of anchors sharing the cell's
+cache sizing and federation config:
+
+* **no-fault ceiling** — the same federation with the links always up;
+  a partitioned run can never serve more remote hits than one that
+  never lost an exchange;
+* **always-partitioned floor** — one window covering the whole trace,
+  so no digest is ever delivered and every inter-proxy probe dies on
+  ``wasted_partition_time``; a finite partition can never do worse.
+
+A chaos cell must land strictly between its anchors —
+:meth:`ChaosResult.brackets_all` checks exactly that, and the CI chaos
+smoke asserts it — with the partition's cost showing up in the four
+accountable counters (``partition_windows``, ``digest_exchanges_lost``,
+``wasted_partition_time``, ``antientropy_bytes``) rather than silent
+hit-ratio drift.
+
+The grid runs through :func:`repro.core.parallel.run_cells`, so
+``--workers``, the attempt journal, and resume all apply; partition
+windows are explicit (derived from the trace span), so with the default
+``chaos_seed=None`` no RNG is constructed anywhere and results are
+bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chaos import ChaosPlan
+from repro.core.config import FederationConfig, SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.parallel import EngineOptions, SweepCell, SweepRun, run_cells
+from repro.core.policies import Organization
+from repro.federation.linkfaults import LinkFaultModel
+from repro.traces.profiles import load_paper_trace
+from repro.traces.record import Trace
+from repro.util.fmt import ascii_table
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "ChaosResult",
+    "run",
+    "DEFAULT_PARTITION_FRACS",
+    "DEFAULT_DIGEST_PERIODS",
+]
+
+#: partition lengths swept, as fractions of the trace span (each cell
+#: opens one window of that length centered mid-trace).
+DEFAULT_PARTITION_FRACS = (0.1, 0.3)
+
+#: digest exchange periods swept (virtual seconds).
+DEFAULT_DIGEST_PERIODS = (900.0, 3600.0)
+
+#: cooperating proxies — two halves is the canonical split-brain.
+DEFAULT_N_PROXIES = 2
+
+#: invariant-monitor cadence (requests between mid-replay checks).
+DEFAULT_CHECK_EVERY = 2000
+
+
+def _centered_window(span: float, length: float) -> tuple[float, float]:
+    """One partition window of *length* seconds centered mid-trace."""
+    start = max(0.0, (span - length) / 2.0)
+    return (start, start + length)
+
+
+@dataclass
+class ChaosResult:
+    """The partition-length x digest-period grid, plus its anchors."""
+
+    trace_name: str
+    proxy_frac: float
+    n_proxies: int
+    #: digest period -> federation with the links always up (upper).
+    ceiling: dict[float, SimulationResult]
+    #: digest period -> one partition covering the whole trace (lower).
+    floor: dict[float, SimulationResult]
+    #: partition lengths actually swept (virtual seconds).
+    partition_lengths: tuple[float, ...]
+    digest_periods: tuple[float, ...]
+    cells: dict[tuple[float, float], SimulationResult]
+    #: the underlying engine run (timing, attempts, failures).
+    sweep: SweepRun | None = field(default=None, repr=False)
+
+    def cell(self, length: float, period: float) -> SimulationResult:
+        return self.cells[(length, period)]
+
+    def brackets_all(self) -> bool:
+        """True when *every* chaos cell lands strictly between the
+        always-partitioned floor and the no-fault ceiling at its digest
+        period — the acceptance criterion for the partition model."""
+        for period in self.digest_periods:
+            lo = self.floor[period].hit_ratio
+            hi = self.ceiling[period].hit_ratio
+            for length in self.partition_lengths:
+                hr = self.cells[(length, period)].hit_ratio
+                if not (lo < hr < hi):
+                    return False
+        return True
+
+    def render(self) -> str:
+        headers = ["partition", "counter"] + [
+            f"T={period:g}s" for period in self.digest_periods
+        ]
+        rows: list[list] = []
+        rows.append(
+            ["(none)", "hit ratio"]
+            + [f"{self.ceiling[p].hit_ratio * 100:.2f}%" for p in self.digest_periods]
+        )
+        for length in self.partition_lengths:
+            cells = [self.cells[(length, p)] for p in self.digest_periods]
+            rows.append(
+                [f"{length:g}s", "hit ratio"]
+                + [f"{c.hit_ratio * 100:.2f}%" for c in cells]
+            )
+            rows.append(
+                ["", "exchanges lost"] + [c.digest_exchanges_lost for c in cells]
+            )
+            rows.append(
+                ["", "wasted partition s"]
+                + [f"{c.wasted_partition_time:.2f}" for c in cells]
+            )
+            rows.append(
+                ["", "anti-entropy KB"]
+                + [f"{c.antientropy_bytes / 1e3:.1f}" for c in cells]
+            )
+        rows.append(
+            ["(whole trace)", "hit ratio"]
+            + [f"{self.floor[p].hit_ratio * 100:.2f}%" for p in self.digest_periods]
+        )
+        return ascii_table(
+            headers,
+            rows,
+            title=(
+                f"BAPS inter-proxy partition tolerance ({self.trace_name}, "
+                f"{self.n_proxies} proxies, {self.proxy_frac * 100:g}% "
+                f"cache per proxy; invariant monitor armed)"
+            ),
+        )
+
+
+def run(
+    trace_name: str = "NLANR-uc",
+    partition_lengths=None,
+    digest_periods=DEFAULT_DIGEST_PERIODS,
+    n_proxies: int = DEFAULT_N_PROXIES,
+    proxy_frac: float = 0.10,
+    chaos_seed: int | None = None,
+    check_invariants_every: int = DEFAULT_CHECK_EVERY,
+    workers: int | None = 0,
+    options: EngineOptions | None = None,
+    trace: Trace | None = None,
+) -> ChaosResult:
+    """The chaos sweep: partition length x digest period, plus anchors.
+
+    ``partition_lengths`` are window lengths in virtual seconds (one
+    window per cell, centered mid-trace); the default scales
+    :data:`DEFAULT_PARTITION_FRACS` by the trace span.  ``chaos_seed``
+    folds an extra seed into every cell's stochastic sub-streams via
+    the plan's ``"chaos"`` namespace — with the default ``None`` and
+    explicit windows, no RNG is constructed at all.  ``trace``
+    overrides the named paper trace (the tests pass a scaled profile).
+    """
+    if trace is None:
+        trace = load_paper_trace(trace_name)
+    span = trace.duration
+    if partition_lengths is None:
+        partition_lengths = tuple(f * span for f in DEFAULT_PARTITION_FRACS)
+    partition_lengths = tuple(float(s) for s in partition_lengths)
+    digest_periods = tuple(float(p) for p in digest_periods)
+    org = Organization.BROWSERS_AWARE_PROXY
+    base = SimulationConfig.relative(
+        trace, proxy_frac=proxy_frac, browser_sizing="minimum"
+    )
+
+    def plan(model: LinkFaultModel | None) -> ChaosPlan:
+        return ChaosPlan(
+            link_faults=model,
+            seed=chaos_seed,
+            check_invariants_every=check_invariants_every,
+        )
+
+    # The engine's standard cell-identity seed; configs differ per cell,
+    # so journal keys stay unique through the config digest.
+    seed = derive_seed(0, trace.name, org.value, repr(proxy_frac))
+    labels: list[tuple] = []
+    configs: list[SimulationConfig] = []
+    for period in digest_periods:
+        fed = FederationConfig(n_proxies=n_proxies, digest_period=period)
+        labels.append(("ceiling", period))
+        configs.append(base.with_(federation=fed, chaos=plan(None)))
+        labels.append(("floor", period))
+        configs.append(
+            base.with_(
+                federation=fed,
+                chaos=plan(
+                    LinkFaultModel(partition_windows=((0.0, span + 1.0),))
+                ),
+            )
+        )
+        for length in partition_lengths:
+            labels.append(("cell", length, period))
+            configs.append(
+                base.with_(
+                    federation=fed,
+                    chaos=plan(
+                        LinkFaultModel(
+                            partition_windows=(_centered_window(span, length),)
+                        )
+                    ),
+                )
+            )
+    cells = [
+        SweepCell(
+            index=i,
+            trace_name=trace.name,
+            organization=org,
+            fraction=proxy_frac,
+            config=config,
+            seed=seed,
+        )
+        for i, config in enumerate(configs)
+    ]
+
+    sweep = run_cells(cells, {trace.name: trace}, workers=workers, options=options)
+    if sweep.failures:
+        raise RuntimeError(
+            "chaos sweep cells failed:\n"
+            + "\n".join(str(f) for f in sweep.failures)
+        )
+
+    ceiling: dict[float, SimulationResult] = {}
+    floor: dict[float, SimulationResult] = {}
+    grid: dict[tuple[float, float], SimulationResult] = {}
+    for label, cell in zip(labels, cells):
+        result = sweep.results[cell.index]
+        if label[0] == "ceiling":
+            ceiling[label[1]] = result
+        elif label[0] == "floor":
+            floor[label[1]] = result
+        else:
+            grid[(label[1], label[2])] = result
+    return ChaosResult(
+        trace_name=trace.name,
+        proxy_frac=proxy_frac,
+        n_proxies=n_proxies,
+        ceiling=ceiling,
+        floor=floor,
+        partition_lengths=partition_lengths,
+        digest_periods=digest_periods,
+        cells=grid,
+        sweep=sweep,
+    )

@@ -19,6 +19,7 @@ from repro.experiments import (
     ablation_index,
     ablation_replacement,
     availability,
+    chaos,
     consistency,
     federation,
     fig2,
@@ -65,6 +66,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "churn": availability.run_churn,
     "recovery": recovery.run,
     "federation": federation.run,
+    "chaos": chaos.run,
     "stress": stress.run,
 }
 

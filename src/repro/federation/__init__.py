@@ -17,6 +17,15 @@ Digest staleness is accountable, in both directions:
 * a document that became servable after the last exchange is invisible
   until the next one (``digest_missed_hits``).
 
+The inter-proxy fabric itself can fail: a
+:class:`~repro.federation.linkfaults.LinkFaultModel` on
+``FederationConfig.link_faults`` makes proxy-pair connectivity
+time-varying — digest copies to unreachable peers are dropped
+(``digest_exchanges_lost``; staleness accrues asymmetrically), probes
+to digest-claimed but unreachable peers fail fast
+(``wasted_partition_time``), and healing triggers an anti-entropy
+digest refresh (``antientropy_bytes``).
+
 Enable it with :class:`~repro.core.config.FederationConfig` on
 ``SimulationConfig.federation``; :func:`repro.core.simulator.simulate`
 dispatches here, so sweeps, the journal, and process-pool workers work
@@ -25,10 +34,13 @@ unchanged.
 
 from repro.federation.digest import DigestDirectory, build_proxy_digest
 from repro.federation.engine import FederatedSimulator, federated_simulate
+from repro.federation.linkfaults import LinkFaultModel, PartitionSchedule
 
 __all__ = [
     "DigestDirectory",
     "build_proxy_digest",
     "FederatedSimulator",
     "federated_simulate",
+    "LinkFaultModel",
+    "PartitionSchedule",
 ]

@@ -13,6 +13,17 @@ exchange (missed hit).  ``digest_period == 0.0`` is the oracle anchor:
 claims are evaluated against the proxies' *current* state on every
 request, and no exchange bytes or link time are charged — an upper
 bound no real period can beat.
+
+With a :class:`~repro.federation.linkfaults.PartitionSchedule` armed
+the directory keeps one *view* per (viewer, about) proxy pair instead
+of a single shared copy: a digest copy addressed to a proxy on the
+other side of an open partition is dropped (``digest_exchanges_lost``;
+the viewer keeps serving from its stale view, so staleness accrues
+asymmetrically) and its bytes are **not** charged to
+``digest_bytes_exchanged`` — only copies that actually crossed the
+link cost anything.  When a partition heals, the engine calls
+:meth:`DigestDirectory.antientropy`: a full refresh whose bytes are
+charged to the separate ``antientropy_bytes`` counter.
 """
 
 from __future__ import annotations
@@ -46,17 +57,31 @@ class DigestDirectory:
     """The digests every federated proxy currently holds about its peers.
 
     All proxies exchange on the same schedule (first request, then every
-    ``digest_period`` simulated seconds), so one shared directory stands
-    in for N per-proxy copies.  Until the first exchange no proxy claims
-    anything and every miss goes to the origin, exactly like the
-    single-proxy engine.
+    ``digest_period`` simulated seconds), so with a perfect fabric one
+    shared directory stands in for N per-proxy copies.  Until the first
+    exchange no proxy claims anything and every miss goes to the
+    origin, exactly like the single-proxy engine.
+
+    ``partitioned=True`` (link faults armed) switches to one
+    materialised view per (viewer, about) pair, because a dropped copy
+    makes the peers' knowledge diverge.
     """
 
-    def __init__(self, fed: FederationConfig, capacity: int) -> None:
+    def __init__(
+        self, fed: FederationConfig, capacity: int, partitioned: bool = False
+    ) -> None:
         self.fed = fed
         self.capacity = capacity
         self.digests: list[BloomFilter | None] = [None] * fed.n_proxies
+        #: views[viewer][about]: the digest *viewer* currently holds
+        #: about proxy *about* (partitioned mode only).
+        self.views: list[list[BloomFilter | None]] | None = (
+            [[None] * fed.n_proxies for _ in range(fed.n_proxies)]
+            if partitioned
+            else None
+        )
         self.exchanges = 0
+        self.antientropy_refreshes = 0
         self._last_exchange: float | None = None
 
     @property
@@ -64,14 +89,17 @@ class DigestDirectory:
         """Fresh-digest anchor: claims never go stale, exchanges are free."""
         return self.fed.digest_period == 0.0
 
-    def maybe_exchange(self, sims, t: float, result) -> None:
+    def maybe_exchange(self, sims, t: float, result, schedule=None) -> None:
         """Run a digest exchange if one is due at time *t*.
 
         Charges ``digest_bytes_exchanged`` and
         ``interproxy_bandwidth_time`` on *result* for the (N-1) copies
         each proxy sends — except in oracle mode, where claims are read
         directly from live state (:meth:`claims`) and nothing is built
-        or charged.
+        or charged.  With *schedule* (a
+        :class:`~repro.federation.linkfaults.PartitionSchedule`) mid-
+        partition, copies addressed across the split are dropped and
+        counted in ``digest_exchanges_lost`` instead of being charged.
 
         Digests summarise each proxy as of its last processed event: a
         peer's pending crash/recovery deadline is *not* advanced here,
@@ -83,28 +111,84 @@ class DigestDirectory:
             return
         if self._last_exchange is not None and t - self._last_exchange < self.fed.digest_period:
             return
-        fanout = self.fed.n_proxies - 1
+        n = self.fed.n_proxies
+        fanout = n - 1
+        views = self.views
+        split = schedule is not None and schedule.active
         for pid, sim in enumerate(sims):
             digest = build_proxy_digest(sim, self.capacity, self.fed.digest_bits_per_doc)
             self.digests[pid] = digest
-            result.digest_bytes_exchanged += digest.size_bytes * fanout
+            if not split:
+                if views is not None:
+                    for viewer in range(n):
+                        if viewer != pid:
+                            views[viewer][pid] = digest
+                result.digest_bytes_exchanged += digest.size_bytes * fanout
+                result.interproxy_bandwidth_time += (
+                    self.fed.transfer_time(digest.size_bytes) * fanout
+                )
+                continue
+            delivered = 0
+            for viewer in range(n):
+                if viewer == pid:
+                    continue
+                if schedule.connected(pid, viewer):
+                    views[viewer][pid] = digest
+                    delivered += 1
+                else:
+                    result.digest_exchanges_lost += 1
+            result.digest_bytes_exchanged += digest.size_bytes * delivered
+            result.interproxy_bandwidth_time += (
+                self.fed.transfer_time(digest.size_bytes) * delivered
+            )
+        self._last_exchange = t
+        self.exchanges += 1
+
+    def antientropy(self, sims, t: float, result) -> None:
+        """Post-heal full refresh: every proxy rebuilds its digest and
+        ships it to every (now reachable) peer, reconciling the views
+        that diverged behind the partition.  Bytes are charged to
+        ``antientropy_bytes`` — kept apart from the periodic
+        ``digest_bytes_exchanged`` so the repair traffic is visible —
+        and the periodic exchange clock restarts from *t*.
+        """
+        if self.fed.n_proxies <= 1 or self.oracle:
+            return
+        n = self.fed.n_proxies
+        fanout = n - 1
+        views = self.views
+        for pid, sim in enumerate(sims):
+            digest = build_proxy_digest(sim, self.capacity, self.fed.digest_bits_per_doc)
+            self.digests[pid] = digest
+            if views is not None:
+                for viewer in range(n):
+                    if viewer != pid:
+                        views[viewer][pid] = digest
+            result.antientropy_bytes += digest.size_bytes * fanout
             result.interproxy_bandwidth_time += (
                 self.fed.transfer_time(digest.size_bytes) * fanout
             )
         self._last_exchange = t
         self.exchanges += 1
+        self.antientropy_refreshes += 1
 
-    def claims(self, sims, pid: int, doc: int) -> bool:
-        """Does proxy *pid*'s digest (as held by its peers) claim *doc*?
+    def claims(self, sims, pid: int, doc: int, viewer: int | None = None) -> bool:
+        """Does proxy *pid*'s digest, as held by *viewer*, claim *doc*?
 
         Oracle mode consults live state instead of a materialised
         filter; digests carry no version either way, so a claim can
         still miss-serve a stale version (accounted as a false hit).
+        Without link faults every peer holds the same copy, so *viewer*
+        is irrelevant; in partitioned mode it selects the (possibly
+        stale) view the asking proxy actually has.
         """
         if self.oracle:
             sim = sims[pid]
             if sim.proxy is not None and doc in sim.proxy:
                 return True
             return sim.index is not None and sim.index.claims_doc(doc)
-        digest = self.digests[pid]
+        if self.views is not None and viewer is not None:
+            digest = self.views[viewer][pid]
+        else:
+            digest = self.digests[pid]
         return digest is not None and doc in digest

@@ -41,12 +41,14 @@ while staying independent of worker count and completion order.
 
 from __future__ import annotations
 
+from repro.core.chaos import InvariantMonitor
 from repro.core.config import SimulationConfig
 from repro.core.events import HitLocation
 from repro.core.metrics import SimulationResult
 from repro.core.policies import Organization
 from repro.core.simulator import Simulator, _dense_client_count, bloom_expected_docs
 from repro.federation.digest import DigestDirectory
+from repro.federation.linkfaults import PartitionSchedule
 from repro.hierarchy.config import assign_proxy
 from repro.index.staleness import StalenessStats
 from repro.traces.record import Trace
@@ -64,6 +66,11 @@ class FederatedSimulator:
         organization: Organization,
         config: SimulationConfig,
     ) -> None:
+        if config.chaos is not None:
+            # Resolve a composed chaos plan once, here, so every knob
+            # below (faults, churn, link faults, seed) sees the
+            # installed models; compose() is idempotent.
+            config = config.chaos.compose(config)
         fed = config.federation
         if fed is None:
             raise ValueError("FederatedSimulator requires config.federation")
@@ -79,8 +86,10 @@ class FederatedSimulator:
         self.n_clients = n_clients
 
         # Each per-proxy engine runs the plain single-proxy config; the
-        # federation layer owns all cross-proxy behavior.
-        base = config.with_(federation=None)
+        # federation layer owns all cross-proxy behavior (and the
+        # resolved chaos residue — the invariant monitor — lives here,
+        # not on the per-proxy engines, whose loops never run).
+        base = config.with_(federation=None, chaos=None)
         self.base = base
         stochastic = (
             base.holder_availability < 1.0
@@ -118,7 +127,26 @@ class FederatedSimulator:
             sim._fault_schedule is not None or sim._checkpointer is not None
             for sim in self.sims
         ]
-        self.directory = DigestDirectory(fed, self._digest_capacity())
+        # One global fabric schedule, seeded from the shared master so
+        # partitions hit every proxy pair at the same virtual instant
+        # regardless of worker count or per-proxy sub-streams.
+        lf = fed.link_faults
+        self.link_schedule: PartitionSchedule | None = (
+            PartitionSchedule(lf, fed.n_proxies, seed=config.availability_seed)
+            if lf is not None and fed.n_proxies > 1
+            else None
+        )
+        self.directory = DigestDirectory(
+            fed,
+            self._digest_capacity(),
+            partitioned=self.link_schedule is not None,
+        )
+        chaos = config.chaos
+        self.monitor: InvariantMonitor | None = (
+            InvariantMonitor(config, chaos.check_invariants_every)
+            if chaos is not None and chaos.monitored
+            else None
+        )
 
     def _digest_capacity(self) -> int:
         """Expected distinct documents one proxy's digest must cover.
@@ -155,17 +183,29 @@ class FederatedSimulator:
         owner = self.owner
         needs_recovery = self._needs_recovery
         directory = self.directory
+        schedule = self.link_schedule
+        monitor = self.monitor
         lan = config.lan
         wan = config.wan
         federated = fed.n_proxies > 1
 
         for t, c, d, s, v in self.trace.iter_rows():
+            if schedule is not None:
+                entered, healed = schedule.poll(t)
+                if entered:
+                    result.partition_windows += entered
+                if healed:
+                    # The fabric healed since the last request: the
+                    # separated sides reconcile their digest views.
+                    directory.antientropy(sims, t, result)
+            if monitor is not None:
+                monitor.tick(result)
             pid = owner[c]
             sim = sims[pid]
             if needs_recovery[pid]:
                 sim._advance_recovery(t)
             if federated:
-                directory.maybe_exchange(sims, t, result)
+                directory.maybe_exchange(sims, t, result, schedule)
 
             # 1. local browser cache
             if features.has_browsers:
@@ -230,20 +270,31 @@ class FederatedSimulator:
         bloom collision, churned-away holders) is a digest false hit:
         the home proxy paid an inter-proxy round trip for nothing —
         charged to ``wasted_false_hit_time`` exactly like an index
-        false hit, never silently rescued.  After all claimants fail,
-        peers whose digest did *not* claim *d* are checked
-        (side-effect free) for the opposite staleness: a peer that
-        could have served counts one ``digest_missed_hits``.
+        false hit, never silently rescued.  A claimed peer on the other
+        side of an open partition fails *fast*: the home proxy burns
+        one connection setup (charged to ``wasted_round_trip_time`` and
+        attributed to ``wasted_partition_time``) and the peer is never
+        consulted — its caches, clocks, and RNG streams stay untouched.
+        After all claimants fail, reachable peers whose digest did
+        *not* claim *d* are checked (side-effect free) for the opposite
+        staleness: a peer that could have served counts one
+        ``digest_missed_hits``.
         """
         fed = self.fed
         sims = self.sims
         directory = self.directory
+        schedule = self.link_schedule
         result = self.result
         overhead = result.overhead
         n = fed.n_proxies
         for offset in range(1, n):
             q = (pid + offset) % n
-            if not directory.claims(sims, q, d):
+            if not directory.claims(sims, q, d, viewer=pid):
+                continue
+            if schedule is not None and not schedule.connected(pid, q):
+                setup = fed.interproxy_setup
+                overhead.wasted_round_trip_time += setup
+                result.wasted_partition_time += setup
                 continue
             qsim = sims[q]
             # The peer's crash/checkpoint clock advances when it is
@@ -263,7 +314,11 @@ class FederatedSimulator:
             result.interproxy_bandwidth_time += setup
         for offset in range(1, n):
             q = (pid + offset) % n
-            if directory.claims(sims, q, d):
+            if schedule is not None and not schedule.connected(pid, q):
+                # An unreachable peer is partition loss, not digest
+                # staleness — never a missed hit.
+                continue
+            if directory.claims(sims, q, d, viewer=pid):
                 continue
             if self._could_serve(sims[q], c, d, v):
                 result.digest_missed_hits += 1
@@ -387,6 +442,8 @@ class FederatedSimulator:
             result.overhead.index_update_messages = messages
         if has_checkpointer:
             result.checkpoint_bytes_written = checkpoint_bytes
+        if self.monitor is not None:
+            self.monitor.check_final(result)
         return result
 
 

@@ -1,0 +1,169 @@
+"""Inter-proxy link partitions: when the federation fabric splits.
+
+The PR 6 federation assumes a perfect inter-proxy network: digest
+exchanges never fail and every peer is always reachable.  Cooperative-
+cache surveys identify inter-cache link failure and the stale-directory
+divergence it causes as the dominant failure mode of Summary-Cache-
+style digest schemes — a partitioned proxy keeps *advertising* (through
+its last delivered digest) documents its peers can no longer fetch,
+and keeps *missing* everything cached on the other side.
+
+:class:`LinkFaultModel` describes when partitions happen;
+:class:`PartitionSchedule` materialises them for one replay.  Like
+:class:`~repro.core.proxy_faults.ProxyFaultSchedule` the schedule is
+virtual-time driven, deterministic (rate-based schedules draw gaps and
+lengths from ``derive_seed(master, "link-faults")``; explicit window
+lists construct no RNG at all), and lazy — windows past the end of the
+trace are never drawn.
+
+A partition splits the proxies into two contiguous halves — pids
+``[0, n // 2)`` against ``[n // 2, n)`` — the deterministic worst case
+for an interleaved client assignment, where every proxy loses roughly
+half its peers.  Windows are half-open ``[start, end)`` on the trace
+clock, matching :class:`~repro.core.churn.MassChurnSchedule`.
+
+What a partition *does* — dropped digest copies, asymmetric staleness,
+fail-fast probes charged to ``wasted_partition_time``, post-heal
+anti-entropy — is the engine's job (see :mod:`repro.federation.engine`
+and :mod:`repro.federation.digest`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+from repro.util.validation import (
+    check_partition_schedule,
+    check_partition_windows,
+    check_positive,
+)
+
+__all__ = ["LinkFaultModel", "PartitionSchedule"]
+
+
+@dataclass(frozen=True)
+class LinkFaultModel:
+    """When the inter-proxy fabric partitions.
+
+    Either ``partition_windows`` lists explicit ``(start, end)`` windows
+    (virtual seconds into the trace; the reproducible choice for
+    experiments and tests) or ``partition_rate`` draws exponential gaps
+    between windows with mean ``1 / partition_rate`` and exponential
+    window lengths with mean ``mean_partition_seconds``.  The two
+    sources are mutually exclusive.
+    """
+
+    partition_rate: float = 0.0
+    partition_windows: tuple[tuple[float, float], ...] | None = None
+    mean_partition_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.partition_windows is not None:
+            object.__setattr__(
+                self,
+                "partition_windows",
+                tuple(
+                    sorted(
+                        (float(a), float(b)) for a, b in self.partition_windows
+                    )
+                ),
+            )
+        check_partition_schedule(self.partition_rate, self.partition_windows)
+        check_partition_windows(self.partition_windows)
+        check_positive("mean_partition_seconds", self.mean_partition_seconds)
+
+    @property
+    def is_explicit(self) -> bool:
+        """True when the schedule is a literal window list (no RNG)."""
+        return self.partition_windows is not None
+
+
+class PartitionSchedule:
+    """Partition windows of one replay, consumed in virtual-time order.
+
+    The engine calls :meth:`poll` at the top of each request;
+    it advances the window state machine to *now* and returns
+    ``(entered, healed)`` — how many windows opened and closed since
+    the last poll, so the engine can count ``partition_windows`` and
+    trigger post-heal anti-entropy.  While a window is open,
+    :meth:`connected` answers whether two proxies can still reach each
+    other (same side of the split).
+    """
+
+    def __init__(self, model: LinkFaultModel, n_proxies: int, seed: int = 0) -> None:
+        check_positive("n_proxies", n_proxies)
+        self.model = model
+        self.n_proxies = n_proxies
+        #: side A is pids < boundary, side B the rest.
+        self._boundary = max(1, n_proxies // 2)
+        self._active: tuple[float, float] | None = None
+        if model.is_explicit:
+            self._windows = model.partition_windows
+            self._pos = 0
+            self._rng = None
+            self._next: tuple[float, float] | None = (
+                self._windows[0] if self._windows else None
+            )
+        else:
+            self._windows = None
+            self._pos = 0
+            self._rng = random.Random(derive_seed(seed, "link-faults"))
+            self._next = self._draw_after(0.0)
+
+    def _draw_after(self, last_end: float) -> tuple[float, float]:
+        """The window following the one that healed at *last_end*."""
+        model = self.model
+        assert self._rng is not None
+        start = last_end + self._rng.expovariate(model.partition_rate)
+        length = self._rng.expovariate(1.0 / model.mean_partition_seconds)
+        return start, start + length
+
+    def _advance_next(self, last_end: float) -> None:
+        if self._windows is not None:
+            self._pos += 1
+            self._next = (
+                self._windows[self._pos]
+                if self._pos < len(self._windows)
+                else None
+            )
+        else:
+            self._next = self._draw_after(last_end)
+
+    @property
+    def active(self) -> bool:
+        """Is a partition window currently open?"""
+        return self._active is not None
+
+    def poll(self, now: float) -> tuple[int, int]:
+        """Advance to virtual time *now*; returns ``(entered, healed)``.
+
+        Processes every window boundary crossed since the last poll in
+        order, so a long request gap that spans several whole windows
+        still counts each one (and each heal) exactly once.
+        """
+        entered = 0
+        healed = 0
+        while True:
+            if self._active is not None:
+                start, end = self._active
+                if now >= end:
+                    self._active = None
+                    healed += 1
+                    self._advance_next(end)
+                    continue
+                break
+            nxt = self._next
+            if nxt is None or now < nxt[0]:
+                break
+            self._active = nxt
+            entered += 1
+        return entered, healed
+
+    def connected(self, p: int, q: int) -> bool:
+        """Can proxies *p* and *q* reach each other right now?"""
+        if self._active is None or p == q:
+            return True
+        boundary = self._boundary
+        return (p < boundary) == (q < boundary)

@@ -18,6 +18,8 @@ __all__ = [
     "check_reannounce_rate",
     "check_polluter_fraction",
     "check_quarantine",
+    "check_partition_windows",
+    "check_partition_schedule",
 ]
 
 
@@ -116,6 +118,75 @@ def check_polluter_fraction(value: float) -> float:
             f"got {value!r}"
         )
     return value
+
+
+def check_partition_windows(
+    windows: tuple[tuple[float, float], ...] | None,
+    span: float | None = None,
+) -> None:
+    """Explicit inter-proxy partition windows must be well-formed:
+    each ``(start, end)`` with ``0 <= start < end``, sorted, and
+    non-overlapping; with *span* given, every window must begin inside
+    the trace (a window entirely past the last request can never fire).
+    """
+    if windows is None:
+        return
+    if not windows:
+        raise ValueError(
+            "explicit partition windows (--partition-at + "
+            "--partition-length) must name at least one window"
+        )
+    prev_end = None
+    for start, end in windows:
+        if start < 0:
+            raise ValueError(
+                f"partition window starts (--partition-at) must be >= 0, "
+                f"got {start!r}"
+            )
+        if not end > start:
+            raise ValueError(
+                f"partition window length (--partition-length) must be > 0 "
+                f"seconds of virtual time, got window ({start!r}, {end!r})"
+            )
+        if prev_end is not None and start < prev_end:
+            raise ValueError(
+                f"partition windows (--partition-at) must be ordered and "
+                f"non-overlapping; window starting at {start!r} begins "
+                f"before the previous window ends at {prev_end!r}"
+            )
+        prev_end = end
+    if span is not None and span > 0 and windows[0][0] >= span:
+        # Windows are sorted, so the first starting past the span means
+        # they all do and no partition can ever fire.
+        raise ValueError(
+            f"every partition window (--partition-at) starts at or after "
+            f"the trace span ({span!r}s); no partition can fire"
+        )
+
+
+def check_partition_schedule(
+    rate: float,
+    windows: tuple[tuple[float, float], ...] | None,
+) -> None:
+    """A link fault model takes explicit windows *or* draws them from a
+    rate — silently combining the two would make the schedule ambiguous."""
+    if rate < 0:
+        raise ValueError(
+            f"partition rate must be >= 0 partitions per virtual second, "
+            f"got {rate!r}"
+        )
+    if windows is not None and rate > 0:
+        raise ValueError(
+            "give either explicit partition windows (--partition-at + "
+            "--partition-length) or a partition rate (gaps drawn from the "
+            "seeded stream, --chaos-seed), not both"
+        )
+    if windows is None and rate == 0:
+        raise ValueError(
+            "a link fault model needs a partition source: explicit windows "
+            "(--partition-at + --partition-length) or a partition rate "
+            "(seeded via --chaos-seed)"
+        )
 
 
 def check_quarantine(threshold: int, decay: float | None) -> None:

@@ -48,6 +48,7 @@ def test_all_experiments_registry_complete():
         "churn",
         "recovery",
         "federation",
+        "chaos",
         "stress",
     }
     assert set(ALL_EXPERIMENTS) == expected

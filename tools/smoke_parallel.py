@@ -42,6 +42,16 @@ deliveries attributed, peers quarantined) and re-runs the same grid
 with the defense disarmed: quarantine must strictly reduce the summed
 ``wasted_round_trip_time`` versus the no-defense run.
 
+With ``--chaos`` every cell runs a composed outage through one seeded
+:class:`~repro.core.ChaosPlan`: a proxy cold restart *inside* an
+inter-proxy partition window while clients churn, on a two-proxy
+federation, with the runtime invariant monitor armed at a 5000-request
+cadence.  The smoke asserts the partition actually fired (windows
+entered, digest exchanges lost, crashes composed in), re-runs the grid
+at ``workers=1`` (so serial, one worker, and the pool are all
+bit-identical), and corrupts a copied result to prove the monitor
+catches it.
+
 With ``--stream`` every base-grid cell is additionally replayed
 through the flat-state streaming engine
 (:func:`repro.core.simulate_stream`) and must be bit-identical to the
@@ -51,7 +61,7 @@ federation grids (outside the streaming subset).
 
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
         [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
-        [--proxy-crash] [--federation] [--adversarial] [--stream]
+        [--proxy-crash] [--federation] [--adversarial] [--chaos] [--stream]
 """
 
 from __future__ import annotations
@@ -65,17 +75,22 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import (  # noqa: E402
     AdversarialConfig,
+    ChaosPlan,
     CheckpointPolicy,
     ChurnModel,
     EngineOptions,
     FaultPlan,
     FederationConfig,
+    InvariantMonitor,
+    InvariantViolation,
     MassChurnSchedule,
     Organization,
     ProxyFaultModel,
+    SimulationConfig,
     resolve_workers,
     run_policy_sweep,
 )
+from repro.federation import LinkFaultModel  # noqa: E402
 from repro.core.sweep import PAPER_SIZE_FRACTIONS  # noqa: E402
 from repro.traces.profiles import get_profile  # noqa: E402
 
@@ -113,6 +128,12 @@ def main(argv: list[str] | None = None) -> int:
                              "flappers with two-strike quarantine armed; the "
                              "smoke asserts the defense fired and strictly "
                              "reduced wasted round-trip time vs. no defense")
+    parser.add_argument("--chaos", action="store_true",
+                        help="compose a proxy crash inside an inter-proxy "
+                             "partition with client churn through one chaos "
+                             "plan (invariant monitor armed); the smoke "
+                             "asserts the partition fired and that a "
+                             "corrupted result trips the monitor")
     parser.add_argument("--stream", action="store_true",
                         help="also replay every cell through the flat-state "
                              "streaming engine; results must be bit-identical "
@@ -124,8 +145,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.stream and (args.churn or args.proxy_crash or args.federation
-                        or args.adversarial):
+                        or args.adversarial or args.chaos):
         parser.error("--stream covers only the base grid; drop --churn/"
+                     "--proxy-crash/--federation/--adversarial/--chaos")
+    if args.chaos and (args.churn or args.proxy_crash or args.federation
+                       or args.adversarial):
+        parser.error("--chaos composes its own fault models; drop --churn/"
                      "--proxy-crash/--federation/--adversarial")
 
     workers = resolve_workers(args.workers)
@@ -174,6 +199,23 @@ def main(argv: list[str] | None = None) -> int:
               f"t={0.30 * duration:.0f}-{0.70 * duration:.0f}s, "
               f"quarantine after 2 strikes, "
               f"max_holder_retries={grid['max_holder_retries']}")
+    if args.chaos:
+        duration = float(trace.timestamps.max())
+        grid["federation"] = FederationConfig(
+            n_proxies=2, digest_period=duration / 12
+        )
+        grid["chaos"] = ChaosPlan(
+            proxy_faults=ProxyFaultModel(crash_times=(0.50 * duration,)),
+            churn=ChurnModel(),
+            link_faults=LinkFaultModel(
+                partition_windows=((0.40 * duration, 0.60 * duration),)
+            ),
+            check_invariants_every=5_000,
+        )
+        print(f"chaos: proxy crash at t={0.50 * duration:.0f}s inside a "
+              f"partition t={0.40 * duration:.0f}-{0.60 * duration:.0f}s, "
+              f"default churn, 2-proxy federation (digest every "
+              f"{duration / 12:.0f}s), invariants checked every 5000 requests")
     n_cells = len(grid["organizations"]) * len(grid["fractions"])
     print(f"smoke sweep: {trace.name}, {len(trace):,} requests, {n_cells} cells")
 
@@ -319,6 +361,67 @@ def main(argv: list[str] | None = None) -> int:
                   "round-trip time vs. the no-defense run")
             return 1
 
+    if args.chaos:
+        import copy
+
+        windows = sum(r.partition_windows for r in parallel.results.values())
+        lost = sum(r.digest_exchanges_lost for r in parallel.results.values())
+        wasted = sum(
+            r.wasted_partition_time for r in parallel.results.values()
+        )
+        crashes = sum(r.proxy_crashes for r in parallel.results.values())
+        print()
+        print(f"chaos: {windows} partition windows entered, {lost} digest "
+              f"exchanges lost, {wasted:.2f}s wasted on dead links, "
+              f"{crashes} proxy crashes composed in; invariant monitor "
+              f"clean on every cell")
+        if windows <= 0:
+            print("FAIL: --chaos entered no partition windows")
+            return 1
+        if lost <= 0:
+            print("FAIL: --chaos lost no digest exchanges to the partition")
+            return 1
+        if crashes <= 0:
+            print("FAIL: --chaos composed no proxy crashes")
+            return 1
+        # one worker must agree with serial and the pool bit-identically.
+        single = run_policy_sweep(trace, workers=1, **grid)
+        if single.failures:
+            print("FAIL: workers=1 chaos run had cell failures")
+            return 1
+        lone = [
+            key
+            for key in serial.results
+            if dataclasses.asdict(serial.results[key])
+            != dataclasses.asdict(single.results[key])
+        ]
+        if lone:
+            print(f"FAIL: {len(lone)} cells diverged between serial and "
+                  "workers=1 under chaos")
+            return 1
+        print(f"workers=1 rerun: all {len(single.results)} chaos cells "
+              "bit-identical to serial")
+        # negative test: the monitor must reject a corrupted result.
+        probe = grid["chaos"].compose(
+            SimulationConfig.relative(
+                trace, proxy_frac=0.10,
+                browser_sizing=grid["browser_sizing"],
+                federation=grid["federation"], chaos=grid["chaos"],
+            )
+        )
+        monitor = InvariantMonitor(probe, check_every=1)
+        intact = next(iter(parallel.results.values()))
+        monitor.check_final(intact)
+        corrupted = copy.deepcopy(intact)
+        corrupted.overhead.wasted_offline_time += 1e6
+        try:
+            monitor.check_final(corrupted)
+        except InvariantViolation as exc:
+            print(f"monitor negative test: caught {exc}")
+        else:
+            print("FAIL: the invariant monitor accepted a corrupted ledger")
+            return 1
+
     if args.journal:
         print(f"journal written to {args.journal}")
         # resume from the journal we just wrote: every cell must restore
@@ -352,7 +455,7 @@ def main(argv: list[str] | None = None) -> int:
               "the journal bit-identically")
 
     if args.stream:
-        from repro.core import SimulationConfig, simulate_stream
+        from repro.core import simulate_stream
         from repro.util.memory import peak_rss_bytes
 
         stream_diverged = []
