@@ -1,0 +1,181 @@
+"""One-pass MRC benchmark: single analysis pass vs per-size re-replay.
+
+Sweeps a dense relative-size grid for one organization two ways — the
+per-cell replay engine (one full trace traversal *per size*) and the
+one-pass stack-distance analysis (:mod:`repro.analysis.mrc`, one
+traversal for the whole grid) — and reports the wall-clock speedup.
+Because both paths run on the same machine in the same process, the
+*speedup ratio* is machine-neutral: CI compares it against the
+committed baseline (``BENCH_mrc.json``) instead of absolute
+throughput, so a slower runner does not fail the gate.
+
+``--check`` enforces two gates:
+
+* the measured speedup stays within ``--tolerance`` of the committed
+  baseline's (regression gate), and
+* the measured speedup clears the acceptance floor of 5x (the issue's
+  hard requirement — one pass must beat N replays outright).
+
+Usage::
+
+    python benchmarks/bench_mrc.py                  # print table
+    python benchmarks/bench_mrc.py --json out.json  # also write JSON
+    python benchmarks/bench_mrc.py --check BENCH_mrc.json
+
+The golden suite (``tests/test_golden_figures.py``) separately pins
+what the one-pass analysis *computes*; this harness only measures
+time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.policies import Organization  # noqa: E402
+from repro.core.sweep import run_size_sweep  # noqa: E402
+from repro.traces.profiles import small_paper_trace  # noqa: E402
+
+#: the organization swept (pure LRU, so the two paths also agree
+#: bit-exactly — asserted below before timing anything).
+ORGANIZATION = Organization.PROXY_ONLY
+
+#: a dense size grid (32 sizes, 1.6%..50% of the infinite cache): the
+#: replay cost scales linearly with the number of sizes, the one-pass
+#: cost does not — this is the workload the MRC path exists for
+#: (fig2/fig3-style curves at every-size resolution instead of the
+#: paper's four points).
+FRACTIONS = tuple((i + 1) / 64 for i in range(32))
+
+#: the issue's acceptance floor for --check.
+SPEEDUP_FLOOR = 5.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time of *repeats* runs — the least-noise estimator
+    for a deterministic workload."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benchmark(n_requests: int, repeats: int) -> dict:
+    trace = small_paper_trace("NLANR-uc", n_requests=n_requests)
+
+    def replay_sweep():
+        return run_size_sweep(trace, ORGANIZATION, fractions=FRACTIONS)
+
+    def mrc_sweep():
+        return run_size_sweep(trace, ORGANIZATION, fractions=FRACTIONS, mrc=True)
+
+    # correctness first: PROXY_ONLY is a pure-LRU organization, so the
+    # two paths must agree bit-exactly before their times mean anything.
+    replayed, derived = replay_sweep(), mrc_sweep()
+    for frac in FRACTIONS:
+        want = replayed.get(ORGANIZATION, frac)
+        got = derived.get(ORGANIZATION, frac)
+        assert abs(got.hit_ratio - want.hit_ratio) < 1e-12, frac
+        assert abs(got.byte_hit_ratio - want.byte_hit_ratio) < 1e-12, frac
+
+    t_replay = _best_of(replay_sweep, repeats)
+    t_mrc = _best_of(mrc_sweep, repeats)
+    n_sizes = len(FRACTIONS)
+    return {
+        "trace": trace.name,
+        "n_requests": n_requests,
+        "organization": ORGANIZATION.value,
+        "n_sizes": n_sizes,
+        "repeats": repeats,
+        "replay_seconds": t_replay,
+        "mrc_seconds": t_mrc,
+        "replay_cells_per_second": n_sizes / t_replay,
+        "mrc_cells_per_second": n_sizes / t_mrc,
+        "replays_avoided": n_sizes - 1,
+        "speedup": t_replay / t_mrc,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+
+
+def render(report: dict) -> str:
+    return "\n".join(
+        [
+            f"one-pass MRC benchmark — {report['trace']}, "
+            f"{report['n_requests']:,} requests, {report['n_sizes']} sizes, "
+            f"best of {report['repeats']}",
+            f"{'per-size re-replay':<24} {report['replay_seconds']:>8.3f}s "
+            f"({report['replay_cells_per_second']:.1f} cells/s)",
+            f"{'one-pass analysis':<24} {report['mrc_seconds']:>8.3f}s "
+            f"({report['mrc_cells_per_second']:.1f} cells/s, "
+            f"{report['replays_avoided']} replays avoided)",
+            f"{'speedup':<24} {report['speedup']:>8.2f}x "
+            f"(acceptance floor {report['speedup_floor']:.1f}x)",
+        ]
+    )
+
+
+def check(report: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    base_speedup = baseline["speedup"]
+    now_speedup = report["speedup"]
+    floor = max(base_speedup * (1.0 - tolerance), SPEEDUP_FLOOR)
+    print(
+        f"baseline speedup {base_speedup:.2f}x, measured {now_speedup:.2f}x, "
+        f"floor {floor:.2f}x (tolerance {tolerance:.0%}, "
+        f"hard acceptance floor {SPEEDUP_FLOOR:.1f}x)"
+    )
+    if now_speedup < floor:
+        print(
+            "PERF REGRESSION: the one-pass MRC analysis no longer clears "
+            "its speedup floor over the per-size re-replay sweep",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: one-pass MRC speedup within tolerance of the committed baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=6000,
+        help="trace length (small paper profile, default 6000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N repeats (default 5)"
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup regression for --check (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.requests, args.repeats)
+    print(render(report))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        return check(report, Path(args.check), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

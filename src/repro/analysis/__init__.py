@@ -21,6 +21,15 @@ from repro.analysis.locality import (
 from repro.analysis.sizes import SizeStats, size_stats
 from repro.analysis.clients import client_activity, gini_coefficient
 from repro.analysis.report import TraceAnalysis, analyze_trace
+from repro.analysis.mrc import (
+    ByteMRC,
+    CapacityGrid,
+    MRCPoint,
+    TraceMRC,
+    MRC_EXACT_ORGANIZATIONS,
+    capacity_grid,
+    compute_mrc,
+)
 
 __all__ = [
     "PopularityFit",
@@ -36,4 +45,11 @@ __all__ = [
     "gini_coefficient",
     "TraceAnalysis",
     "analyze_trace",
+    "ByteMRC",
+    "CapacityGrid",
+    "MRCPoint",
+    "TraceMRC",
+    "MRC_EXACT_ORGANIZATIONS",
+    "capacity_grid",
+    "compute_mrc",
 ]

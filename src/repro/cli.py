@@ -206,6 +206,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "third of the trace)"
         ),
     )
+    run_p.add_argument(
+        "--mrc",
+        action="store_true",
+        help=(
+            "derive sweep grids from a one-pass miss-ratio-curve "
+            "analysis instead of one replay per cell (fig2/fig3; exact "
+            "for pure-LRU organizations, documented approximation "
+            "elsewhere; incompatible with the fault-tolerance flags)"
+        ),
+    )
+    run_p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "run the --mrc pass on a deterministic spatial sample "
+            "keeping fraction R of documents (0 < R <= 1), with reuse "
+            "distances rescaled by 1/R"
+        ),
+    )
+    run_p.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed for the --sample-rate document hash (default 0)",
+    )
 
     sub.add_parser("traces", help="print trace characteristics (Table 1)")
 
@@ -695,6 +723,16 @@ def main(argv: list[str] | None = None) -> int:
     workers = None if args.workers < 0 else args.workers
     if args.profile:
         args.timing = True
+    if args.sample_rate is not None and not args.mrc:
+        print("--sample-rate requires --mrc (it samples the one-pass "
+              "analysis, not the replay engine)", file=sys.stderr)
+        return 2
+    if args.mrc and any((args.retries, args.cell_timeout, args.journal,
+                         args.resume, args.profile)):
+        print("--mrc computes the whole grid in one in-process pass; the "
+              "per-cell fault-tolerance flags (--retries, --cell-timeout, "
+              "--journal, --resume, --profile) do not apply", file=sys.stderr)
+        return 2
     options = None
     if any((args.retries, args.cell_timeout, args.journal, args.resume,
             args.profile)):
@@ -728,6 +766,9 @@ def main(argv: list[str] | None = None) -> int:
             flash_crowd=args.flash_crowd or None,
             partition_lengths=_csv(args.partition_length, float),
             chaos_seed=args.chaos_seed,
+            mrc=args.mrc or None,
+            sample_rate=args.sample_rate,
+            sample_seed=args.sample_seed,
         )
         elapsed = time.perf_counter() - t0
         print(f"== {name} ({elapsed:.1f}s) " + "=" * max(0, 60 - len(name)))

@@ -64,6 +64,21 @@ class SweepTiming:
     #: allocated outside the traced allocator and the interpreter
     #: baseline, so it is a floor rather than a total.
     peak_traced_bytes: int | None = None
+    #: sweep cells whose numbers came from the one-pass MRC analysis
+    #: (:mod:`repro.analysis.mrc`) instead of a full replay; the MRC
+    #: path derives all of them from a single trace traversal.
+    mrc_points: int = 0
+
+    @property
+    def full_replays(self) -> int:
+        """Cells that actually re-replayed the trace."""
+        return max(0, self.n_cells - self.mrc_points)
+
+    @property
+    def replays_avoided(self) -> int:
+        """Replays the one-pass MRC analysis saved: N predicted cells
+        cost one traversal, so N-1 replays never happened."""
+        return max(0, self.mrc_points - 1)
 
     @property
     def fell_back_to_serial(self) -> bool:
@@ -121,6 +136,10 @@ class SweepTiming:
         ]
         from repro.util.units import format_bytes
 
+        if self.mrc_points:
+            rows.append(["mrc-derived points", self.mrc_points])
+            rows.append(["full replays", self.full_replays])
+            rows.append(["replays avoided", self.replays_avoided])
         if self.peak_rss_bytes > 0:
             rows.append(["peak RSS", format_bytes(self.peak_rss_bytes)])
         if self.peak_traced_bytes is not None:

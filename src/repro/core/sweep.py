@@ -105,6 +105,9 @@ def run_policy_sweep(
     workers: int | None = 0,
     progress: Callable[[CellEvent], None] | None = None,
     options: EngineOptions | None = None,
+    mrc: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
     **config_overrides,
 ) -> SweepResult:
     """Run every organization at every relative cache size.
@@ -116,9 +119,38 @@ def run_policy_sweep(
     either way.  A crashing cell is recorded in ``failures`` instead of
     aborting the sweep; ``options`` adds the engine's fault-tolerance
     layer (retries, per-cell timeout, attempt journal, resume).
+
+    ``mrc=True`` takes the one-pass fast path
+    (:mod:`repro.analysis.mrc`): a single trace traversal predicts
+    every cell, exactly for the pure-LRU organizations and with a
+    documented approximation elsewhere.  ``sample_rate`` < 1 further
+    runs that pass on a deterministic spatial sample
+    (:mod:`repro.traces.sampling`) seeded by ``sample_seed``.  The MRC
+    path runs in-process (there is nothing to fan out — ``workers`` is
+    recorded as requested but unused) and is incompatible with
+    ``options``/``progress``, which configure the per-cell replay
+    engine.
     """
     organizations = tuple(organizations)
     fractions = tuple(fractions)
+    if mrc:
+        return _run_mrc_sweep(
+            trace,
+            organizations,
+            fractions,
+            browser_sizing,
+            workers,
+            progress,
+            options,
+            sample_rate,
+            sample_seed,
+            config_overrides,
+        )
+    if sample_rate != 1.0:
+        raise ValueError(
+            "sample_rate applies to the one-pass analysis; pass mrc=True "
+            "(the per-cell replay engine always consumes the full trace)"
+        )
 
     def config_for(frac: float) -> SimulationConfig:
         return SimulationConfig.relative(
@@ -145,6 +177,65 @@ def run_policy_sweep(
     return sweep
 
 
+def _run_mrc_sweep(
+    trace: Trace,
+    organizations: tuple[Organization, ...],
+    fractions: tuple[float, ...],
+    browser_sizing: str,
+    workers: int | None,
+    progress: Callable[[CellEvent], None] | None,
+    options: EngineOptions | None,
+    sample_rate: float,
+    sample_seed: int,
+    config_overrides: dict,
+) -> SweepResult:
+    """One trace traversal predicts the whole organizations × fractions
+    grid; every cell is an MRC-derived point, not a replay."""
+    # Imported lazily: repro.analysis.mrc imports repro.core modules.
+    from repro.analysis.mrc import capacity_grid, compute_mrc
+
+    if options is not None:
+        raise ValueError(
+            "mrc=True computes the whole grid in one in-process pass; "
+            "EngineOptions (retries/timeout/journal/resume) configure the "
+            "per-cell replay engine and do not apply — pass options=None "
+            "or drop mrc"
+        )
+    if progress is not None:
+        raise ValueError(
+            "mrc=True emits no per-cell progress events (there are no "
+            "cells to replay); pass progress=None or drop mrc"
+        )
+    grid = capacity_grid(
+        trace, fractions, browser_sizing=browser_sizing, **config_overrides
+    )
+    analysis = compute_mrc(
+        trace,
+        grid,
+        organizations=organizations,
+        sample_rate=sample_rate,
+        sample_seed=sample_seed,
+    )
+    n_cells = len(organizations) * len(fractions)
+    sweep = SweepResult(
+        trace_name=trace.name,
+        fractions=fractions,
+        organizations=organizations,
+        timing=SweepTiming(
+            workers=0,
+            n_cells=n_cells,
+            wall_seconds=analysis.wall_seconds,
+            requested_workers=workers if workers != 0 else None,
+            mrc_points=n_cells,
+        ),
+    )
+    for org in organizations:
+        for frac in fractions:
+            sweep.results[(org, frac)] = analysis.to_simulation_result(org, frac)
+            sweep.attempts[(org, frac)] = 0
+    return sweep
+
+
 def run_size_sweep(
     trace: Trace,
     organization: Organization,
@@ -153,9 +244,17 @@ def run_size_sweep(
     workers: int | None = 0,
     progress: Callable[[CellEvent], None] | None = None,
     options: EngineOptions | None = None,
+    mrc: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
     **config_overrides,
 ) -> SweepResult:
-    """Sweep relative cache sizes for a single organization."""
+    """Sweep relative cache sizes for a single organization.
+
+    ``mrc=True`` derives every size from one pass — see
+    :func:`run_policy_sweep`; ``SweepTiming.mrc_points`` /
+    ``replays_avoided`` report the distinction.
+    """
     return run_policy_sweep(
         trace,
         organizations=(organization,),
@@ -164,5 +263,8 @@ def run_size_sweep(
         workers=workers,
         progress=progress,
         options=options,
+        mrc=mrc,
+        sample_rate=sample_rate,
+        sample_seed=sample_seed,
         **config_overrides,
     )

@@ -54,8 +54,16 @@ def run(
     fractions=PAPER_SIZE_FRACTIONS,
     workers: int | None = 0,
     options: EngineOptions | None = None,
+    mrc: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
 ) -> Fig2Result:
-    """Run all five organizations at every relative cache size."""
+    """Run all five organizations at every relative cache size.
+
+    ``mrc=True`` derives the whole grid from one trace pass
+    (:mod:`repro.analysis.mrc`); ``sample_rate`` < 1 runs that pass on
+    a deterministic spatial sample.
+    """
     trace = load_paper_trace(trace_name)
     sweep = run_policy_sweep(
         trace,
@@ -64,5 +72,8 @@ def run(
         browser_sizing="minimum",
         workers=workers,
         options=options,
+        mrc=mrc,
+        sample_rate=sample_rate,
+        sample_seed=sample_seed,
     )
     return Fig2Result(sweep=sweep)

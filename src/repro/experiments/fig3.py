@@ -59,6 +59,9 @@ def run(
     fractions=PAPER_SIZE_FRACTIONS,
     workers: int | None = 0,
     options=None,
+    mrc: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
 ) -> Fig3Result:
     trace = load_paper_trace(trace_name)
     sweep = run_size_sweep(
@@ -68,6 +71,9 @@ def run(
         browser_sizing="minimum",
         workers=workers,
         options=options,
+        mrc=mrc,
+        sample_rate=sample_rate,
+        sample_seed=sample_seed,
     )
     hit_b = {}
     byte_b = {}

@@ -29,6 +29,14 @@ from repro.traces.filters import select_clients, head, cacheable_only
 from repro.traces.squid import parse_squid_log, write_squid_log
 from repro.traces.bu import parse_bu_log, write_bu_log
 from repro.traces.canet import parse_canet_log, write_canet_log, concatenate
+from repro.traces.sampling import (
+    SAMPLE_ERROR_BOUNDS,
+    SpatialSampler,
+    SampleReport,
+    SampleSizeError,
+    sample_trace,
+    build_sample_report,
+)
 
 __all__ = [
     "Request",
@@ -55,4 +63,10 @@ __all__ = [
     "parse_canet_log",
     "write_canet_log",
     "concatenate",
+    "SAMPLE_ERROR_BOUNDS",
+    "SpatialSampler",
+    "SampleReport",
+    "SampleSizeError",
+    "sample_trace",
+    "build_sample_report",
 ]

@@ -1,0 +1,249 @@
+"""Deterministic hash-based spatial sampling (the SHARDS estimator).
+
+A *spatial* sample keeps or drops whole documents, not individual
+requests: every request for a kept document survives, so reuse
+behaviour inside the sample is undistorted and a reuse *distance*
+measured on the sample estimates the full-trace distance after
+rescaling by ``1 / rate``.  Document selection is a pure hash
+decision — ``keep(doc)`` iff ``hash(doc) mod M < rate * M`` — so it is
+
+* **deterministic** per ``(seed, rate)``: the same documents are kept
+  on every run, on every machine, in any iteration order;
+* **chunk-size invariant**: a :class:`~repro.traces.streaming.TraceStream`
+  can be filtered row-by-row in chunks of any size and always yields
+  the same sample (there is no per-request randomness to re-seed);
+* **nested**: lowering the rate keeps a subset of the higher-rate
+  sample (thresholds are ordered), the property SHARDS exploits.
+
+The hash is a splitmix64 finalizer — avalanche-quality mixing of the
+document id, salted with the seed — reduced modulo ``M = 2**24``.
+
+:func:`build_sample_report` quantifies the estimator: it runs the
+one-pass MRC analysis (:mod:`repro.analysis.mrc`) on the full stream
+and on the sample, and reports the per-(organization, size) hit-ratio
+error, the number every sampled sweep should quote next to its result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mrc uses us)
+    from repro.analysis.mrc import CapacityGrid
+    from repro.core.policies import Organization
+
+__all__ = [
+    "SpatialSampler",
+    "SampleSizeError",
+    "SampleReport",
+    "SAMPLE_ERROR_BOUNDS",
+    "sample_trace",
+    "build_sample_report",
+]
+
+#: Documented worst-case absolute hit-ratio / byte-hit-ratio error of a
+#: sampled MRC pass versus the full pass, by sample rate — measured
+#: with seed 0 across all five paper profiles (100k-request streams),
+#: all five organizations, at the paper's size grid, and rounded up
+#: (see EXPERIMENTS.md for the per-profile table).  The worst cell is
+#: always the smallest cache size (0.5% of the infinite-cache
+#: footprint), where the rescaled-distance quantum ``~size/rate`` is
+#: comparable to the whole cache — the known small-cache granularity
+#: limit of spatial sampling; at sizes >= 5% the error is under 0.03.
+#: The error falls with stream length (the estimator targets streams
+#: too long to replay), so these bounds are conservative for larger
+#: inputs.  CI asserts them via ``tools/smoke_parallel.py --mrc``.
+SAMPLE_ERROR_BOUNDS = {0.01: 0.25, 0.05: 0.15, 0.10: 0.10}
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer (scalar)."""
+    z = (x + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _mix64_array(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer, vectorised; bit-identical to :func:`_mix64`."""
+    z = x.astype(np.uint64) + np.uint64(_GOLDEN)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+class SpatialSampler:
+    """Keep a deterministic ``rate`` fraction of document ids.
+
+    ``keep(doc)`` iff ``hash(doc, seed) mod MOD < round(rate * MOD)``.
+    ``rate`` must be in ``(0, 1]``; ``rate == 1.0`` keeps everything.
+    The quantised :attr:`effective_rate` (``threshold / MOD``) is what
+    the thresholding actually applies; at ``MOD = 2**24`` it differs
+    from the nominal rate by less than ``6e-8``.
+    """
+
+    MOD_BITS = 24
+    MOD = 1 << MOD_BITS
+
+    __slots__ = ("rate", "seed", "threshold", "_salt")
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"sample rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.threshold = min(self.MOD, round(self.rate * self.MOD))
+        if self.threshold <= 0:
+            raise ValueError(
+                f"rate {rate} quantises to an empty sample at MOD=2**{self.MOD_BITS}"
+            )
+        self._salt = _mix64(self.seed)
+
+    @property
+    def effective_rate(self) -> float:
+        return self.threshold / self.MOD
+
+    def keep(self, doc: int) -> bool:
+        """Deterministic per-document keep decision."""
+        return (_mix64(doc ^ self._salt) & (self.MOD - 1)) < self.threshold
+
+    def mask(self, docs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`keep` over a document-id column."""
+        if self.threshold >= self.MOD:
+            return np.ones(len(docs), dtype=bool)
+        hashed = _mix64_array(docs.astype(np.uint64) ^ np.uint64(self._salt))
+        return (hashed & np.uint64(self.MOD - 1)) < np.uint64(self.threshold)
+
+
+def sample_trace(trace, rate: float, seed: int = 0, name: str | None = None):
+    """Materialise the spatial sample of a :class:`~repro.traces.record.Trace`.
+
+    Every request for a kept document survives; client ids and request
+    order are untouched (the sample of a trace is a sub-trace, not a
+    renumbered one, so per-client structure is preserved).
+    """
+    sampler = SpatialSampler(rate, seed=seed)
+    mask = sampler.mask(trace.docs)
+    return trace.take(mask, name=name or f"{trace.name}~s{rate:g}")
+
+
+# -- quantifying the estimator -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SampleSizeError:
+    """Sampled-vs-full comparison at one (organization, size) cell."""
+
+    organization: str
+    fraction: float
+    full_hit_ratio: float
+    sampled_hit_ratio: float
+    full_byte_hit_ratio: float
+    sampled_byte_hit_ratio: float
+
+    @property
+    def hit_error(self) -> float:
+        return self.sampled_hit_ratio - self.full_hit_ratio
+
+    @property
+    def byte_hit_error(self) -> float:
+        return self.sampled_byte_hit_ratio - self.full_byte_hit_ratio
+
+
+@dataclass(frozen=True)
+class SampleReport:
+    """Per-size error bounds of a sampled MRC pass vs the full trace."""
+
+    trace_name: str
+    sample_rate: float
+    sample_seed: int
+    n_requests_full: int
+    n_requests_sampled: int
+    rows: tuple[SampleSizeError, ...]
+
+    @property
+    def max_abs_hit_error(self) -> float:
+        return max((abs(r.hit_error) for r in self.rows), default=0.0)
+
+    @property
+    def max_abs_byte_hit_error(self) -> float:
+        return max((abs(r.byte_hit_error) for r in self.rows), default=0.0)
+
+    def worst(self) -> SampleSizeError | None:
+        """The cell with the largest absolute hit-ratio error."""
+        return max(self.rows, key=lambda r: abs(r.hit_error), default=None)
+
+    def summary(self) -> str:
+        kept = (
+            self.n_requests_sampled / self.n_requests_full
+            if self.n_requests_full
+            else 0.0
+        )
+        return (
+            f"sample rate {self.sample_rate:g} (seed {self.sample_seed}) kept "
+            f"{self.n_requests_sampled}/{self.n_requests_full} requests "
+            f"({kept:.1%}); max |hit-ratio error| {self.max_abs_hit_error:.4f}, "
+            f"max |byte-hit-ratio error| {self.max_abs_byte_hit_error:.4f}"
+        )
+
+
+def build_sample_report(
+    source,
+    grid: "CapacityGrid",
+    rate: float,
+    *,
+    seed: int = 0,
+    organizations: Iterable["Organization"] | None = None,
+    full_mrc=None,
+) -> SampleReport:
+    """Run the one-pass MRC on the full *source* and on its spatial
+    sample, and tabulate the per-(organization, size) error.
+
+    *source* is anything :func:`repro.analysis.mrc.compute_mrc`
+    accepts.  Pass a precomputed ``full_mrc`` (from the same source,
+    grid and organizations) to avoid re-analysing the full stream when
+    comparing several rates.
+    """
+    # Imported lazily: repro.analysis.mrc imports this module.
+    from repro.analysis.mrc import compute_mrc
+
+    if full_mrc is None:
+        full_mrc = compute_mrc(source, grid, organizations=organizations)
+    sampled = compute_mrc(
+        source,
+        grid,
+        organizations=full_mrc.organizations,
+        sample_rate=rate,
+        sample_seed=seed,
+    )
+    rows = []
+    for org in full_mrc.organizations:
+        for frac in grid.fractions:
+            pf = full_mrc.predict(org, frac)
+            ps = sampled.predict(org, frac)
+            rows.append(
+                SampleSizeError(
+                    organization=org.value,
+                    fraction=frac,
+                    full_hit_ratio=pf.hit_ratio,
+                    sampled_hit_ratio=ps.hit_ratio,
+                    full_byte_hit_ratio=pf.byte_hit_ratio,
+                    sampled_byte_hit_ratio=ps.byte_hit_ratio,
+                )
+            )
+    return SampleReport(
+        trace_name=full_mrc.trace_name,
+        sample_rate=rate,
+        sample_seed=seed,
+        n_requests_full=full_mrc.n_requests,
+        n_requests_sampled=sampled.n_requests,
+        rows=tuple(rows),
+    )

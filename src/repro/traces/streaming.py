@@ -138,6 +138,14 @@ class TraceStream:
     def total_bytes(self) -> int:
         return self._total_bytes
 
+    def infinite_cache_bytes(self) -> int:
+        """Total size of all unique (doc, version) bodies — the paper's
+        "infinite cache size", matching
+        :meth:`repro.traces.record.Trace.infinite_cache_bytes` of the
+        materialised trace (``_pair_final`` holds exactly one
+        authoritative size per unique pair)."""
+        return int(self._pair_final.sum())
+
     @property
     def mean_request_size(self) -> float:
         """Mean request size; equals ``Trace.mean_request_size`` of the

@@ -183,3 +183,19 @@ def test_run_command_table1(capsys):
     out = capsys.readouterr().out
     assert "Table 1" in out
     assert "BU-95" in out
+
+
+def test_run_fig2_mrc_sampled(capsys):
+    assert main(["run", "fig2", "--mrc", "--sample-rate", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "browsers-aware-proxy-server" in out
+
+
+def test_run_rejects_sample_rate_without_mrc(capsys):
+    assert main(["run", "fig2", "--sample-rate", "0.05"]) == 2
+    assert "requires --mrc" in capsys.readouterr().err
+
+
+def test_run_rejects_mrc_with_fault_tolerance_flags(capsys):
+    assert main(["run", "fig2", "--mrc", "--retries", "2"]) == 2
+    assert "do not apply" in capsys.readouterr().err

@@ -18,6 +18,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.mrc import (
+    MRC_EXACT_ORGANIZATIONS,
+    capacity_grid,
+    compute_mrc,
+)
 from repro.core import Organization, run_policy_sweep, run_size_sweep
 from repro.core.sweep import PAPER_SIZE_FRACTIONS
 from repro.traces.profiles import PAPER_TRACES, small_paper_trace
@@ -112,6 +117,80 @@ def test_fig3_golden(golden, fig_trace):
                     getattr(breakdown, share),
                     cell[kind][share],
                     f"fig3 {frac:g} {kind}/{share}",
+                )
+
+
+@pytest.fixture(scope="module")
+def mrc_analysis(golden, fig_trace):
+    """One-pass analysis of the golden trace at the golden grid."""
+    return compute_mrc(fig_trace, capacity_grid(fig_trace, PAPER_SIZE_FRACTIONS))
+
+
+def test_mrc_golden_pinned(golden, mrc_analysis):
+    """The one-pass predictions themselves are pinned to 1e-9, so the
+    stack-distance engine cannot silently drift either."""
+    pinned = golden["mrc"][golden["_meta"]["fig_trace"]]
+    seen = set()
+    for org in Organization:
+        for frac in PAPER_SIZE_FRACTIONS:
+            key = f"{org.value}@{frac:g}"
+            assert key in pinned, f"mrc cell {key} not in golden file"
+            point = mrc_analysis.predict(org, frac)
+            assert point.exact == pinned[key]["exact"]
+            assert_close(point.hit_ratio, pinned[key]["hit_ratio"], f"mrc {key} HR")
+            assert_close(
+                point.byte_hit_ratio, pinned[key]["byte_hit_ratio"], f"mrc {key} BHR"
+            )
+            seen.add(key)
+    assert seen == set(pinned), "mrc grid does not cover the golden grid"
+
+
+def test_mrc_cross_validates_replay_goldens(golden, mrc_analysis):
+    """The satellite cross-validation: one MRC pass reproduces the
+    replayed fig2 goldens — exactly for the pure-LRU organizations,
+    within the documented bound for the multi-level approximations."""
+    meta = golden["_meta"]
+    replayed = golden["fig2"][meta["fig_trace"]]
+    for org in Organization:
+        tol = (
+            meta["mrc_exact_tolerance"]
+            if org in MRC_EXACT_ORGANIZATIONS
+            else meta["mrc_approx_tolerance"]
+        )
+        for frac in PAPER_SIZE_FRACTIONS:
+            key = f"{org.value}@{frac:g}"
+            point = mrc_analysis.predict(org, frac)
+            for got, want, what in (
+                (point.hit_ratio, replayed[key]["hit_ratio"], "HR"),
+                (point.byte_hit_ratio, replayed[key]["byte_hit_ratio"], "BHR"),
+            ):
+                assert abs(got - want) <= tol, (
+                    f"mrc vs replay {key} {what}: {got!r} vs {want!r} "
+                    f"(|diff| = {abs(got - want):.3e} > {tol:g})"
+                )
+
+
+def test_mrc_cross_validates_fig3_breakdown(golden, mrc_analysis):
+    """The BAPS hit-location shares derived from the one-pass tallies
+    stay within the documented bound of the replayed fig3 goldens."""
+    meta = golden["_meta"]
+    pinned = golden["fig3"][meta["fig_trace"]]
+    tol = meta["mrc_breakdown_tolerance"]
+    for frac in PAPER_SIZE_FRACTIONS:
+        result = mrc_analysis.to_simulation_result(
+            Organization.BROWSERS_AWARE_PROXY, frac
+        )
+        cell = pinned[f"{frac:g}"]
+        for kind, breakdown in (
+            ("hit", result.breakdown()),
+            ("byte", result.byte_breakdown()),
+        ):
+            for share in ("local_browser", "proxy", "remote_browser"):
+                got = getattr(breakdown, share)
+                want = cell[kind][share]
+                assert abs(got - want) <= tol, (
+                    f"mrc fig3 {frac:g} {kind}/{share}: {got!r} vs "
+                    f"{want!r} (|diff| = {abs(got - want):.3e} > {tol:g})"
                 )
 
 

@@ -21,6 +21,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.analysis.mrc import (  # noqa: E402
+    MRC_EXACT_ORGANIZATIONS,
+    capacity_grid,
+    compute_mrc,
+)
 from repro.core import Organization, run_policy_sweep, run_size_sweep  # noqa: E402
 from repro.core.sweep import PAPER_SIZE_FRACTIONS  # noqa: E402
 from repro.traces.profiles import (  # noqa: E402
@@ -35,6 +40,16 @@ GOLDEN_PATH = Path(__file__).resolve().parents[1] / "tests" / "golden" / "golden
 #: the trace the small-profile fig2/fig3 goldens replay (the paper's
 #: Figure 2/3 trace).
 FIG_TRACE = "NLANR-uc"
+
+#: MRC-vs-replay cross-validation tolerances (documented bounds, also
+#: asserted by tests/test_golden_figures.py).  The one-pass analysis is
+#: bit-exact for the pure-LRU organizations; the multi-level
+#: organizations carry the eviction-order approximations documented in
+#: ``repro.analysis.mrc`` (measured worst case on this profile: 0.005
+#: on hit/byte-hit ratios, 0.0094 on BAPS breakdown shares).
+MRC_EXACT_TOLERANCE = 1e-9
+MRC_APPROX_TOLERANCE = 0.015
+MRC_BREAKDOWN_TOLERANCE = 0.02
 
 
 def build_goldens() -> dict:
@@ -83,6 +98,34 @@ def build_goldens() -> dict:
             },
         }
 
+    # One-pass MRC predictions at the same cells, cross-validated
+    # against the replay numbers above at generation time so a bad
+    # golden can never be written.
+    analysis = compute_mrc(trace, capacity_grid(trace, PAPER_SIZE_FRACTIONS))
+    mrc = {}
+    for org in Organization:
+        for frac in PAPER_SIZE_FRACTIONS:
+            point = analysis.predict(org, frac)
+            replay = fig2_sweep.get(org, frac)
+            tol = (
+                MRC_EXACT_TOLERANCE
+                if org in MRC_EXACT_ORGANIZATIONS
+                else MRC_APPROX_TOLERANCE
+            )
+            for got, want, what in (
+                (point.hit_ratio, replay.hit_ratio, "hit_ratio"),
+                (point.byte_hit_ratio, replay.byte_hit_ratio, "byte_hit_ratio"),
+            ):
+                assert abs(got - want) <= tol, (
+                    f"mrc {org.value}@{frac:g} {what}: {got!r} vs replay "
+                    f"{want!r} exceeds tolerance {tol:g}"
+                )
+            mrc[f"{org.value}@{frac:g}"] = {
+                "hit_ratio": point.hit_ratio,
+                "byte_hit_ratio": point.byte_hit_ratio,
+                "exact": point.exact,
+            }
+
     table1 = {}
     for name in PAPER_TRACES:
         stats = compute_stats(small_paper_trace(name))
@@ -100,9 +143,13 @@ def build_goldens() -> dict:
             "n_requests": SMALL_PROFILE_REQUESTS,
             "fig_trace": FIG_TRACE,
             "tolerance": 1e-9,
+            "mrc_exact_tolerance": MRC_EXACT_TOLERANCE,
+            "mrc_approx_tolerance": MRC_APPROX_TOLERANCE,
+            "mrc_breakdown_tolerance": MRC_BREAKDOWN_TOLERANCE,
         },
         "fig2": {FIG_TRACE: fig2},
         "fig3": {FIG_TRACE: fig3},
+        "mrc": {FIG_TRACE: mrc},
         "table1": table1,
     }
 

@@ -59,9 +59,19 @@ serial run; the process's peak RSS must also stay under
 ``--stream-rss-ceiling-mb``.  Incompatible with the churn / crash /
 federation grids (outside the streaming subset).
 
+With ``--mrc`` the base grid is additionally derived from one
+stack-distance pass (``run_policy_sweep(..., mrc=True)``) and checked
+against the serial replay — bit-exact for the pure-LRU organizations,
+within the documented approximation bound for the rest — and a
+sampled pass at ``--sample-rate`` must stay within the documented
+per-rate error bound (``repro.traces.sampling.SAMPLE_ERROR_BOUNDS``)
+of the full pass.  Incompatible with the fault grids (the one-pass
+analysis models the fault-free hierarchy).
+
     PYTHONPATH=src python tools/smoke_parallel.py [--workers N] [--requests M]
         [--journal PATH] [--inject-fault] [--churn] [--max-holder-retries N]
         [--proxy-crash] [--federation] [--adversarial] [--chaos] [--stream]
+        [--mrc] [--sample-rate R]
 """
 
 from __future__ import annotations
@@ -142,11 +152,25 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="MB",
                         help="peak-RSS ceiling for the --stream check "
                              "(default 2048)")
+    parser.add_argument("--mrc", action="store_true",
+                        help="also derive the base grid from one "
+                             "stack-distance pass and from a sampled pass; "
+                             "both must stay within the documented bounds "
+                             "of the serial replay")
+    parser.add_argument("--sample-rate", type=float, default=0.05,
+                        metavar="R",
+                        help="spatial sample rate for the --mrc sampled "
+                             "check (default 0.05; must have a documented "
+                             "bound in SAMPLE_ERROR_BOUNDS)")
     args = parser.parse_args(argv)
 
     if args.stream and (args.churn or args.proxy_crash or args.federation
                         or args.adversarial or args.chaos):
         parser.error("--stream covers only the base grid; drop --churn/"
+                     "--proxy-crash/--federation/--adversarial/--chaos")
+    if args.mrc and (args.churn or args.proxy_crash or args.federation
+                     or args.adversarial or args.chaos):
+        parser.error("--mrc covers only the base grid; drop --churn/"
                      "--proxy-crash/--federation/--adversarial/--chaos")
     if args.chaos and (args.churn or args.proxy_crash or args.federation
                        or args.adversarial):
@@ -480,6 +504,61 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if rss > ceiling:
             print("FAIL: peak RSS exceeds the --stream ceiling")
+            return 1
+
+    if args.mrc:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from make_goldens import (
+            MRC_APPROX_TOLERANCE,
+            MRC_EXACT_TOLERANCE,
+        )
+
+        from repro.analysis.mrc import (
+            MRC_EXACT_ORGANIZATIONS,
+            capacity_grid,
+            compute_mrc,
+        )
+        from repro.traces.sampling import SAMPLE_ERROR_BOUNDS, build_sample_report
+
+        if args.sample_rate not in SAMPLE_ERROR_BOUNDS:
+            parser.error(f"--sample-rate {args.sample_rate:g} has no documented "
+                         f"bound; choose from {sorted(SAMPLE_ERROR_BOUNDS)}")
+
+        mrc_sweep = run_policy_sweep(trace, workers=0, mrc=True, **grid)
+        if mrc_sweep.failures:
+            print("FAIL: mrc=True sweep had cell failures")
+            return 1
+        worst_exact = worst_approx = 0.0
+        for (org, frac), ref in serial.results.items():
+            got = mrc_sweep.get(org, frac)
+            err = max(abs(got.hit_ratio - ref.hit_ratio),
+                      abs(got.byte_hit_ratio - ref.byte_hit_ratio))
+            if org in MRC_EXACT_ORGANIZATIONS:
+                worst_exact = max(worst_exact, err)
+            else:
+                worst_approx = max(worst_approx, err)
+        print()
+        print(f"mrc: one pass covered {mrc_sweep.timing.mrc_points} cells "
+              f"({mrc_sweep.timing.replays_avoided} replays avoided); "
+              f"vs serial replay worst |err| exact={worst_exact:.2e} "
+              f"(bound {MRC_EXACT_TOLERANCE:g}), approx={worst_approx:.4f} "
+              f"(bound {MRC_APPROX_TOLERANCE:g})")
+        if worst_exact > MRC_EXACT_TOLERANCE:
+            print("FAIL: mrc pass not bit-exact for a pure-LRU organization")
+            return 1
+        if worst_approx > MRC_APPROX_TOLERANCE:
+            print("FAIL: mrc pass exceeds the documented approximation bound")
+            return 1
+
+        bound = SAMPLE_ERROR_BOUNDS[args.sample_rate]
+        report = build_sample_report(
+            trace, capacity_grid(trace, grid["fractions"]), args.sample_rate,
+            organizations=grid["organizations"],
+        )
+        print(f"sampled mrc: {report.summary()}")
+        print(f"documented bound at rate {args.sample_rate:g}: {bound:g}")
+        if report.max_abs_hit_error > bound or report.max_abs_byte_hit_error > bound:
+            print("FAIL: sampled pass exceeds the documented error bound")
             return 1
 
     speedup = parallel.timing.speedup_vs_serial
